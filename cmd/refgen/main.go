@@ -1,0 +1,175 @@
+// Command refgen generates numerical references (network-function
+// coefficients) for a circuit read from a SPICE-like netlist.
+//
+// Usage:
+//
+//	refgen -netlist amp.sp -tf diffgain -in inp -inn inn -out out
+//	refgen -netlist rc.sp -tf vgain -in in -out out -method fixed -fscale 1e9
+//
+// Methods:
+//
+//	adaptive  the paper's adaptive scaling algorithm (default)
+//	fixed     single scale pair (-fscale/-gscale; Table 1b style)
+//	unit      unscaled unit-circle interpolation (Table 1a style)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netlist"
+	"repro/internal/poly"
+	"repro/internal/roots"
+	"repro/internal/tablefmt"
+	"repro/internal/tfspec"
+)
+
+func main() {
+	var (
+		netFile   = flag.String("netlist", "", "netlist file (required)")
+		tfKind    = flag.String("tf", "vgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode    = flag.String("in", "in", "input node (positive input for diffgain)")
+		innNode   = flag.String("inn", "", "negative input node (diffgain)")
+		outNode   = flag.String("out", "out", "output node")
+		method    = flag.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
+		fscale    = flag.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
+		gscale    = flag.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
+		sigDigits = flag.Int("sigdigits", 6, "required significant digits σ")
+		noReduce  = flag.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
+		verbose   = flag.Bool("v", false, "print the iteration trace")
+		showPoles = flag.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
+	)
+	flag.Parse()
+	if *netFile == "" {
+		fmt.Fprintln(os.Stderr, "refgen: -netlist is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ckt, err := netlist.ParseFile(*netFile)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(ckt.Stats())
+
+	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
+	_, tf, err := spec.Resolve(ckt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("transfer function: %s (order bound %d)\n\n", tf.Name, tf.Den.OrderBound)
+
+	switch *method {
+	case "adaptive":
+		cfg := core.Config{SigDigits: *sigDigits, NoReduce: *noReduce}
+		if spec.MNA() {
+			// MNA terms are not conductance-homogeneous: frequency-only.
+			cfg.SingleFactor = true
+			cfg.InitGScale = 1
+		}
+		num, den, err := core.GenerateTransferFunction(ckt, tf, cfg)
+		if num != nil {
+			printResult(num, *verbose)
+		}
+		if den != nil {
+			printResult(den, *verbose)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *showPoles {
+			printRoots("zeros", num.Poly())
+			printRoots("poles", den.Poly())
+		}
+	case "fixed":
+		fs, gs := *fscale, *gscale
+		if fs == 0 {
+			if mc := ckt.MeanCapacitance(); mc > 0 {
+				fs = 1 / mc
+			} else {
+				fs = 1
+			}
+		}
+		if gs == 0 {
+			if mg := ckt.MeanConductance(); mg > 0 {
+				gs = 1 / mg
+			} else {
+				gs = 1
+			}
+		}
+		printInterp("numerator", interp.FixedScale(tf.Num, fs, gs), *sigDigits)
+		printInterp("denominator", interp.FixedScale(tf.Den, fs, gs), *sigDigits)
+	case "unit":
+		printInterp("numerator", interp.UnitCircle(tf.Num), *sigDigits)
+		printInterp("denominator", interp.UnitCircle(tf.Den), *sigDigits)
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+}
+
+func printResult(r *core.Result, verbose bool) {
+	fmt.Println(r)
+	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits")
+	for i, c := range r.Coeffs {
+		switch c.Status {
+		case core.Valid:
+			tb.Rowf(fmt.Sprintf("s^%d", i), "valid", c.Value, fmt.Sprintf("%.1f", float64(6)+c.Quality))
+		case core.Negligible:
+			tb.Rowf(fmt.Sprintf("s^%d", i), "negligible", fmt.Sprintf("|p| < %v", c.Bound), "")
+		default:
+			tb.Rowf(fmt.Sprintf("s^%d", i), "UNRESOLVED", "", "")
+		}
+	}
+	fmt.Println(tb)
+	if verbose {
+		it := tablefmt.New("iterations", "#", "purpose", "fscale", "gscale", "K", "region", "new")
+		for k, rec := range r.Iterations {
+			region := "-"
+			if rec.Lo <= rec.Hi {
+				region = fmt.Sprintf("s^%d..s^%d", rec.Lo, rec.Hi)
+			}
+			it.Rowf(k, rec.Purpose, fmt.Sprintf("%.4g", rec.FScale), fmt.Sprintf("%.4g", rec.GScale), rec.K, region, rec.NewValid)
+		}
+		fmt.Println(it)
+		fmt.Println(r.CoverageMap())
+	}
+}
+
+func printInterp(name string, res interp.Result, sigDigits int) {
+	lo, hi, ok := interp.ValidRegion(res.Normalized, sigDigits)
+	fmt.Printf("%s: %s\n", name, res)
+	tb := tablefmt.New("", "s^i", "normalized", "denormalized", "valid")
+	for i := range res.Normalized {
+		valid := ""
+		if ok && i >= lo && i <= hi {
+			valid = "*"
+		}
+		tb.Rowf(fmt.Sprintf("s^%d", i), res.Raw[i], res.Denormalized[i], valid)
+	}
+	fmt.Println(tb)
+}
+
+func printRoots(label string, p poly.XPoly) {
+	r, err := roots.Find(p, roots.Config{})
+	if err != nil {
+		fmt.Printf("%s: %v\n", label, err)
+		return
+	}
+	tb := tablefmt.New(label, "#", "real (rad/s)", "imag (rad/s)", "|s|/2π (Hz)")
+	for i, z := range r {
+		tb.Rowf(i+1,
+			fmt.Sprintf("%.6g", real(z)),
+			fmt.Sprintf("%.6g", imag(z)),
+			fmt.Sprintf("%.6g", cmplx.Abs(z)/(2*math.Pi)))
+	}
+	fmt.Println(tb)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "refgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command sens ranks the element sensitivities of a circuit's network
+// function — which parameters move the response most, the input for
+// design centering and tolerance assignment.
+//
+// Usage:
+//
+//	sens -circuit ota -top 10
+//	sens -netlist amp.sp -tf vgain -in in -out out -fmin 1e3 -fmax 1e8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sensitivity"
+	"repro/internal/tablefmt"
+	"repro/internal/tfspec"
+)
+
+func main() {
+	var (
+		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
+		tfKind  = flag.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode  = flag.String("in", "inp", "input node")
+		innNode = flag.String("inn", "inn", "negative input node (diffgain)")
+		outNode = flag.String("out", "out", "output node")
+		fMin    = flag.Float64("fmin", 10, "band start (Hz)")
+		fMax    = flag.Float64("fmax", 1e8, "band end (Hz)")
+		points  = flag.Int("points", 9, "frequency points")
+		top     = flag.Int("top", 15, "number of elements to list (0 = all)")
+	)
+	flag.Parse()
+
+	var ckt *circuit.Circuit
+	switch {
+	case *builtin == "ua741":
+		ckt = circuits.UA741()
+	case *builtin == "ota":
+		ckt = circuits.OTA()
+	case *netFile != "":
+		var err error
+		ckt, err = netlist.ParseFile(*netFile)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "sens: need -circuit or -netlist")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Println(ckt.Stats())
+
+	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
+	freqs := bode.LogSpace(*fMin, *fMax, *points)
+	sens, err := sensitivity.Analyze(ckt, spec, freqs, sensitivity.Config{})
+	if err != nil {
+		fail(err)
+	}
+
+	n := len(sens)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	tb := tablefmt.New(
+		fmt.Sprintf("normalized sensitivities |S| = |d ln H / d ln x| over %.3g..%.3g Hz (top %d of %d)",
+			*fMin, *fMax, n, len(sens)),
+		"element", "max |S|", "|S| mid-band")
+	mid := *points / 2
+	for _, s := range sens[:n] {
+		tb.Rowf(s.Element,
+			fmt.Sprintf("%.4f", s.MaxAbs),
+			fmt.Sprintf("%.4f", cmplx.Abs(s.S[mid])))
+	}
+	fmt.Println(tb)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sens:", err)
+	os.Exit(1)
+}

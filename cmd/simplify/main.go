@@ -1,0 +1,102 @@
+// Command simplify runs reference-controlled Simplification Before
+// Generation (paper §1) on a circuit: elements whose contribution to the
+// network function over a frequency band is negligible are replaced by
+// opens or shorts, with the error measured against the full circuit's
+// response.
+//
+// Usage:
+//
+//	simplify -circuit ua741 -maxdb 1 -maxdeg 10
+//	simplify -netlist amp.sp -in in -out out -fmin 1e2 -fmax 1e7 -emit simplified.sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sbg"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	var (
+		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
+		inNode  = flag.String("in", "inp", "input node")
+		innNode = flag.String("inn", "inn", "negative input node (empty = single-ended)")
+		outNode = flag.String("out", "out", "output node")
+		fMin    = flag.Float64("fmin", 10, "band start (Hz)")
+		fMax    = flag.Float64("fmax", 1e7, "band end (Hz)")
+		points  = flag.Int("n", 15, "band sample count")
+		maxDB   = flag.Float64("maxdb", 0.5, "magnitude error budget (dB)")
+		maxDeg  = flag.Float64("maxdeg", 5, "phase error budget (degrees)")
+		emit    = flag.String("emit", "", "write the simplified circuit to this netlist file")
+	)
+	flag.Parse()
+
+	var ckt *circuit.Circuit
+	switch {
+	case *builtin == "ua741":
+		ckt = circuits.UA741()
+	case *builtin == "ota":
+		ckt = circuits.OTA()
+	case *netFile != "":
+		var perr error
+		ckt, perr = netlist.ParseFile(*netFile)
+		if perr != nil {
+			fail(perr)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "simplify: need -circuit or -netlist")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Println(ckt.Stats())
+
+	freqs := bode.LogSpace(*fMin, *fMax, *points)
+	ref, err := sbg.ReferenceResponse(ckt, *inNode, *innNode, *outNode, freqs)
+	if err != nil {
+		fail(err)
+	}
+	res, err := sbg.Simplify(ckt, *inNode, *innNode, *outNode, freqs, ref,
+		sbg.Config{MaxErrDB: *maxDB, MaxPhaseDeg: *maxDeg})
+	if err != nil {
+		fail(err)
+	}
+
+	tb := tablefmt.New(
+		fmt.Sprintf("accepted simplifications (budget %.2g dB / %.2g° over %.3g..%.3g Hz)",
+			*maxDB, *maxDeg, *fMin, *fMax),
+		"element", "op", "worst dev (dB)")
+	for _, a := range res.Actions {
+		tb.Rowf(a.Element, a.Op, fmt.Sprintf("%.4f", a.WorstDB))
+	}
+	fmt.Println(tb)
+	fmt.Printf("elements: %d -> %d (%.0f%% removed)\n",
+		res.Before, res.After, 100*float64(res.Before-res.After)/float64(res.Before))
+
+	if *emit != "" {
+		f, err := os.Create(*emit)
+		if err != nil {
+			fail(err)
+		}
+		if err := netlist.Format(f, res.Circuit); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("simplified netlist written to %s\n", *emit)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simplify:", err)
+	os.Exit(1)
+}

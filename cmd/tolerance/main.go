@@ -1,0 +1,94 @@
+// Command tolerance runs Monte Carlo tolerance analysis on a circuit's
+// frequency response: every element value is perturbed within ±tol,
+// references are regenerated per sample, and the per-frequency magnitude
+// quantiles are reported.
+//
+// Usage:
+//
+//	tolerance -circuit ota -tol 0.1 -n 200
+//	tolerance -netlist amp.sp -tf vgain -in in -out out -tol 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/tablefmt"
+	"repro/internal/tfspec"
+)
+
+func main() {
+	var (
+		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
+		tfKind  = flag.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode  = flag.String("in", "inp", "input node")
+		innNode = flag.String("inn", "inn", "negative input node (diffgain)")
+		outNode = flag.String("out", "out", "output node")
+		fMin    = flag.Float64("fmin", 10, "band start (Hz)")
+		fMax    = flag.Float64("fmax", 1e8, "band end (Hz)")
+		points  = flag.Int("points", 13, "frequency points")
+		tol     = flag.Float64("tol", 0.05, "relative element tolerance (±)")
+		samples = flag.Int("n", 100, "Monte Carlo samples")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var ckt *circuit.Circuit
+	switch {
+	case *builtin == "ua741":
+		ckt = circuits.UA741()
+	case *builtin == "ota":
+		ckt = circuits.OTA()
+	case *netFile != "":
+		var perr error
+		ckt, perr = netlist.ParseFile(*netFile)
+		if perr != nil {
+			fail(perr)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tolerance: need -circuit or -netlist")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Println(ckt.Stats())
+
+	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
+	freqs := bode.LogSpace(*fMin, *fMax, *points)
+	st, err := montecarlo.Run(ckt, spec, freqs, montecarlo.Config{
+		Samples: *samples, Tolerance: *tol, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	tb := tablefmt.New(
+		fmt.Sprintf("magnitude quantiles over %d samples at ±%.0f%% element tolerance",
+			st.Samples, *tol*100),
+		"freq (Hz)", "p5 (dB)", "median (dB)", "p95 (dB)", "spread (dB)")
+	for _, q := range st.Magnitude {
+		tb.Rowf(fmt.Sprintf("%.4g", q.FreqHz),
+			fmt.Sprintf("%.3f", q.P05DB),
+			fmt.Sprintf("%.3f", q.P50DB),
+			fmt.Sprintf("%.3f", q.P95DB),
+			fmt.Sprintf("%.3f", q.P95DB-q.P05DB))
+	}
+	fmt.Println(tb)
+	spread, at := st.WorstSpreadDB()
+	fmt.Printf("worst spread: %.3f dB at %.4g Hz", spread, at)
+	if st.Failures > 0 {
+		fmt.Printf("  (%d failed samples excluded)", st.Failures)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tolerance:", err)
+	os.Exit(1)
+}

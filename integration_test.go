@@ -1,0 +1,461 @@
+// Package repro_test holds the end-to-end integration tests: the full
+// adaptive-scaling pipeline (circuit → nodal cofactors → interpolation →
+// merged references) validated against exact-arithmetic oracles and
+// against an independent direct AC-analysis path.
+package repro_test
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/interp"
+	"repro/internal/mna"
+	"repro/internal/nodal"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// generateGain runs the adaptive generator on a circuit's voltage gain.
+func generateGain(t *testing.T, c *circuit.Circuit, in, out string, cfg core.Config) (num, den *core.Result) {
+	t.Helper()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.VoltageGain(c, in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den, err = core.GenerateTransferFunction(c, tf, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v\nnum: %v\nden: %v", c.Name, err, num, den)
+	}
+	return num, den
+}
+
+func TestAdaptiveVsExactLaddersSmall(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 10} {
+		c := circuits.RCLadder(n, 1e3, 1e-12)
+		num, den := generateGain(t, c, "in", circuits.RCLadderOut(n), core.Config{})
+		wantNum, wantDen, err := exact.VoltageGain(c, "in", circuits.RCLadderOut(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.MaxRelErr(num.Poly(), wantNum.ToXPoly(), 1e-10); e > 1e-6 {
+			t.Errorf("ladder %d numerator err %g", n, e)
+		}
+		if e := exact.MaxRelErr(den.Poly(), wantDen.ToXPoly(), 1e-10); e > 1e-6 {
+			t.Errorf("ladder %d denominator err %g", n, e)
+		}
+	}
+}
+
+func TestAdaptiveVsExactLaddersLarge(t *testing.T) {
+	// Beyond Bareiss reach, the analytic chain recursion provides the
+	// oracle; compare as rational functions (the two formulations differ
+	// by a common scalar).
+	for _, n := range []int{20, 40, 60} {
+		c := circuits.RCLadder(n, 1e3, 1e-12)
+		var rs, cs []float64
+		for _, e := range c.Elements() {
+			switch e.Kind {
+			case circuit.Resistor:
+				rs = append(rs, e.Value)
+			case circuit.Capacitor:
+				cs = append(cs, e.Value)
+			}
+		}
+		num, den := generateGain(t, c, "in", circuits.RCLadderOut(n), core.Config{MaxIterations: 200})
+		wantNum, wantDen := exact.RCLadderGain(rs, cs)
+		if !exact.RatioEqual(num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-6) {
+			t.Errorf("ladder %d transfer function mismatch", n)
+		}
+		if den.Order() != n {
+			t.Errorf("ladder %d detected order %d", n, den.Order())
+		}
+	}
+}
+
+func TestAdaptiveVsExactRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 6; trial++ {
+		nodes := 4 + rng.Intn(5)
+		c := circuits.RandomGCgm(rng, nodes)
+		sys, err := nodal.Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := sys.Transimpedance(c, "n0", "n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		num, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantNum, wantDen, err := exact.Transimpedance(c, "n0", "n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.MaxRelErr(num.Poly(), wantNum.ToXPoly(), 1e-7); e > 1e-5 {
+			t.Errorf("trial %d numerator err %g", trial, e)
+		}
+		if e := exact.MaxRelErr(den.Poly(), wantDen.ToXPoly(), 1e-7); e > 1e-5 {
+			t.Errorf("trial %d denominator err %g", trial, e)
+		}
+	}
+}
+
+func TestOTAVsExact(t *testing.T) {
+	c := circuits.OTA()
+	inp, inn, out := circuits.OTAInputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNum, wantDen, err := exact.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.MaxRelErr(num.Poly(), wantNum.ToXPoly(), 1e-7); e > 1e-5 {
+		t.Errorf("OTA numerator err %g\n got %v\nwant %v", e, num.Poly(), wantNum.ToXPoly())
+	}
+	if e := exact.MaxRelErr(den.Poly(), wantDen.ToXPoly(), 1e-7); e > 1e-5 {
+		t.Errorf("OTA denominator err %g\n got %v\nwant %v", e, den.Poly(), wantDen.ToXPoly())
+	}
+}
+
+// TestUnitCircleFailsOnOTA reproduces the Table 1a phenomenon: plain
+// unit-circle interpolation drowns all but the first coefficients in
+// round-off noise (imaginary residue comparable to the real parts).
+func TestUnitCircleFailsOnOTA(t *testing.T) {
+	c := circuits.OTA()
+	inp, inn, out := circuits.OTAInputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := interp.UnitCircle(tf.Den)
+	wantNum, wantDen, err := exact.DifferentialVoltageGain(c, inp, inn, out)
+	_ = wantNum
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantDen.ToXPoly()
+	// s^0 survives (it is the largest coefficient)...
+	if !res.Denormalized[0].ApproxEqual(want[0], 1e-6) {
+		t.Errorf("unit circle lost even p0: %v vs %v", res.Denormalized[0], want[0])
+	}
+	// ...but the small high-order coefficients drown: at least one
+	// mid-order coefficient must be wrong by more than 1%.
+	broken := 0
+	for i := 2; i < len(want) && i < len(res.Denormalized); i++ {
+		if want[i].Zero() {
+			continue
+		}
+		if !res.Denormalized[i].ApproxEqual(want[i], 0.01) {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("unit-circle interpolation unexpectedly recovered every coefficient; Table 1a phenomenon not reproduced")
+	}
+}
+
+// TestFixedScaleRecoversWindow reproduces Table 1b: one scale factor
+// repairs a ~7-decade window of coefficients but not the whole vector.
+func TestFixedScaleRecoversWindow(t *testing.T) {
+	c := circuits.OTA()
+	inp, inn, out := circuits.OTAInputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscale := 1 / c.MeanCapacitance()
+	gscale := 1 / c.MeanConductance()
+	res := interp.FixedScale(tf.Den, fscale, gscale)
+	lo, hi, ok := interp.ValidRegion(res.Normalized, 6)
+	if !ok {
+		t.Fatal("no valid region at all")
+	}
+	_, wantDen, err := exact.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantDen.ToXPoly()
+	for i := lo; i <= hi; i++ {
+		if i < len(want) && !want[i].Zero() && !res.Denormalized[i].ApproxEqual(want[i], 1e-4) {
+			t.Errorf("in-window coefficient s^%d wrong: %v vs %v", i, res.Denormalized[i], want[i])
+		}
+	}
+	t.Logf("fixed-scale valid region: s^%d..s^%d of order bound %d", lo, hi, tf.Den.OrderBound)
+}
+
+// TestUA741BodeMatchesMNA is the Fig. 2 validation: references generated
+// by the adaptive algorithm must reproduce the direct AC analysis across
+// 1 Hz – 100 MHz.
+func TestUA741BodeMatchesMNA(t *testing.T) {
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{MaxIterations: 100})
+	if err != nil {
+		t.Fatalf("%v\nnum: %v\nden: %v", err, num, den)
+	}
+	t.Logf("num: %v", num)
+	t.Logf("den: %v", den)
+	freqs := bode.LogSpace(1, 1e8, 81)
+	fromCoeffs, err := bode.FromPolys(num.Poly(), den.Poly(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent path: MNA with a differential source.
+	c2 := circuits.UA741()
+	c2.AddV("vtest", inp, inn, 1)
+	msys, err := mna.Build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := make([]complex128, len(freqs))
+	for i, f := range freqs {
+		x, err := msys.Solve(complex(0, 2*3.14159265358979*f))
+		if err != nil {
+			t.Fatalf("mna at %g Hz: %v", f, err)
+		}
+		h[i], _ = msys.VoltageAt(x, out)
+	}
+	fromAC := bode.FromComplexResponse(freqs, h)
+	magErr, phErr, err := bode.Compare(fromCoeffs, fromAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig.2 match: max |Δmag| = %.4g dB, max |Δphase| = %.4g°", magErr, phErr)
+	if magErr > 0.05 {
+		t.Errorf("magnitude deviation %g dB exceeds 0.05 dB", magErr)
+	}
+	if phErr > 0.5 {
+		t.Errorf("phase deviation %g° exceeds 0.5°", phErr)
+	}
+}
+
+// TestUA741RegionsTile checks the Table 2/3 structure: the denominator
+// resolves through a handful of valid regions that tile the full
+// coefficient range, with the first region anchored at s^0.
+func TestUA741RegionsTile(t *testing.T) {
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MaxIterations: 100}
+	if f := c.MeanCapacitance(); f > 0 {
+		cfg.InitFScale = 1 / f
+	}
+	if g := c.MeanConductance(); g > 0 {
+		cfg.InitGScale = 1 / g
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatalf("%v\n%v", err, den)
+	}
+	// Paper Table 2a: the mean-value heuristic opens a wide region near
+	// the bottom of the range (theirs: p0..p12; where exactly it lands
+	// depends on the coefficient profile's peak).
+	first := den.Iterations[0]
+	if first.Lo > 5 {
+		t.Errorf("first region starts at s^%d; mean heuristic should anchor near the bottom", first.Lo)
+	}
+	if first.Hi-first.Lo < 8 {
+		t.Errorf("first region [%d,%d] too narrow; mean heuristic should give a wide region", first.Lo, first.Hi)
+	}
+	if n := len(den.Iterations); n < 2 || n > 30 {
+		t.Errorf("%d iterations; expected a handful of region tilings", n)
+	}
+	if den.Order() < 30 {
+		t.Errorf("detected denominator order %d; µA741 class should exceed 30", den.Order())
+	}
+	if den.Disagreements > 0 {
+		t.Errorf("overlap disagreements: %d", den.Disagreements)
+	}
+	t.Log(den)
+	for i, it := range den.Iterations {
+		t.Logf("iter %d (%s): f=%.3g g=%.3g K=%d region [%d,%d] +%d", i, it.Purpose, it.FScale, it.GScale, it.K, it.Lo, it.Hi, it.NewValid)
+	}
+}
+
+// TestReductionShrinksCost verifies the §3.3 claim: with eq. (17)
+// enabled, later iterations use strictly fewer interpolation points.
+func TestReductionShrinksCost(t *testing.T) {
+	c := circuits.UA741()
+	inp, inn, _ := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MaxIterations: 100}
+	if f := c.MeanCapacitance(); f > 0 {
+		cfg.InitFScale = 1 / f
+	}
+	if g := c.MeanConductance(); g > 0 {
+		cfg.InitGScale = 1 / g
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(den.Iterations) < 2 {
+		t.Skip("single iteration; nothing to compare")
+	}
+	k0 := den.Iterations[0].K
+	shrunk := false
+	for _, it := range den.Iterations[1:] {
+		if it.K > k0 {
+			t.Errorf("iteration grew: K=%d after %d", it.K, k0)
+		}
+		if it.K < k0 {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Error("no iteration used fewer points despite reduction")
+	}
+}
+
+// TestAdaptiveVsHighPrecisionLargeRandom validates the full adaptive
+// pipeline on random 18-node G/C/gm circuits — beyond the Bareiss
+// oracle's reach — against the 256-bit interpolation oracle (the same
+// method with the noise floor pushed ~60 decades down).
+func TestAdaptiveVsHighPrecisionLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(828282))
+	for trial := 0; trial < 2; trial++ {
+		c := circuits.RandomGCgm(rng, 18)
+		num, den := generateGain(t, c, "n0", "n9", core.Config{MaxIterations: 200})
+		wantNum, wantDen, err := exact.HPVoltageGain(c, "n0", "n9", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstHP := func(got *core.Result, want poly.XPoly, label string) {
+			for i, cf := range got.Coeffs {
+				var w xmath.XFloat
+				if i < len(want) {
+					w = want[i]
+				}
+				switch cf.Status {
+				case core.Valid:
+					if w.Zero() {
+						if !cf.Value.Zero() {
+							// A valid value where HP says zero: only noise-level.
+							max, _ := want.MaxAbs()
+							if !max.Zero() && cf.Value.Abs().Div(max.Abs()).Float64() > 1e-10 {
+								t.Errorf("trial %d %s s^%d: got %v, HP says 0", trial, label, i, cf.Value)
+							}
+						}
+						continue
+					}
+					if !cf.Value.ApproxEqual(w, 1e-4) {
+						t.Errorf("trial %d %s s^%d: got %v, HP %v", trial, label, i, cf.Value, w)
+					}
+				case core.Negligible:
+					// Soundness: the bound must dominate the HP truth.
+					if !w.Zero() && w.Abs().Cmp(cf.Bound) > 0 {
+						t.Errorf("trial %d %s s^%d: bound %v violated by HP %v", trial, label, i, cf.Bound, w)
+					}
+				default:
+					t.Errorf("trial %d %s s^%d unresolved", trial, label, i)
+				}
+			}
+		}
+		checkAgainstHP(num, wantNum, "num")
+		checkAgainstHP(den, wantDen, "den")
+	}
+}
+
+// TestGmCCascadeVsExact validates the scalable active benchmark circuit.
+func TestGmCCascadeVsExact(t *testing.T) {
+	k := 7
+	c := circuits.GmCCascade(k, 1e-4, 1e-5, 1e-12)
+	num, den := generateGain(t, c, "in", circuits.GmCCascadeOut(k), core.Config{})
+	wantNum, wantDen, err := exact.VoltageGain(c, "in", circuits.GmCCascadeOut(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.RatioEqual(num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-6) {
+		t.Error("cascade transfer function mismatch vs Bareiss oracle")
+	}
+}
+
+// TestNumDenConsistentWithDirectEval cross-checks H from generated
+// references against pointwise cofactor evaluation at arbitrary
+// (non-interpolation) frequencies.
+func TestNumDenConsistentWithDirectEval(t *testing.T) {
+	c := circuits.OTA()
+	inp, inn, out := circuits.OTAInputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, dp := num.Poly(), den.Poly()
+	for _, f := range []float64{17, 3.3e3, 7.7e6, 2.1e9} {
+		s := complex(0, 2*3.14159265358979*f)
+		hPoly := evalRatio(np, dp, s)
+		n := tf.Num.Eval(s, 1, 1)
+		d := tf.Den.Eval(s, 1, 1)
+		hDirect := n.Div(d).Complex128()
+		if cAbs(hPoly-hDirect) > 1e-5*(1+cAbs(hDirect)) {
+			t.Errorf("at %g Hz: poly %v vs direct %v", f, hPoly, hDirect)
+		}
+	}
+}
+
+func evalRatio(num, den poly.XPoly, s complex128) complex128 {
+	z := xmath.FromComplex(s)
+	return num.Eval(z).Div(den.Eval(z)).Complex128()
+}
+
+func cAbs(c complex128) float64 { return cmplx.Abs(c) }

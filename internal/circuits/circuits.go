@@ -1,0 +1,287 @@
+// Package circuits provides the benchmark circuit library: the paper's
+// two example circuits (the positive-feedback OTA of Fig. 1 and the
+// µA741 operational amplifier), plus parameterized generators (RC
+// ladders, gm-C cascades, random admittance networks) used by the tests
+// and the scalability benchmarks.
+//
+// Supply rails are AC ground in small-signal analysis, so Vcc/Vee are
+// wired to node "0" throughout.
+package circuits
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/devices"
+)
+
+// OTA builds the positive-feedback OTA of the paper's Fig. 1 as a
+// small-signal MOS circuit: a differential pair into a current-mirror
+// load, with a cross-coupled (positive-feedback) pair at the output that
+// partially cancels the load conductance — the paper's example for
+// Tables 1a/1b. Inputs are "inp"/"inn", output "out".
+//
+// The circuit carries 9 capacitors, matching the paper's "estimate on
+// the upper bound of the polynomial order for this circuit is 9".
+func OTA() *circuit.Circuit {
+	c := circuit.New("positive-feedback OTA")
+	// Source/bias conductance at the gate inputs (the gates themselves
+	// are purely capacitive; without a DC path the input nodes float).
+	c.AddG("ginp", "inp", "0", 1e-6)
+	c.AddG("ginn", "inn", "0", 1e-6)
+	// Differential pair M1/M2 (NMOS), sources at the tail node.
+	m1 := devices.TypicalNMOS(10e-6, 0.2)
+	m2 := m1
+	// Drop per-device junction caps we don't want to exceed 9 total.
+	m1.Csb, m2.Csb = 0, 0
+	devices.AddMOS(c, "m1", "x", "inp", "tail", m1)   // caps: cgs1 cgd1 cdb1(x)
+	devices.AddMOS(c, "m2", "out", "inn", "tail", m2) // caps: cgs2 cgd2 cdb2(out)
+	// Tail current source output impedance.
+	c.AddG("gtail", "tail", "0", 2e-6)
+	c.AddC("ctail", "tail", "0", 0.15e-12) // cap 7
+	// Mirror load M3 (diode) / M4.
+	mp := devices.TypicalPMOS(10e-6, 0.25)
+	mp.Cgd, mp.Cdb, mp.Csb = 0, 0, 0
+	devices.AddMOS(c, "m3", "x", "x", "0", mp) // cap: cgs3 (x)
+	m4 := mp
+	m4.Cgs = 0
+	devices.AddMOS(c, "m4", "out", "x", "0", m4) // no caps
+	// Positive feedback: cross-coupled pair at the output cancels load
+	// conductance (negative gm from out onto itself).
+	c.AddVCCS("gmfb", "out", "0", "0", "out", 8e-6) // i = gm·(0 − v_out) into out
+	c.AddG("gfb", "out", "0", 1e-6)
+	// Load capacitance.
+	c.AddC("cl", "out", "0", 1e-12) // cap 9
+	return c
+}
+
+// OTAInputs returns the differential input and output node names of OTA.
+func OTAInputs() (inp, inn, out string) { return "inp", "inn", "out" }
+
+// UA741 builds a small-signal µA741-class operational amplifier: the
+// canonical 24-transistor topology (Gray & Meyer / Sedra & Smith) with
+// hybrid-π devices including base resistance (whose internal nodes give
+// the network its high order), 30 pF Miller compensation and a 2 kΩ/100 pF
+// load. Inputs "inp"/"inn", output "out".
+//
+// Element values are datasheet-typical, not the authors' (unavailable);
+// what matters for the reproduction is the class: ~50 capacitors, a
+// denominator of order ≈ 48 whose coefficients span hundreds of decades
+// at ratios of 1e6–1e12 between consecutive terms.
+func UA741() *circuit.Circuit {
+	c := circuit.New("uA741")
+	npn := devices.TypicalNPN
+	pnp := devices.TypicalPNP
+
+	// --- Input stage ---
+	// Q1/Q2 NPN emitter followers; collectors feed the Q8 mirror.
+	devices.AddBJT(c, "q1", "n9", "inp", "n1", npn(9.5e-6))
+	devices.AddBJT(c, "q2", "n9", "inn", "n2", npn(9.5e-6))
+	// Q3/Q4 PNP common-base.
+	devices.AddBJT(c, "q3", "n4", "n3", "n1", pnp(9.5e-6))
+	devices.AddBJT(c, "q4", "n5", "n3", "n2", pnp(9.5e-6))
+	// Q5/Q6/Q7 active load with emitter degeneration.
+	devices.AddBJT(c, "q5", "n4", "n6", "n7", npn(9.5e-6))
+	devices.AddBJT(c, "q6", "n5", "n6", "n8", npn(9.5e-6))
+	devices.AddBJT(c, "q7", "0", "n4", "n6", npn(9.5e-6))
+	c.AddR("r1", "n7", "0", 1e3)
+	c.AddR("r2", "n8", "0", 1e3)
+	c.AddR("r3", "n6", "0", 50e3)
+	// Q8 (diode) / Q9 PNP mirror closing the input-stage common-mode loop.
+	devices.AddBJT(c, "q8", "n9", "n9", "0", pnp(19e-6))
+	devices.AddBJT(c, "q9", "n3", "n9", "0", pnp(19e-6))
+	// Q10/Q11 Widlar bias source; Q10 collector holds the Q3/Q4 base line.
+	devices.AddBJT(c, "q10", "n3", "n10", "n15", npn(19e-6))
+	devices.AddBJT(c, "q11", "n10", "n10", "0", npn(730e-6))
+	c.AddR("r4", "n15", "0", 5e3)
+	// Q12 (diode) / Q13 PNP mirror biasing the second stage; Q13 is the
+	// dual-collector device, modelled as two transistors sharing base.
+	devices.AddBJT(c, "q12", "n14", "n14", "0", pnp(730e-6))
+	c.AddR("r5", "n14", "n10", 39e3)
+	devices.AddBJT(c, "q13a", "n16", "n14", "0", pnp(180e-6))
+	devices.AddBJT(c, "q13b", "n12", "n14", "0", pnp(550e-6))
+
+	// --- Second (gain) stage ---
+	devices.AddBJT(c, "q16", "0", "n5", "n11", npn(16e-6))
+	c.AddR("r9", "n11", "0", 50e3)
+	devices.AddBJT(c, "q17", "n12", "n11", "n13", npn(550e-6))
+	c.AddR("r8", "n13", "0", 100)
+	// Miller compensation across the second stage.
+	c.AddC("cc", "n5", "n12", 30e-12)
+
+	// --- Output stage ---
+	// VBE-multiplier bias (Q18/Q19) between the drive node n16/n12 pair.
+	devices.AddBJT(c, "q18", "n16", "n18", "n12b", npn(160e-6))
+	devices.AddBJT(c, "q19", "n16", "n16", "n18", npn(160e-6))
+	c.AddR("r10", "n18", "n12b", 40e3)
+	c.AddR("r11", "n12b", "n12", 100) // level-shift path into the drive line
+	// Complementary followers.
+	devices.AddBJT(c, "q14", "0", "n16", "n17", npn(2e-3))
+	c.AddR("r6", "n17", "out", 27)
+	devices.AddBJT(c, "q20", "0", "n12b", "n19", pnp(2e-3))
+	c.AddR("r7", "n19", "out", 22)
+
+	// --- Protection devices, cut off in normal operation ---
+	devices.AddBJT(c, "q15", "n16", "n17", "out", devices.Off(npn(1e-6)))
+	devices.AddBJT(c, "q21", "n12b", "out", "n19", devices.Off(pnp(1e-6)))
+	devices.AddBJT(c, "q22", "n5", "n21", "0", devices.Off(npn(1e-6)))
+	devices.AddBJT(c, "q23", "n12", "n21", "n11", devices.Off(pnp(1e-6)))
+	devices.AddBJT(c, "q24", "n21", "n21", "0", devices.Off(npn(1e-6)))
+
+	// Load.
+	c.AddR("rl", "out", "0", 2e3)
+	c.AddC("cl", "out", "0", 100e-12)
+	return c
+}
+
+// UA741Inputs returns the differential input and output node names.
+func UA741Inputs() (inp, inn, out string) { return "inp", "inn", "out" }
+
+// RCLadder builds an n-section RC ladder: in −R1− n1 −R2− n2 ... with a
+// capacitor from every internal node to ground. The voltage transfer to
+// the last node has a denominator of exact order n with strictly
+// log-concave coefficients — the workhorse for oracle validation at any
+// order. Values alternate around (rBase, cBase) to avoid degenerate
+// symmetry. Input node "in", output node "n<n>".
+func RCLadder(n int, rBase, cBase float64) *circuit.Circuit {
+	if n < 1 {
+		panic("circuits: ladder needs at least one section")
+	}
+	c := circuit.New(fmt.Sprintf("rc-ladder-%d", n))
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		node := fmt.Sprintf("n%d", i)
+		// Deterministic ±30% spread keeps every section distinct.
+		rf := 1 + 0.3*float64((i*7)%5-2)/2
+		cf := 1 + 0.3*float64((i*5)%7-3)/3
+		c.AddR(fmt.Sprintf("r%d", i), prev, node, rBase*rf)
+		c.AddC(fmt.Sprintf("c%d", i), node, "0", cBase*cf)
+		prev = node
+	}
+	return c
+}
+
+// RCLadderOut returns the output node name of an n-section ladder.
+func RCLadderOut(n int) string { return fmt.Sprintf("n%d", n) }
+
+// GmCCascade builds k identical gm-C integrator stages in cascade, each
+// loaded by the next stage's input capacitance — a scalable active
+// circuit whose polynomial order grows linearly with k. Input "in",
+// output "s<k>".
+func GmCCascade(k int, gm, gl, cl float64) *circuit.Circuit {
+	if k < 1 {
+		panic("circuits: cascade needs at least one stage")
+	}
+	c := circuit.New(fmt.Sprintf("gmc-cascade-%d", k))
+	prev := "in"
+	c.AddG("gin", "in", "0", gl)
+	for i := 1; i <= k; i++ {
+		node := fmt.Sprintf("s%d", i)
+		c.AddVCCS(fmt.Sprintf("gm%d", i), node, "0", prev, "0", gm*(1+0.1*float64(i%3)))
+		c.AddG(fmt.Sprintf("gl%d", i), node, "0", gl*(1+0.2*float64(i%4)))
+		c.AddC(fmt.Sprintf("cl%d", i), node, "0", cl*(1+0.15*float64(i%5)))
+		// Local feedback every third stage for non-trivial zeros.
+		if i%3 == 0 {
+			c.AddC(fmt.Sprintf("cf%d", i), node, prev, cl/10)
+		}
+		prev = node
+	}
+	return c
+}
+
+// GmCCascadeOut returns the output node name of a k-stage cascade.
+func GmCCascadeOut(k int) string { return fmt.Sprintf("s%d", k) }
+
+// LCLadder builds a doubly-terminated Butterworth LC ladder lowpass of
+// the given order: V source "vin" with source resistance r0, alternating
+// series inductors and shunt capacitors with the classic
+// g_k = 2·sin((2k−1)π/2n) element values denormalized to cutoff ω0 and
+// impedance level r0, and a matched load. Output node "out".
+//
+// Inductors put this circuit outside the admittance-only subset: it
+// exercises the full-MNA interpolation path (eqs. 7–10 of the paper).
+// The exact response is known analytically: |H(jω)|² = ¼/(1+(ω/ω0)^2n).
+func LCLadder(order int, r0, omega0 float64) *circuit.Circuit {
+	if order < 1 {
+		panic("circuits: LC ladder needs order ≥ 1")
+	}
+	c := circuit.New(fmt.Sprintf("lc-butterworth-%d", order))
+	c.AddV("vin", "src", "0", 1)
+	c.AddR("rs", "src", "n0", r0)
+	node := "n0"
+	for k := 1; k <= order; k++ {
+		g := 2 * math.Sin(float64(2*k-1)*math.Pi/float64(2*order))
+		if k%2 == 1 {
+			// Shunt capacitor: C = g/(R0·ω0).
+			c.AddC(fmt.Sprintf("c%d", k), node, "0", g/(r0*omega0))
+		} else {
+			// Series inductor: L = g·R0/ω0.
+			next := fmt.Sprintf("n%d", k)
+			c.AddL(fmt.Sprintf("l%d", k), node, next, g*r0/omega0)
+			node = next
+		}
+	}
+	// Rename the final node to "out" by tying it with the load.
+	c.AddR("rl", node, "out", 1e-3) // negligible series tie
+	c.AddR("rload", "out", "0", r0)
+	return c
+}
+
+// SallenKey builds a unity-gain Sallen-Key lowpass for the target pole
+// frequency f0 (Hz) and quality factor q, with equal resistors r and the
+// opamp modelled as a VCVS follower with open-loop gain 1e5. Input node
+// "in" (driven by the built-in source "vin"), output "out". Exercises
+// the full-MNA path (VCVS + V source).
+func SallenKey(f0, q, r float64) *circuit.Circuit {
+	if f0 <= 0 || q <= 0 || r <= 0 {
+		panic("circuits: SallenKey needs positive f0, q, r")
+	}
+	w0 := 2 * math.Pi * f0
+	// Equal-R design: C1 = 2Q/(ω0·R) (feedback cap), C2 = 1/(2Q·ω0·R).
+	c1 := 2 * q / (w0 * r)
+	c2 := 1 / (2 * q * w0 * r)
+	c := circuit.New(fmt.Sprintf("sallen-key-%.3gHz-Q%.3g", f0, q))
+	c.AddV("vin", "in", "0", 1)
+	c.AddR("r1", "in", "n1", r)
+	c.AddR("r2", "n1", "n2", r)
+	c.AddC("c1", "n1", "out", c1)
+	c.AddC("c2", "n2", "0", c2)
+	// Opamp follower: out = A·(v+ − v−) with v+ = n2, v− = out.
+	c.AddVCVS("eop", "out", "0", "n2", "out", 1e5)
+	return c
+}
+
+// RandomGCgm builds a connected random admittance-only circuit with the
+// given number of nodes: a conductance spanning chain with ground ties,
+// random capacitive couplings and transconductances. Deterministic for a
+// given rng state.
+func RandomGCgm(rng *rand.Rand, nodes int) *circuit.Circuit {
+	if nodes < 2 {
+		panic("circuits: random circuit needs at least two nodes")
+	}
+	c := circuit.New(fmt.Sprintf("random-%d", nodes))
+	name := func(i int) string { return fmt.Sprintf("n%d", i) }
+	for i := 0; i < nodes; i++ {
+		c.AddG(fmt.Sprintf("gg%d", i), name(i), "0", 1e-5*(1+rng.Float64()))
+		if i > 0 {
+			c.AddG(fmt.Sprintf("gc%d", i), name(i-1), name(i), 1e-4*(1+rng.Float64()))
+		}
+	}
+	for k := 0; k < nodes; k++ {
+		i, j := rng.Intn(nodes), rng.Intn(nodes)
+		if i == j {
+			continue
+		}
+		c.AddC(fmt.Sprintf("cc%d", k), name(i), name(j), 1e-12*(1+rng.Float64()))
+	}
+	for k := 0; k < nodes/2; k++ {
+		i, j, ci, cj := rng.Intn(nodes), rng.Intn(nodes), rng.Intn(nodes), rng.Intn(nodes)
+		if i == j || ci == cj {
+			continue
+		}
+		c.AddVCCS(fmt.Sprintf("gm%d", k), name(i), name(j), name(ci), name(cj), 1e-3*rng.NormFloat64())
+	}
+	return c
+}

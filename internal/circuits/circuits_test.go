@@ -1,0 +1,261 @@
+package circuits
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mna"
+	"repro/internal/nodal"
+)
+
+func TestOTAStructure(t *testing.T) {
+	c := OTA()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AdmittanceOnly() {
+		t.Error("OTA not admittance-only")
+	}
+	if got := c.NumCapacitors(); got != 9 {
+		t.Errorf("OTA capacitors = %d, want 9 (the paper's order estimate)", got)
+	}
+	if _, err := nodal.Build(c); err != nil {
+		t.Fatal(err)
+	}
+	inp, inn, out := OTAInputs()
+	for _, n := range []string{inp, inn, out} {
+		if c.NodeIndex(n) < 0 {
+			t.Errorf("node %q missing", n)
+		}
+	}
+}
+
+func TestOTADifferentialGain(t *testing.T) {
+	// The positive-feedback OTA should have useful DC differential gain.
+	c := OTA()
+	c.AddV("vin", "inp", "inn", 1)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sys.VoltageAt(x, "out")
+	if cmplx.Abs(v) < 10 {
+		t.Errorf("DC differential gain %v too small for an OTA", cmplx.Abs(v))
+	}
+}
+
+func TestUA741Structure(t *testing.T) {
+	c := UA741()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AdmittanceOnly() {
+		t.Error("UA741 small-signal model not admittance-only")
+	}
+	caps := c.NumCapacitors()
+	if caps < 45 || caps > 55 {
+		t.Errorf("UA741 capacitors = %d, want ≈50 (order-48 class)", caps)
+	}
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() < 40 {
+		t.Errorf("UA741 has %d nodes; the base-resistance internal nodes should push it past 40", sys.N())
+	}
+	t.Log(c.Stats())
+}
+
+func TestUA741DCGain(t *testing.T) {
+	c := UA741()
+	c.AddV("vin", "inp", "inn", 1)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sys.VoltageAt(x, "out")
+	gainDB := 20 * math.Log10(cmplx.Abs(v))
+	// A 741 runs ~106 dB open loop; the model should land in the broad
+	// neighbourhood (positive gain direction, high magnitude).
+	if gainDB < 60 || gainDB > 140 {
+		t.Errorf("DC open-loop gain %.1f dB out of opamp range", gainDB)
+	}
+	t.Logf("µA741 model DC gain: %.1f dB", gainDB)
+}
+
+func TestUA741HasDominantPole(t *testing.T) {
+	// Miller compensation must give a single dominant pole: gain at
+	// 10 kHz should be well below DC but still above unity.
+	c := UA741()
+	c.AddV("vin", "inp", "inn", 1)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := sys.Solve(0)
+	vdc, _ := sys.VoltageAt(dc, "out")
+	hi, err := sys.Solve(complex(0, 2*math.Pi*1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vhi, _ := sys.VoltageAt(hi, "out")
+	if cmplx.Abs(vhi) >= cmplx.Abs(vdc)/10 {
+		t.Errorf("no dominant pole: |H(10kHz)| = %g vs DC %g", cmplx.Abs(vhi), cmplx.Abs(vdc))
+	}
+	if cmplx.Abs(vhi) < 1 {
+		t.Errorf("gain already below unity at 10 kHz: %g", cmplx.Abs(vhi))
+	}
+}
+
+func TestRCLadder(t *testing.T) {
+	for _, n := range []int{1, 5, 20} {
+		c := RCLadder(n, 1e3, 1e-12)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.NumCapacitors(); got != n {
+			t.Errorf("ladder %d: %d caps", n, got)
+		}
+		if got := c.NumNodes(); got != n+1 {
+			t.Errorf("ladder %d: %d nodes", n, got)
+		}
+		if c.NodeIndex(RCLadderOut(n)) < 0 {
+			t.Errorf("ladder %d: missing output node", n)
+		}
+	}
+}
+
+func TestRCLadderPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 sections")
+		}
+	}()
+	RCLadder(0, 1, 1)
+}
+
+func TestGmCCascade(t *testing.T) {
+	c := GmCCascade(6, 1e-4, 1e-5, 1e-12)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AdmittanceOnly() {
+		t.Error("cascade not admittance-only")
+	}
+	if c.NodeIndex(GmCCascadeOut(6)) < 0 {
+		t.Error("missing output node")
+	}
+	// Stage gain ≈ gm/gl > 1 at DC: 6 stages compound.
+	c2 := GmCCascade(6, 1e-4, 1e-5, 1e-12)
+	c2.AddV("vin", "in", "0", 1)
+	sys, err := mna.Build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sys.VoltageAt(x, GmCCascadeOut(6))
+	if cmplx.Abs(v) < 100 {
+		t.Errorf("cascade DC gain %g too small", cmplx.Abs(v))
+	}
+}
+
+func TestRandomGCgm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := RandomGCgm(rng, 8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AdmittanceOnly() {
+		t.Error("random circuit not admittance-only")
+	}
+	if c.NumNodes() != 8 {
+		t.Errorf("nodes = %d", c.NumNodes())
+	}
+	// Determinism: same seed, same circuit.
+	c2 := RandomGCgm(rand.New(rand.NewSource(7)), 8)
+	if len(c.Elements()) != len(c2.Elements()) {
+		t.Error("random generator not deterministic")
+	}
+	for i, e := range c.Elements() {
+		if e != c2.Elements()[i] {
+			t.Errorf("element %d differs", i)
+		}
+	}
+}
+
+func TestSallenKeyResponse(t *testing.T) {
+	// DC gain 1, −3 dB-ish near f0, −40 dB/dec above: check the defining
+	// points against the ideal biquad with Q.
+	f0, q := 10e3, 0.707
+	c := SallenKey(f0, q, 10e3)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(fHz float64) complex128 {
+		x, err := sys.Solve(complex(0, 2*math.Pi*fHz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := sys.VoltageAt(x, "out")
+		return v
+	}
+	if g := cmplx.Abs(h(10)); math.Abs(g-1) > 1e-3 {
+		t.Errorf("DC gain %g", g)
+	}
+	// At f0 the ideal magnitude is Q.
+	if g := cmplx.Abs(h(f0)); math.Abs(g-q)/q > 0.01 {
+		t.Errorf("|H(f0)| = %g, want %g", g, q)
+	}
+	// Two decades up: −80 dB.
+	if g := cmplx.Abs(h(100 * f0)); g > 2e-4 {
+		t.Errorf("|H(100·f0)| = %g", g)
+	}
+}
+
+func TestLCLadderStructure(t *testing.T) {
+	c := LCLadder(5, 50, 2*math.Pi*1e6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.AdmittanceOnly() {
+		t.Error("LC ladder reported admittance-only despite inductors")
+	}
+	nL, nC := 0, 0
+	for _, e := range c.Elements() {
+		switch e.Kind {
+		case circuit.Inductor:
+			nL++
+		case circuit.Capacitor:
+			nC++
+		}
+	}
+	if nL != 2 || nC != 3 {
+		t.Errorf("order-5 ladder: %d L, %d C", nL, nC)
+	}
+}
+
+func TestAllBenchCircuitsBuildNodal(t *testing.T) {
+	cases := []*circuit.Circuit{
+		OTA(), UA741(), RCLadder(10, 1e3, 1e-12), GmCCascade(8, 1e-4, 1e-5, 1e-12),
+	}
+	for _, c := range cases {
+		if _, err := nodal.Build(c); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

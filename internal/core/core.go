@@ -1,0 +1,729 @@
+// Package core implements the paper's contribution: the adaptive scaling
+// algorithm for numerical reference generation.
+//
+// A single polynomial interpolation with scale factors (f, g) exposes
+// only the coefficients within ~13−σ decades of the largest normalized
+// coefficient (the float64 noise floor, interp.NoiseExp). The algorithm
+// performs successive interpolations whose scale factors are derived from
+// the previous valid region (eqs. 13–15) so that the regions tile the
+// whole coefficient range with minimal overlap; gaps between regions are
+// repaired with geometric-mean factors (eq. 16); and each subsequent
+// interpolation can be shrunk to the still-unresolved index window by
+// deflating the already-known coefficients (eq. 17).
+//
+// Coefficients that stay below the noise floor in every frame aimed at
+// them are classified Negligible with an explicit upper bound — the
+// paper's order-reduction observation ("for this scaling, these
+// coefficients affect the polynomial value less than the error level,
+// and, hence, can be neglected").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dft"
+	"repro/internal/interp"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// Config controls the generator. The zero value is usable: it selects the
+// paper's parameters (σ = 6, r = 0, reduction on).
+type Config struct {
+	// SigDigits is σ, the number of significant digits required of every
+	// coefficient (paper §3.2 uses 6). 0 selects 6.
+	SigDigits int
+	// TuningR is the tuning factor r of eqs. (14)–(15); 0 aims each new
+	// region to start exactly where the previous one ended. Negative
+	// values increase region overlap (more conservative), positive values
+	// risk gaps.
+	TuningR float64
+	// MaxIterations bounds the total number of interpolations. 0 selects 64.
+	MaxIterations int
+	// NoReduce disables the problem-size reduction of eq. (17); every
+	// interpolation then uses the full n+1 points.
+	NoReduce bool
+	// StallLimit is the number of consecutive aimed interpolations (plus
+	// repairs) that may fail to resolve a target coefficient before it is
+	// classified Negligible. 0 selects 2.
+	StallLimit int
+	// InitFScale and InitGScale seed the first interpolation. 0 selects 1.
+	// GenerateTransferFunction fills them with the paper's heuristic
+	// (inverse mean capacitance / conductance).
+	InitFScale, InitGScale float64
+	// SingleFactor disables the simultaneous √q split of eq. (13) and
+	// puts the whole scale jump into the frequency factor — the naive
+	// strategy the paper's §3.2 warns about. For ablation studies.
+	SingleFactor bool
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SigDigits == 0 {
+		cfg.SigDigits = 6
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 64
+	}
+	if cfg.StallLimit == 0 {
+		cfg.StallLimit = 3
+	}
+	if cfg.InitFScale == 0 {
+		cfg.InitFScale = 1
+	}
+	if cfg.InitGScale == 0 {
+		cfg.InitGScale = 1
+	}
+	return cfg
+}
+
+// Status classifies one coefficient of the result.
+type Status int
+
+// Coefficient states.
+const (
+	// Unknown: never resolved (only present when the iteration budget ran
+	// out; Generate returns an error alongside).
+	Unknown Status = iota
+	// Valid: value carries at least σ significant digits.
+	Valid
+	// Negligible: below the noise floor in every frame aimed at it; Bound
+	// is a proven upper bound on its magnitude.
+	Negligible
+)
+
+func (s Status) String() string {
+	switch s {
+	case Valid:
+		return "valid"
+	case Negligible:
+		return "negligible"
+	}
+	return "unknown"
+}
+
+// Coefficient is one resolved network-function coefficient.
+type Coefficient struct {
+	Status Status
+	// Value is the denormalized coefficient (Valid only).
+	Value xmath.XFloat
+	// Bound is an upper bound on the magnitude (Negligible only).
+	Bound xmath.XFloat
+	// Quality is the number of decimal digits the coefficient stood above
+	// the validity threshold when accepted.
+	Quality float64
+	// Iteration is the 0-based interpolation that resolved it.
+	Iteration int
+}
+
+// Iteration records one interpolation run for diagnostics and the
+// paper-table reproductions.
+type Iteration struct {
+	// Purpose is "initial", "up", "down" or "repair".
+	Purpose string
+	// FScale, GScale are the scale factors used.
+	FScale, GScale float64
+	// K is the number of interpolation points (shrinks under eq. 17).
+	K int
+	// Offset is the absolute index of the window's first coefficient.
+	Offset int
+	// Normalized holds the window's normalized coefficients in the
+	// absolute index frame (entries outside [Offset, Offset+K) are zero).
+	Normalized poly.XPoly
+	// Lo, Hi delimit the valid region in absolute indices; Lo > Hi means
+	// no region was found (all-zero window).
+	Lo, Hi int
+	// NewValid counts coefficients first resolved by this iteration.
+	NewValid int
+	// Elapsed is the wall-clock cost of the interpolation.
+	Elapsed time.Duration
+}
+
+// Result is the generated numerical reference for one polynomial.
+type Result struct {
+	// Name labels the polynomial (from the evaluator).
+	Name string
+	// Coeffs holds one entry per power of s, 0..OrderBound.
+	Coeffs []Coefficient
+	// Iterations records every interpolation run, in order.
+	Iterations []Iteration
+	// Disagreements counts overlap cross-checks that exceeded tolerance
+	// (diagnostic; should be 0).
+	Disagreements int
+}
+
+// Poly returns the coefficients as an extended-range polynomial
+// (Negligible and Unknown entries are zero).
+func (r *Result) Poly() poly.XPoly {
+	p := make(poly.XPoly, len(r.Coeffs))
+	for i, c := range r.Coeffs {
+		if c.Status == Valid {
+			p[i] = c.Value
+		}
+	}
+	return p
+}
+
+// Order returns the index of the highest Valid nonzero coefficient
+// (-1 for an all-negligible result) — the detected true polynomial order,
+// generally below the a-priori bound.
+func (r *Result) Order() int {
+	for i := len(r.Coeffs) - 1; i >= 0; i-- {
+		if r.Coeffs[i].Status == Valid && !r.Coeffs[i].Value.Zero() {
+			return i
+		}
+	}
+	return -1
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	valid, negl, unknown := 0, 0, 0
+	for _, c := range r.Coeffs {
+		switch c.Status {
+		case Valid:
+			valid++
+		case Negligible:
+			negl++
+		default:
+			unknown++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: order ≤ %d, %d iterations, %d valid, %d negligible",
+		r.Name, len(r.Coeffs)-1, len(r.Iterations), valid, negl)
+	if unknown > 0 {
+		fmt.Fprintf(&b, ", %d UNRESOLVED", unknown)
+	}
+	return b.String()
+}
+
+// CoverageMap renders an ASCII picture of how the iterations tiled the
+// coefficient range — one row per interpolation, one column per
+// coefficient: '█' inside the valid region, '·' inside the evaluated
+// window, ' ' outside. The paper's Tables 2–3 in one glance.
+func (r *Result) CoverageMap() string {
+	n := len(r.Coeffs)
+	var b strings.Builder
+	for i, it := range r.Iterations {
+		fmt.Fprintf(&b, "%2d %-7s |", i, it.Purpose)
+		for j := 0; j < n; j++ {
+			switch {
+			case it.Lo <= it.Hi && j >= it.Lo && j <= it.Hi:
+				b.WriteRune('█')
+			case j >= it.Offset && j < it.Offset+it.K:
+				b.WriteRune('·')
+			default:
+				b.WriteRune(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("   status  |")
+	for _, c := range r.Coeffs {
+		switch c.Status {
+		case Valid:
+			b.WriteRune('█')
+		case Negligible:
+			b.WriteRune('0')
+		default:
+			b.WriteRune('?')
+		}
+	}
+	b.WriteString("|\n")
+	return b.String()
+}
+
+// frame captures one interpolation's scale factors, valid region and
+// error model for the scale-update formulas and negligibility bounds.
+type frame struct {
+	f, g       float64
+	normalized poly.XPoly // absolute index frame
+	lo, hi     int        // valid region (absolute)
+	maxIdx     int        // index of the largest normalized coefficient
+	// base is the round-off error level 10^NoiseExp·max(|p'|, |known'|);
+	// slotErr[i] adds the eq. (17) deflation residual that aliases onto
+	// absolute index i (nil when the full point set was used). The
+	// validity threshold at index i is 10^σ·(base + slotErr[i]).
+	base    xmath.XFloat
+	slotErr []xmath.XFloat
+	// subtracted marks indices deflated out per eq. (17): their slots
+	// hold subtraction residue, not signal — never re-accepted, and
+	// transparent to region contiguity.
+	subtracted []bool
+}
+
+// thresholdAt returns the validity threshold for absolute index i.
+func (fr *frame) thresholdAt(sigDigits, i int) xmath.XFloat {
+	e := fr.base
+	if fr.slotErr != nil && i < len(fr.slotErr) {
+		e = e.Add(fr.slotErr[i])
+	}
+	return e.Mul(xmath.Pow10(sigDigits))
+}
+
+type generator struct {
+	ev     interp.Evaluator
+	cfg    Config
+	n      int // order bound
+	res    *Result
+	points map[int][]complex128 // unit-circle point sets by K
+}
+
+// Generate runs the adaptive algorithm on one polynomial evaluator. The
+// returned Result is always populated with whatever was resolved; the
+// error is non-nil when coefficients remain Unknown after the iteration
+// budget (or the evaluator is degenerate).
+func Generate(ev interp.Evaluator, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if ev.OrderBound < 0 {
+		return nil, errors.New("core: evaluator order bound is negative")
+	}
+	if ev.Eval == nil {
+		return nil, errors.New("core: evaluator has no Eval function")
+	}
+	// OrderBound may exceed M (the paper's a-priori estimate is the
+	// capacitor count, which can top the matrix order): the surplus slots
+	// are structural zeros and come out Negligible.
+	g := &generator{
+		ev:     ev,
+		cfg:    cfg,
+		n:      ev.OrderBound,
+		res:    &Result{Name: ev.Name, Coeffs: make([]Coefficient, ev.OrderBound+1)},
+		points: make(map[int][]complex128),
+	}
+	err := g.run()
+	return g.res, err
+}
+
+func (g *generator) run() error {
+	initial := g.interpolate(g.cfg.InitFScale, g.cfg.InitGScale, "initial")
+	if initial.lo > initial.hi {
+		// The polynomial evaluated to zero at every point: it is
+		// identically zero (e.g. no path from input to output).
+		for i := range g.res.Coeffs {
+			g.res.Coeffs[i] = Coefficient{Status: Valid, Iteration: 0}
+		}
+		return nil
+	}
+	frames := []frame{initial}
+	lastTarget, stall := -1, 0
+	lastF, lastG := 0.0, 0.0 // factors of the previous attempt at lastTarget
+	for {
+		t := g.nextTarget()
+		if t < 0 {
+			return nil
+		}
+		if t != lastTarget {
+			lastTarget, stall = t, 0
+			lastF, lastG = 0, 0
+		}
+		if len(g.res.Iterations) >= g.cfg.MaxIterations {
+			return fmt.Errorf("core: %s: iteration budget (%d) exhausted with coefficient s^%d unresolved",
+				g.res.Name, g.cfg.MaxIterations, t)
+		}
+		lower, upper := bracket(frames, t)
+		// Consecutive stalls on the same target widen the directed jump so
+		// the target must eventually enter the window.
+		r := g.cfg.TuningR + float64(stall)*3
+		var fr frame
+		var f2, g2 float64
+		purpose := ""
+		if lower != nil && upper != nil {
+			// Target stranded between two valid regions: eq. (16) repair —
+			// unless the brackets haven't tightened since the last attempt
+			// (same factors would recur forever).
+			f2, g2 = interp.RepairScales(lower.f, lower.g, upper.f, upper.g)
+			if !sameScales(f2, g2, lastF, lastG) {
+				purpose = "repair"
+			}
+		}
+		next := interp.NextScales
+		if g.cfg.SingleFactor {
+			next = interp.NextScalesSingle
+		}
+		if purpose == "" {
+			switch {
+			case lower != nil:
+				// Move up from the region below: eq. (14).
+				pe, pm := lower.normalized[lower.hi], lower.normalized[lower.maxIdx]
+				f2, g2 = next(lower.f, lower.g, pm, pe, lower.maxIdx, lower.hi, r, +1)
+				purpose = "up"
+			case upper != nil:
+				// Move down from the region above: eq. (15).
+				pe, pm := upper.normalized[upper.lo], upper.normalized[upper.maxIdx]
+				f2, g2 = next(upper.f, upper.g, pm, pe, upper.maxIdx, upper.lo, r, -1)
+				purpose = "down"
+			default:
+				// Unreachable: the initial frame brackets every target.
+				return fmt.Errorf("core: %s: no frame brackets coefficient s^%d", g.res.Name, t)
+			}
+		}
+		fr = g.interpolate(f2, g2, purpose)
+		lastF, lastG = f2, g2
+		if fr.lo <= fr.hi {
+			frames = append(frames, fr)
+		}
+		if g.res.Coeffs[t].Status != Unknown {
+			stall = 0
+			continue
+		}
+		stall++
+		if stall >= g.cfg.StallLimit {
+			g.markNegligible(t, fr)
+			stall = 0
+		}
+	}
+}
+
+// sameScales reports whether two scale-factor pairs coincide to within
+// rounding.
+func sameScales(f1, g1, f2, g2 float64) bool {
+	close := func(a, b float64) bool {
+		if b == 0 {
+			return a == 0
+		}
+		d := a/b - 1
+		return d < 1e-9 && d > -1e-9
+	}
+	return close(f1, f2) && close(g1, g2)
+}
+
+// nextTarget returns the smallest Unknown coefficient index, or -1 when
+// everything is classified.
+func (g *generator) nextTarget() int {
+	for i, c := range g.res.Coeffs {
+		if c.Status == Unknown {
+			return i
+		}
+	}
+	return -1
+}
+
+// bracket finds the frames whose valid regions most tightly enclose the
+// target: lower has the greatest hi < t, upper the smallest lo > t.
+// A frame whose region contains t cannot exist (t would be resolved).
+func bracket(frames []frame, t int) (lower, upper *frame) {
+	for i := range frames {
+		fr := &frames[i]
+		if fr.hi < t && (lower == nil || fr.hi > lower.hi) {
+			lower = fr
+		}
+		if fr.lo > t && (upper == nil || fr.lo < upper.lo) {
+			upper = fr
+		}
+	}
+	return lower, upper
+}
+
+// markNegligible classifies coefficient t with the upper bound implied by
+// the frame aimed at it: |p_t| < threshold_t/(f^t·g^(M−t)).
+func (g *generator) markNegligible(t int, fr frame) {
+	thr := fr.thresholdAt(g.cfg.SigDigits, t)
+	bound := xmath.XFloat{}
+	if !thr.Zero() {
+		bound = thr.
+			Div(xmath.FromFloat(fr.f).PowInt(t)).
+			Div(xmath.FromFloat(fr.g).PowInt(g.ev.M - t))
+	}
+	g.res.Coeffs[t] = Coefficient{
+		Status:    Negligible,
+		Bound:     bound,
+		Iteration: len(g.res.Iterations) - 1,
+	}
+}
+
+// unitPoints returns (and caches) the K-point unit-circle set.
+func (g *generator) unitPoints(k int) []complex128 {
+	if pts, ok := g.points[k]; ok {
+		return pts
+	}
+	pts := dft.UnitCirclePoints(k)
+	g.points[k] = pts
+	return pts
+}
+
+// window returns the index range [k0, l0] still containing Unknown
+// coefficients (the full range when reduction is disabled or nothing is
+// resolved yet).
+func (g *generator) window() (int, int) {
+	if g.cfg.NoReduce {
+		return 0, g.n
+	}
+	k0, l0 := 0, g.n
+	for k0 <= g.n && g.res.Coeffs[k0].Status != Unknown {
+		k0++
+	}
+	if k0 > g.n {
+		return 0, g.n // nothing unresolved; caller won't be here in practice
+	}
+	for l0 >= 0 && g.res.Coeffs[l0].Status != Unknown {
+		l0--
+	}
+	return k0, l0
+}
+
+// interpolate runs one interpolation with scale factors (f, gsc),
+// detects the valid region, merges coefficients into the result and
+// returns the frame.
+func (g *generator) interpolate(f, gsc float64, purpose string) frame {
+	start := time.Now()
+	k0, l0 := g.window()
+	k := l0 - k0 + 1
+	// Guard points: interpolating with more points than the polynomial
+	// order needs leaves output slots that are structurally zero ("(5)
+	// should be identically 0 for those coefficients over the n-th
+	// power"). Their residue directly measures the noise this evaluation
+	// actually achieved — including systematic determinant-evaluation
+	// error at extreme scale factors, which no a-priori model catches.
+	const guardPoints = 3
+	kUse := k + guardPoints
+	pts := g.unitPoints(kUse)
+	reduce := k0 > 0 || l0 < g.n
+	// Known coefficients in this frame's normalized form, for eq. (17)
+	// deflation. Each carries only σ+quality significant digits; its
+	// residual survives the deflation and — because the reduced transform
+	// uses K points — aliases exactly onto output slot k0+((j−k0) mod K).
+	// slotErr accumulates those residual bounds per output slot so the
+	// validity test can require every accepted coefficient to stand 10^σ
+	// above the error actually landing on its slot.
+	var known []xmath.XComplex
+	var maxKnown xmath.XFloat
+	var slotErr []xmath.XFloat
+	var subtracted []bool
+	if reduce {
+		xf, xg := xmath.FromFloat(f), xmath.FromFloat(gsc)
+		known = make([]xmath.XComplex, g.n+1)
+		slotErr = make([]xmath.XFloat, g.n+1+guardPoints)
+		subtracted = make([]bool, g.n+1)
+		for j, c := range g.res.Coeffs {
+			var delta xmath.XFloat
+			switch c.Status {
+			case Valid:
+				if c.Value.Zero() {
+					continue
+				}
+				kn := c.Value.Mul(xf.PowInt(j)).Mul(xg.PowInt(g.ev.M - j))
+				known[j] = xmath.FromXFloat(kn)
+				subtracted[j] = true
+				if kn.Abs().CmpAbs(maxKnown) > 0 {
+					maxKnown = kn.Abs()
+				}
+				digits := math.Min(float64(g.cfg.SigDigits)+c.Quality, 15.5)
+				delta = kn.Abs().MulFloat(math.Pow(10, -digits))
+			case Negligible:
+				// A negligible coefficient's true value (≤ Bound) stays in
+				// P(u) unsubtracted and aliases like any other residue.
+				if c.Bound.Zero() {
+					continue
+				}
+				delta = c.Bound.Mul(xf.PowInt(j)).Mul(xg.PowInt(g.ev.M - j))
+			default:
+				continue
+			}
+			slot := k0 + mod(j-k0, kUse)
+			slotErr[slot] = slotErr[slot].Add(delta)
+		}
+	}
+	values := make([]xmath.XComplex, kUse)
+	for i, u := range pts {
+		v := g.ev.Eval(u, f, gsc)
+		if reduce {
+			// P'(u) = (P(u) − Σ_known p'_j·u^j) / u^k0   (eq. 17)
+			uPow := xmath.FromComplex(1)
+			xu := xmath.FromComplex(u)
+			for j := 0; j <= g.n; j++ {
+				if !known[j].Zero() {
+					v = v.Sub(known[j].Mul(uPow))
+				}
+				uPow = uPow.Mul(xu)
+			}
+			v = v.Div(xmath.FromComplex(u).PowInt(k0))
+		}
+		values[i] = v
+	}
+	raw := dft.Inverse(values)
+	normalized := make(poly.XPoly, g.n+1)
+	var measured xmath.XFloat
+	for i, c := range raw {
+		if i < k {
+			normalized[k0+i] = c.Real()
+			// The polynomial has real coefficients, so any imaginary
+			// output is pure round-off — the residue Table 1a displays.
+			if im := c.Imag().Abs(); im.CmpAbs(measured) > 0 {
+				measured = im
+			}
+			continue
+		}
+		// Guard slot: structurally zero. Known-coefficient deflation
+		// residue aliases onto these slots too and is already accounted
+		// per-slot (slotErr); only magnitude in excess of what the
+		// residue explains is evidence of additional evaluation noise.
+		resid := c.AbsX()
+		if slotErr != nil {
+			explained := slotErr[k0+i]
+			if !explained.Zero() {
+				if resid.CmpAbs(explained.MulFloat(2)) <= 0 {
+					continue
+				}
+				resid = resid.Sub(explained).Abs()
+			}
+		}
+		if resid.CmpAbs(measured) > 0 {
+			measured = resid
+		}
+	}
+	it := Iteration{
+		Purpose:    purpose,
+		FScale:     f,
+		GScale:     gsc,
+		K:          k,
+		Offset:     k0,
+		Normalized: normalized,
+		Lo:         1,
+		Hi:         0,
+	}
+	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
+	// Round-off noise floor: relative to the largest magnitude the
+	// evaluation actually handled — the window max, or the deflated known
+	// part when that dominates (paper §2.2). The region seed is the
+	// largest *signal* entry: deflated slots hold residue, not signal.
+	var maxNorm xmath.XFloat
+	maxIdx := -1
+	for i, v := range normalized {
+		if subtracted != nil && subtracted[i] {
+			continue
+		}
+		if !v.Zero() && (maxIdx < 0 || v.CmpAbs(maxNorm) > 0) {
+			maxNorm, maxIdx = v, i
+		}
+	}
+	errBase := maxNorm.Abs()
+	if maxKnown.CmpAbs(errBase) > 0 {
+		errBase = maxKnown
+	}
+	fr.base = errBase.Mul(xmath.Pow10(interp.NoiseExp))
+	if m3 := measured.MulFloat(3); m3.CmpAbs(fr.base) > 0 {
+		fr.base = m3
+	}
+	winLo, winHi, ok := g.validRegion(&fr, maxIdx)
+	if ok {
+		fr.lo, fr.hi = winLo, winHi
+		fr.maxIdx = maxIdx
+		it.Lo, it.Hi = winLo, winHi
+		it.NewValid = g.accept(&fr)
+	}
+	it.Elapsed = time.Since(start)
+	g.res.Iterations = append(g.res.Iterations, it)
+	return fr
+}
+
+// mod returns a modulo m in [0, m).
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// validRegion finds the maximal contiguous run containing the largest
+// normalized coefficient in which every coefficient clears its own
+// slot threshold. ok is false when even the maximum is below threshold
+// (all noise) or the window is identically zero.
+func (g *generator) validRegion(fr *frame, maxIdx int) (lo, hi int, ok bool) {
+	if maxIdx < 0 {
+		return 0, 0, false
+	}
+	above := func(i int) bool {
+		if fr.subtracted != nil && fr.subtracted[i] {
+			// Deflated slot: carries residue, not signal; transparent.
+			return true
+		}
+		return fr.normalized[i].CmpAbs(fr.thresholdAt(g.cfg.SigDigits, i)) >= 0
+	}
+	if !above(maxIdx) {
+		return 0, 0, false
+	}
+	lo, hi = maxIdx, maxIdx
+	for lo > 0 && above(lo-1) {
+		lo--
+	}
+	for hi < len(fr.normalized)-1 && above(hi+1) {
+		hi++
+	}
+	// Trim pass-through endpoints: the boundary values feed the
+	// scale-update formulas and must be signal.
+	for lo < hi && fr.subtracted != nil && fr.subtracted[lo] {
+		lo++
+	}
+	for hi > lo && fr.subtracted != nil && fr.subtracted[hi] {
+		hi--
+	}
+	return lo, hi, true
+}
+
+// accept merges the valid region's denormalized coefficients into the
+// result, cross-checking overlaps and keeping the higher-quality value.
+func (g *generator) accept(fr *frame) int {
+	xf, xg := xmath.FromFloat(fr.f), xmath.FromFloat(fr.g)
+	iterIdx := len(g.res.Iterations)
+	newValid := 0
+	for i := fr.lo; i <= fr.hi; i++ {
+		if fr.subtracted != nil && fr.subtracted[i] {
+			continue
+		}
+		value := fr.normalized[i].
+			Div(xf.PowInt(i)).
+			Div(xg.PowInt(g.ev.M - i))
+		quality := fr.normalized[i].Abs().Log10() - fr.thresholdAt(g.cfg.SigDigits, i).Log10()
+		c := &g.res.Coeffs[i]
+		switch c.Status {
+		case Valid:
+			// Boundary coefficients carry exactly σ digits; allow an
+			// order of magnitude of headroom before flagging.
+			tol := math.Pow(10, float64(3-g.cfg.SigDigits))
+			if !c.Value.ApproxEqual(value, tol) {
+				g.res.Disagreements++
+			}
+			if quality > c.Quality {
+				c.Value, c.Quality, c.Iteration = value, quality, iterIdx
+			}
+		default:
+			if c.Status == Unknown {
+				newValid++
+			}
+			*c = Coefficient{Status: Valid, Value: value, Quality: quality, Iteration: iterIdx}
+		}
+	}
+	return newValid
+}
+
+// GenerateTransferFunction generates references for both polynomials of a
+// transfer function, seeding the first interpolation with the paper's
+// heuristic: frequency scale = 1/mean(C), conductance scale = 1/mean(G).
+func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, cfg Config) (num, den *Result, err error) {
+	if cfg.InitFScale == 0 {
+		if mc := c.MeanCapacitance(); mc > 0 {
+			cfg.InitFScale = 1 / mc
+		}
+	}
+	if cfg.InitGScale == 0 {
+		if mg := c.MeanConductance(); mg > 0 {
+			cfg.InitGScale = 1 / mg
+		}
+	}
+	num, err = Generate(tf.Num, cfg)
+	if err != nil {
+		return num, nil, fmt.Errorf("core: numerator of %s: %w", tf.Name, err)
+	}
+	den, err = Generate(tf.Den, cfg)
+	if err != nil {
+		return num, den, fmt.Errorf("core: denominator of %s: %w", tf.Name, err)
+	}
+	return num, den, nil
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestCoverageMap(t *testing.T) {
+	want := ua741Profile()
+	res, err := Generate(interp.FromPoly("cov", want, 49), Config{InitFScale: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.CoverageMap()
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != len(res.Iterations)+1 {
+		t.Fatalf("%d lines for %d iterations", len(lines), len(res.Iterations))
+	}
+	if !strings.Contains(lines[0], "█") {
+		t.Error("first iteration shows no region")
+	}
+	status := lines[len(lines)-1]
+	if strings.Contains(status, "?") {
+		t.Error("unresolved coefficients in status row")
+	}
+	if !strings.Contains(status, "█") {
+		t.Error("no valid coefficients in status row")
+	}
+}

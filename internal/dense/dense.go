@@ -1,0 +1,203 @@
+// Package dense implements dense complex LU factorization with partial
+// pivoting. It is the verification baseline for the sparse solver in
+// internal/sparse and the workhorse for small matrices where sparse
+// bookkeeping costs more than it saves.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/xmath"
+)
+
+// ErrSingular is returned when a factorization or solve meets an exactly
+// singular matrix.
+var ErrSingular = errors.New("dense: matrix is singular")
+
+// Matrix is a square complex matrix in row-major storage.
+type Matrix struct {
+	n int
+	a []complex128
+}
+
+// New returns an n×n zero matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic("dense: negative dimension")
+	}
+	return &Matrix{n: n, a: make([]complex128, n*n)}
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.a[i*m.n+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.a[i*m.n+j] = v }
+
+// Add accumulates v into the element at (i, j) — the natural operation for
+// assembling circuit matrix stamps.
+func (m *Matrix) Add(i, j int, v complex128) { m.a[i*m.n+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.n)
+	copy(c.a, m.a)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			s += fmt.Sprintf("%12.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds a factorization PA = LU.
+type LU struct {
+	n    int
+	lu   []complex128 // L (unit diagonal, below) and U (on and above)
+	perm []int        // row permutation: row perm[k] of A is row k of LU
+	sign int          // permutation parity (+1/-1)
+}
+
+// Factor computes the LU factorization with partial (row) pivoting.
+// The receiver is not modified. Returns ErrSingular when a pivot column is
+// exactly zero.
+func (m *Matrix) Factor() (*LU, error) {
+	n := m.n
+	f := &LU{n: n, lu: make([]complex128, n*n), perm: make([]int, n), sign: 1}
+	copy(f.lu, m.a)
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column k at or below row k.
+		p, best := k, cmplx.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(f.lu[i*n+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[k*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[k*n+j]
+			}
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+			f.sign = -f.sign
+		}
+		piv := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			mult := f.lu[i*n+k] / piv
+			f.lu[i*n+k] = mult
+			if mult == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= mult * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Det returns the determinant as an extended-range complex number: the
+// signed product of the U diagonal. Factorization failure (structural
+// singularity) yields exactly zero.
+func (m *Matrix) Det() xmath.XComplex {
+	f, err := m.Factor()
+	if err != nil {
+		return xmath.XComplex{}
+	}
+	return f.Det()
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() xmath.XComplex {
+	det := xmath.FromComplex(complex(float64(f.sign), 0))
+	for k := 0; k < f.n; k++ {
+		det = det.MulComplex(f.lu[k*f.n+k])
+	}
+	return det
+}
+
+// Solve solves A·x = b for one right-hand side.
+func (f *LU) Solve(b []complex128) ([]complex128, error) {
+	n := f.n
+	if len(b) != n {
+		return nil, fmt.Errorf("dense: rhs length %d, want %d", len(b), n)
+	}
+	x := make([]complex128, n)
+	// Forward substitution with permuted rhs: L·y = P·b.
+	for i := 0; i < n; i++ {
+		sum := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			sum -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution: U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= f.lu[i*n+j] * x[j]
+		}
+		piv := f.lu[i*n+i]
+		if piv == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / piv
+	}
+	return x, nil
+}
+
+// Solve factors the matrix and solves A·x = b.
+func (m *Matrix) Solve(b []complex128) ([]complex128, error) {
+	f, err := m.Factor()
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Minor returns the matrix with the given rows and columns removed.
+// Indices must be distinct and in range; they may come in any order.
+func (m *Matrix) Minor(rows, cols []int) *Matrix {
+	dropRow := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		dropRow[r] = true
+	}
+	dropCol := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		dropCol[c] = true
+	}
+	out := New(m.n - len(rows))
+	oi := 0
+	for i := 0; i < m.n; i++ {
+		if dropRow[i] {
+			continue
+		}
+		oj := 0
+		for j := 0; j < m.n; j++ {
+			if dropCol[j] {
+				continue
+			}
+			out.Set(oi, oj, m.At(i, j))
+			oj++
+		}
+		oi++
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package dense
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDet2x2(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.Det().Complex128(); cmplx.Abs(got-(-2)) > 1e-14 {
+		t.Errorf("det = %v, want -2", got)
+	}
+}
+
+func TestDetComplex(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1i)
+	m.Set(1, 1, 1i)
+	if got := m.Det().Complex128(); cmplx.Abs(got-(-1)) > 1e-14 {
+		t.Errorf("det = %v, want -1", got)
+	}
+}
+
+func TestDetSingular(t *testing.T) {
+	m := New(3)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4) // row 1 = 2·row 0
+	m.Set(2, 2, 1)
+	// Structurally: column 2 only couples to row 2; rows 0,1 dependent.
+	if got := m.Det(); !got.Zero() && got.AbsX().Float64() > 1e-12 {
+		t.Errorf("det of singular = %v", got)
+	}
+	if _, err := m.Factor(); err == nil {
+		// Exact cancellation may or may not surface as ErrSingular
+		// depending on pivoting; zero determinant is the contract.
+		if d := m.Det(); d.AbsX().Float64() > 1e-12 {
+			t.Errorf("det = %v", d)
+		}
+	}
+}
+
+func TestDetIdentityAndDiagonal(t *testing.T) {
+	m := New(4)
+	want := complex128(1)
+	vals := []complex128{2, -3, 1i, 5 - 1i}
+	for i, v := range vals {
+		m.Set(i, i, v)
+		want *= v
+	}
+	if got := m.Det().Complex128(); cmplx.Abs(got-want) > 1e-13*cmplx.Abs(want) {
+		t.Errorf("det = %v, want %v", got, want)
+	}
+}
+
+func TestDetPermutationSign(t *testing.T) {
+	// Anti-diagonal 3×3 ones: det = -1 (permutation (0 2) swap = odd... the
+	// reversal permutation on 3 elements is a single transposition (0,2)).
+	m := New(3)
+	m.Set(0, 2, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 0, 1)
+	if got := m.Det().Complex128(); cmplx.Abs(got-(-1)) > 1e-14 {
+		t.Errorf("det = %v, want -1", got)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	m := New(3)
+	a := [][]complex128{{4, 1, 0}, {1, 3i, 1}, {0, 1, 2}}
+	for i := range a {
+		for j, v := range a[i] {
+			m.Set(i, j, v)
+		}
+	}
+	want := []complex128{1, -2i, 3}
+	b := make([]complex128, 3)
+	for i := range b {
+		for j := range want {
+			b[i] += a[i][j] * want[j]
+		}
+	}
+	x, err := m.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := New(2) // zero matrix
+	if _, err := m.Solve([]complex128{1, 1}); err == nil {
+		t.Error("expected error for singular solve")
+	}
+}
+
+func TestSolveBadRHS(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	f, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]complex128{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestMinor(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, complex(float64(3*i+j), 0))
+		}
+	}
+	mm := m.Minor([]int{1}, []int{0})
+	if mm.N() != 2 {
+		t.Fatalf("minor dim = %d", mm.N())
+	}
+	if mm.At(0, 0) != 1 || mm.At(0, 1) != 2 || mm.At(1, 0) != 7 || mm.At(1, 1) != 8 {
+		t.Errorf("minor = %v", mm)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+// cofactorDet computes the determinant by recursive cofactor expansion —
+// an independent O(n!) oracle for small n.
+func cofactorDet(m *Matrix) complex128 {
+	n := m.N()
+	if n == 1 {
+		return m.At(0, 0)
+	}
+	var det complex128
+	sign := complex128(1)
+	for j := 0; j < n; j++ {
+		if v := m.At(0, j); v != 0 {
+			det += sign * v * cofactorDet(m.Minor([]int{0}, []int{j}))
+		}
+		sign = -sign
+	}
+	return det
+}
+
+func TestDetMatchesCofactorExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 5; trial++ {
+			m := randomMatrix(rng, n)
+			want := cofactorDet(m)
+			got := m.Det().Complex128()
+			if cmplx.Abs(got-want) > 1e-10*(1+cmplx.Abs(want)) {
+				t.Errorf("n=%d: det = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickDetProductLaw(t *testing.T) {
+	// det(A)·det(A with one row scaled by k) = k·det(A)².. simpler law:
+	// scaling one row by k scales det by k.
+	rng := rand.New(rand.NewSource(2))
+	f := func(kRe, kIm float64) bool {
+		if math.IsNaN(kRe) || math.IsInf(kRe, 0) || math.IsNaN(kIm) || math.IsInf(kIm, 0) {
+			return true
+		}
+		if math.Abs(kRe) > 1e6 || math.Abs(kIm) > 1e6 {
+			return true
+		}
+		k := complex(kRe, kIm)
+		m := randomMatrix(rng, 4)
+		d1 := m.Det().Complex128()
+		s := m.Clone()
+		for j := 0; j < 4; j++ {
+			s.Set(2, j, k*m.At(2, j))
+		}
+		d2 := s.Det().Complex128()
+		return cmplx.Abs(d2-k*d1) <= 1e-9*(1+cmplx.Abs(k*d1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed uint8) bool {
+		n := 3 + int(seed%5)
+		m := randomMatrix(rng, n)
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			return true // singular random matrix: fine
+		}
+		for i := 0; i < n; i++ {
+			var sum complex128
+			for j := 0; j < n; j++ {
+				sum += m.At(i, j) * x[j]
+			}
+			if cmplx.Abs(sum-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package devices expands transistors into small-signal primitive
+// elements (conductances, capacitors, transconductances).
+//
+// The paper analyzes integrated circuits — the positive-feedback OTA of
+// Fig. 1 and the µA741 — at the small-signal level, where every
+// transistor reduces to the g/C/gm primitives that make the
+// nodal-admittance formulation (and with it the conductance-scaling law,
+// eq. 11) exact. BJTs use the hybrid-π model, MOSFETs the standard
+// saturation small-signal model.
+package devices
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// BJTParams holds hybrid-π small-signal parameters.
+type BJTParams struct {
+	Gm  float64 // transconductance (A/V)
+	Gpi float64 // base-emitter conductance gπ = gm/β
+	Go  float64 // output conductance (collector-emitter)
+	Gmu float64 // base-collector conductance (Early/leakage, may be 0)
+	Cpi float64 // base-emitter capacitance
+	Cmu float64 // base-collector capacitance
+	Rb  float64 // base spreading resistance; > 0 adds an internal node b'
+}
+
+// TypicalNPN returns hybrid-π parameters for a small-signal NPN at the
+// given collector current (A): gm = Ic/VT, β = 200, VA = 100 V,
+// Cπ = gm·τF + Cje with τF ≈ 0.4 ns, Cμ ≈ 0.5 pF.
+func TypicalNPN(ic float64) BJTParams {
+	const (
+		vt   = 0.02585
+		beta = 200.0
+		va   = 100.0
+		tauF = 0.4e-9
+		cje  = 1e-12
+		cmu  = 0.5e-12
+	)
+	gm := ic / vt
+	return BJTParams{
+		Gm:  gm,
+		Gpi: gm / beta,
+		Go:  ic / va,
+		Gmu: 0,
+		Cpi: gm*tauF + cje,
+		Cmu: cmu,
+		Rb:  200,
+	}
+}
+
+// TypicalPNP returns hybrid-π parameters for a lateral PNP at the given
+// collector current: lower β (50) and fT (τF ≈ 20 ns), VA = 50 V —
+// the device class that dominates the µA741's poles.
+func TypicalPNP(ic float64) BJTParams {
+	const (
+		vt   = 0.02585
+		beta = 50.0
+		va   = 50.0
+		tauF = 20e-9
+		cje  = 0.5e-12
+		cmu  = 1e-12
+	)
+	gm := ic / vt
+	return BJTParams{
+		Gm:  gm,
+		Gpi: gm / beta,
+		Go:  ic / va,
+		Gmu: 0,
+		Cpi: gm*tauF + cje,
+		Cmu: cmu,
+		Rb:  300,
+	}
+}
+
+// Off returns the parameters of a cut-off transistor (protection and
+// clamp devices in normal operation): junction capacitances plus the
+// reverse-bias junction leakage (~1 nS), no transconductance. The
+// leakage keeps the conductance-only network connected, which matters
+// for the conditioning of low-order coefficient evaluation.
+func Off(p BJTParams) BJTParams {
+	return BJTParams{Gpi: 1e-9, Gmu: 1e-9, Cpi: p.Cpi / 2, Cmu: p.Cmu, Rb: p.Rb}
+}
+
+// AddBJT expands a hybrid-π transistor between collector c, base b and
+// emitter e into primitives named after the device. Zero-valued
+// parameters are omitted, as are two-terminal elements whose nodes
+// coincide (diode-connected devices short some of them out). A positive
+// Rb inserts the internal base node <name>.b'.
+func AddBJT(ckt *circuit.Circuit, name, c, b, e string, p BJTParams) {
+	bi := b // intrinsic base
+	if p.Rb > 0 {
+		bi = name + ".b'"
+		ckt.AddR(name+".rb", b, bi, p.Rb)
+	}
+	addG := func(suffix, p1, p2 string, v float64) {
+		if v > 0 && p1 != p2 {
+			ckt.AddG(name+suffix, p1, p2, v)
+		}
+	}
+	addC := func(suffix, p1, p2 string, v float64) {
+		if v > 0 && p1 != p2 {
+			ckt.AddC(name+suffix, p1, p2, v)
+		}
+	}
+	addG(".gpi", bi, e, p.Gpi)
+	addG(".go", c, e, p.Go)
+	addG(".gmu", bi, c, p.Gmu)
+	addC(".cpi", bi, e, p.Cpi)
+	addC(".cmu", bi, c, p.Cmu)
+	// Collector current gm·v_b'e flows from collector to emitter.
+	if c != e && p.Gm != 0 {
+		ckt.AddVCCS(name+".gm", c, e, bi, e, p.Gm)
+	}
+}
+
+// MOSParams holds MOS saturation small-signal parameters.
+type MOSParams struct {
+	Gm  float64 // gate transconductance
+	Gmb float64 // body transconductance (may be 0)
+	Gds float64 // output conductance
+	Cgs float64
+	Cgd float64
+	Cdb float64 // drain-bulk junction capacitance (to ground)
+	Csb float64 // source-bulk junction capacitance (to ground)
+}
+
+// TypicalNMOS returns parameters for an NMOS at the given bias current
+// and overdrive: gm = 2·Id/Vov, λ = 0.05 1/V, Cgs/Cgd/Cdb from a
+// µm-scale device.
+func TypicalNMOS(id, vov float64) MOSParams {
+	gm := 2 * id / vov
+	return MOSParams{
+		Gm:  gm,
+		Gmb: 0.2 * gm,
+		Gds: 0.05 * id,
+		Cgs: 0.2e-12,
+		Cgd: 0.05e-12,
+		Cdb: 0.08e-12,
+		Csb: 0.08e-12,
+	}
+}
+
+// TypicalPMOS returns parameters for a PMOS at the given bias current and
+// overdrive (lower mobility: same gm law, higher gds).
+func TypicalPMOS(id, vov float64) MOSParams {
+	gm := 2 * id / vov
+	return MOSParams{
+		Gm:  gm,
+		Gmb: 0.2 * gm,
+		Gds: 0.08 * id,
+		Cgs: 0.3e-12,
+		Cgd: 0.07e-12,
+		Cdb: 0.12e-12,
+		Csb: 0.12e-12,
+	}
+}
+
+// AddMOS expands a MOS transistor with terminals drain d, gate g,
+// source s (bulk tied to ground for junction capacitances) into
+// primitives named after the device. Two-terminal elements whose nodes
+// coincide (diode-connected devices) are skipped.
+func AddMOS(ckt *circuit.Circuit, name, d, g, s string, p MOSParams) {
+	addG := func(suffix, p1, p2 string, v float64) {
+		if v > 0 && p1 != p2 {
+			ckt.AddG(name+suffix, p1, p2, v)
+		}
+	}
+	addC := func(suffix, p1, p2 string, v float64) {
+		if v > 0 && p1 != p2 {
+			ckt.AddC(name+suffix, p1, p2, v)
+		}
+	}
+	addG(".gds", d, s, p.Gds)
+	addC(".cgs", g, s, p.Cgs)
+	addC(".cgd", g, d, p.Cgd)
+	if !circuit.IsGround(d) {
+		addC(".cdb", d, "0", p.Cdb)
+	}
+	if !circuit.IsGround(s) {
+		addC(".csb", s, "0", p.Csb)
+	}
+	if d != s && p.Gm != 0 {
+		ckt.AddVCCS(name+".gm", d, s, g, s, p.Gm)
+	}
+	if p.Gmb > 0 && !circuit.IsGround(s) && d != s {
+		// Bulk at AC ground: i = gmb·(v_b − v_s) = −gmb·v_s.
+		ckt.AddVCCS(name+".gmb", d, s, "0", s, p.Gmb)
+	}
+}
+
+// BJTModel holds bias-independent BJT model parameters; small-signal
+// values derive from the bias current (the .model card of the netlist
+// grammar).
+type BJTModel struct {
+	Beta float64 // current gain (default 200)
+	VA   float64 // Early voltage, V (default 100; 0 disables go)
+	TF   float64 // forward transit time, s (default 0.4n)
+	CJE  float64 // base-emitter junction capacitance, F (default 1p)
+	CMU  float64 // base-collector capacitance, F (default 0.5p)
+	RB   float64 // base resistance, Ω (default 200)
+	PNP  bool
+}
+
+// Defaults fills zero fields with the typical values.
+func (m BJTModel) Defaults() BJTModel {
+	if m.Beta == 0 {
+		m.Beta = 200
+		if m.PNP {
+			m.Beta = 50
+		}
+	}
+	if m.VA == 0 {
+		m.VA = 100
+		if m.PNP {
+			m.VA = 50
+		}
+	}
+	if m.TF == 0 {
+		m.TF = 0.4e-9
+		if m.PNP {
+			m.TF = 20e-9
+		}
+	}
+	if m.CJE == 0 {
+		m.CJE = 1e-12
+		if m.PNP {
+			m.CJE = 0.5e-12
+		}
+	}
+	if m.CMU == 0 {
+		m.CMU = 0.5e-12
+		if m.PNP {
+			m.CMU = 1e-12
+		}
+	}
+	if m.RB == 0 {
+		m.RB = 200
+		if m.PNP {
+			m.RB = 300
+		}
+	}
+	return m
+}
+
+// AtBias derives hybrid-π small-signal parameters at the given collector
+// current.
+func (m BJTModel) AtBias(ic float64) BJTParams {
+	m = m.Defaults()
+	const vt = 0.02585
+	gm := ic / vt
+	return BJTParams{
+		Gm:  gm,
+		Gpi: gm / m.Beta,
+		Go:  ic / m.VA,
+		Cpi: gm*m.TF + m.CJE,
+		Cmu: m.CMU,
+		Rb:  m.RB,
+	}
+}
+
+// MOSModel holds bias-independent MOS model parameters.
+type MOSModel struct {
+	Lambda float64 // channel-length modulation, 1/V (default 0.05 N / 0.08 P)
+	CGS    float64 // F (default 0.2p N / 0.3p P)
+	CGD    float64 // F (default 0.05p N / 0.07p P)
+	CDB    float64 // F (default 0.08p N / 0.12p P)
+	CSB    float64 // F (default CDB)
+	PMOS   bool
+}
+
+// Defaults fills zero fields with the typical values.
+func (m MOSModel) Defaults() MOSModel {
+	if m.Lambda == 0 {
+		m.Lambda = 0.05
+		if m.PMOS {
+			m.Lambda = 0.08
+		}
+	}
+	if m.CGS == 0 {
+		m.CGS = 0.2e-12
+		if m.PMOS {
+			m.CGS = 0.3e-12
+		}
+	}
+	if m.CGD == 0 {
+		m.CGD = 0.05e-12
+		if m.PMOS {
+			m.CGD = 0.07e-12
+		}
+	}
+	if m.CDB == 0 {
+		m.CDB = 0.08e-12
+		if m.PMOS {
+			m.CDB = 0.12e-12
+		}
+	}
+	if m.CSB == 0 {
+		m.CSB = m.CDB
+	}
+	return m
+}
+
+// AtBias derives saturation small-signal parameters at the given drain
+// current and overdrive voltage.
+func (m MOSModel) AtBias(id, vov float64) MOSParams {
+	m = m.Defaults()
+	gm := 2 * id / vov
+	return MOSParams{
+		Gm:  gm,
+		Gmb: 0.2 * gm,
+		Gds: m.Lambda * id,
+		Cgs: m.CGS,
+		Cgd: m.CGD,
+		Cdb: m.CDB,
+		Csb: m.CSB,
+	}
+}
+
+// Validate sanity-checks parameters before expansion.
+func (p BJTParams) Validate(name string) error {
+	if p.Gm <= 0 {
+		return fmt.Errorf("devices: BJT %q has non-positive gm %g", name, p.Gm)
+	}
+	for _, v := range []float64{p.Gpi, p.Go, p.Gmu, p.Cpi, p.Cmu} {
+		if v < 0 {
+			return fmt.Errorf("devices: BJT %q has negative parameter", name)
+		}
+	}
+	return nil
+}
+
+// Validate sanity-checks parameters before expansion.
+func (p MOSParams) Validate(name string) error {
+	if p.Gm <= 0 {
+		return fmt.Errorf("devices: MOS %q has non-positive gm %g", name, p.Gm)
+	}
+	for _, v := range []float64{p.Gmb, p.Gds, p.Cgs, p.Cgd, p.Cdb, p.Csb} {
+		if v < 0 {
+			return fmt.Errorf("devices: MOS %q has negative parameter", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package devices
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mna"
+)
+
+func TestTypicalNPNScaling(t *testing.T) {
+	p := TypicalNPN(1e-3)
+	if math.Abs(p.Gm-1e-3/0.02585)/p.Gm > 1e-12 {
+		t.Errorf("gm = %g", p.Gm)
+	}
+	if p.Gpi <= 0 || p.Go <= 0 || p.Cpi <= 0 || p.Cmu <= 0 || p.Rb <= 0 {
+		t.Errorf("non-positive parameter: %+v", p)
+	}
+	// β = gm/gπ = 200.
+	if beta := p.Gm / p.Gpi; math.Abs(beta-200) > 1e-9 {
+		t.Errorf("β = %g", beta)
+	}
+	if err := p.Validate("q"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypicalPNPSlower(t *testing.T) {
+	n := TypicalNPN(10e-6)
+	p := TypicalPNP(10e-6)
+	if p.Cpi <= n.Cpi {
+		t.Error("lateral PNP should have larger Cπ (lower fT)")
+	}
+	if p.Gm/p.Gpi >= n.Gm/n.Gpi {
+		t.Error("PNP should have lower β")
+	}
+}
+
+func TestOffDevice(t *testing.T) {
+	p := Off(TypicalNPN(1e-6))
+	if p.Gm != 0 {
+		t.Errorf("off device has gm = %g", p.Gm)
+	}
+	if p.Gpi <= 0 || p.Gmu <= 0 {
+		t.Error("off device needs junction leakage for DC connectivity")
+	}
+	if p.Cmu <= 0 {
+		t.Error("off device lost junction capacitance")
+	}
+}
+
+func TestAddBJTExpansion(t *testing.T) {
+	c := circuit.New("t")
+	AddBJT(c, "q1", "c", "b", "e", TypicalNPN(1e-4))
+	c.AddR("rload", "c", "0", 1e4)
+	c.AddR("rbias", "b", "0", 1e5)
+	c.AddR("re", "e", "0", 1e3)
+	names := map[string]bool{}
+	for _, e := range c.Elements() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"q1.rb", "q1.gpi", "q1.go", "q1.cpi", "q1.cmu", "q1.gm"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// Internal base node must exist.
+	if c.NodeIndex("q1.b'") < 0 {
+		t.Error("no internal base node despite Rb > 0")
+	}
+}
+
+func TestAddBJTWithoutRb(t *testing.T) {
+	p := TypicalNPN(1e-4)
+	p.Rb = 0
+	c := circuit.New("t")
+	AddBJT(c, "q1", "c", "b", "e", p)
+	if c.NodeIndex("q1.b'") != -2 {
+		t.Error("internal node created despite Rb = 0")
+	}
+	if c.HasElement("q1.rb") {
+		t.Error("rb element created despite Rb = 0")
+	}
+}
+
+func TestAddBJTDiodeConnected(t *testing.T) {
+	// B = C: gmu/cmu would short b' to c only when Rb = 0; with Rb the
+	// internal node keeps them distinct. With Rb = 0 they must be skipped.
+	p := TypicalNPN(1e-4)
+	p.Rb = 0
+	p.Gmu = 1e-9
+	c := circuit.New("t")
+	AddBJT(c, "q1", "x", "x", "0", p)
+	if c.HasElement("q1.cmu") || c.HasElement("q1.gmu") {
+		t.Error("shorted b-c elements not skipped")
+	}
+	if !c.HasElement("q1.gm") {
+		t.Error("gm missing")
+	}
+}
+
+func TestBJTCommonEmitterGain(t *testing.T) {
+	// CE stage: gain ≈ −gm·(RL ∥ ro); verify within 10%.
+	p := TypicalNPN(1e-3)
+	rl := 1e3
+	c := circuit.New("ce")
+	c.AddV("vin", "in", "0", 1)
+	AddBJT(c, "q1", "out", "in", "0", p)
+	c.AddR("rl", "out", "0", rl)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sys.VoltageAt(x, "out")
+	want := -p.Gm * (rl * (1 / p.Go) / (rl + 1/p.Go))
+	if cmplx.Abs(v-complex(want, 0)) > 0.1*math.Abs(want) {
+		t.Errorf("CE gain %v, want ≈ %g", v, want)
+	}
+}
+
+func TestMOSExpansionAndGain(t *testing.T) {
+	p := TypicalNMOS(1e-4, 0.2)
+	if err := p.Validate("m"); err != nil {
+		t.Error(err)
+	}
+	c := circuit.New("cs")
+	c.AddV("vin", "in", "0", 1)
+	AddMOS(c, "m1", "out", "in", "0", p)
+	rl := 1e4
+	c.AddR("rl", "out", "0", rl)
+	sys, err := mna.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sys.VoltageAt(x, "out")
+	want := -p.Gm * (rl / (1 + rl*p.Gds))
+	if cmplx.Abs(v-complex(want, 0)) > 0.05*math.Abs(want) {
+		t.Errorf("CS gain %v, want ≈ %g", v, want)
+	}
+}
+
+func TestMOSGroundedSourceSkipsDegenerates(t *testing.T) {
+	c := circuit.New("t")
+	AddMOS(c, "m1", "d", "g", "0", TypicalNMOS(1e-4, 0.2))
+	if c.HasElement("m1.csb") {
+		t.Error("source-bulk cap added on grounded source")
+	}
+	if c.HasElement("m1.gmb") {
+		t.Error("gmb added on grounded source (zero v_bs)")
+	}
+	if !c.HasElement("m1.cdb") {
+		t.Error("drain-bulk cap missing")
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	if err := (BJTParams{Gm: 0}).Validate("q"); err == nil {
+		t.Error("zero gm accepted")
+	}
+	if err := (BJTParams{Gm: 1, Cpi: -1}).Validate("q"); err == nil {
+		t.Error("negative Cπ accepted")
+	}
+	if err := (MOSParams{Gm: -1}).Validate("m"); err == nil {
+		t.Error("negative gm accepted")
+	}
+	if err := (MOSParams{Gm: 1, Cgd: -1}).Validate("m"); err == nil {
+		t.Error("negative Cgd accepted")
+	}
+}
+
+func TestBJTModelAtBias(t *testing.T) {
+	m := BJTModel{Beta: 300, VA: 80, TF: 0.1e-9, CJE: 0.2e-12, CMU: 0.1e-12, RB: 50}
+	p := m.AtBias(1e-3)
+	gm := 1e-3 / 0.02585
+	if math.Abs(p.Gm-gm)/gm > 1e-12 {
+		t.Errorf("gm = %g", p.Gm)
+	}
+	if math.Abs(p.Gpi-gm/300)/p.Gpi > 1e-12 {
+		t.Errorf("gpi = %g", p.Gpi)
+	}
+	if math.Abs(p.Go-1e-3/80)/p.Go > 1e-12 {
+		t.Errorf("go = %g", p.Go)
+	}
+	if p.Rb != 50 || p.Cmu != 0.1e-12 {
+		t.Errorf("rb/cmu = %g/%g", p.Rb, p.Cmu)
+	}
+}
+
+func TestBJTModelDefaultsMatchTypical(t *testing.T) {
+	// An all-default NPN model must reproduce TypicalNPN.
+	got := BJTModel{}.AtBias(1e-4)
+	want := TypicalNPN(1e-4)
+	if got != want {
+		t.Errorf("defaults diverge:\n got %+v\nwant %+v", got, want)
+	}
+	gotP := BJTModel{PNP: true}.AtBias(1e-4)
+	wantP := TypicalPNP(1e-4)
+	if gotP != wantP {
+		t.Errorf("PNP defaults diverge:\n got %+v\nwant %+v", gotP, wantP)
+	}
+}
+
+func TestMOSModelDefaultsMatchTypical(t *testing.T) {
+	got := MOSModel{}.AtBias(1e-4, 0.2)
+	want := TypicalNMOS(1e-4, 0.2)
+	if got != want {
+		t.Errorf("defaults diverge:\n got %+v\nwant %+v", got, want)
+	}
+	gotP := MOSModel{PMOS: true}.AtBias(1e-4, 0.2)
+	wantP := TypicalPMOS(1e-4, 0.2)
+	if gotP != wantP {
+		t.Errorf("PMOS defaults diverge:\n got %+v\nwant %+v", gotP, wantP)
+	}
+}
+
+func TestPMOSDiffersFromNMOS(t *testing.T) {
+	n := TypicalNMOS(1e-4, 0.2)
+	p := TypicalPMOS(1e-4, 0.2)
+	if p.Gds <= n.Gds {
+		t.Error("PMOS should have higher gds at same bias")
+	}
+	if p.Gm != n.Gm {
+		t.Error("gm law should match at same Id, Vov")
+	}
+}

@@ -1,0 +1,176 @@
+// Package dft provides the discrete Fourier transform machinery used by
+// polynomial interpolation on the unit circle.
+//
+// Given the values P(s_k) of an order-n polynomial at the K ≥ n+1 points
+// s_k = e^(2πjk/K), the coefficients follow from the inverse DFT (paper
+// eq. 5):
+//
+//	p̂_i = (1/K) Σ_k P(s_k) · e^(−2πjik/K)
+//
+// Values arrive as extended-range complex numbers (the determinant of a
+// scaled admittance matrix can leave float64 range); the transform factors
+// out the largest magnitude, runs the sum at O(1) magnitude in complex128,
+// and reapplies the factor, so no precision is lost to intermediate
+// under/overflow.
+package dft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/xmath"
+)
+
+// UnitCirclePoints returns the K-th roots of unity e^(2πjk/K),
+// k = 0..K−1 — the interpolation points recommended by Vlach/Singhal for
+// numerical stability.
+func UnitCirclePoints(k int) []complex128 {
+	if k <= 0 {
+		panic("dft: point count must be positive")
+	}
+	pts := make([]complex128, k)
+	for i := range pts {
+		angle := 2 * math.Pi * float64(i) / float64(k)
+		pts[i] = cmplx.Rect(1, angle)
+	}
+	// Snap the exactly-representable points so that e.g. s_0 is exactly 1
+	// and, for even K, s_{K/2} is exactly −1.
+	pts[0] = 1
+	if k%2 == 0 {
+		pts[k/2] = -1
+	}
+	return pts
+}
+
+// ScaledPoints returns f·e^(2πjk/K): the unit-circle set dilated by the
+// frequency scale factor f.
+func ScaledPoints(k int, f float64) []complex128 {
+	pts := UnitCirclePoints(k)
+	for i := range pts {
+		pts[i] *= complex(f, 0)
+	}
+	return pts
+}
+
+// Inverse computes the inverse DFT of extended-range values, returning K
+// extended-range outputs. The inputs are magnitude-normalized before the
+// complex128 transform runs; a radix-2 FFT is used when K is a power of
+// two and the direct O(K²) sum otherwise (K is at most a few hundred in
+// this problem domain, so the direct path is cheap).
+func Inverse(values []xmath.XComplex) []xmath.XComplex {
+	k := len(values)
+	if k == 0 {
+		return nil
+	}
+	// Factor out the largest magnitude.
+	var maxAbs xmath.XFloat
+	for _, v := range values {
+		if a := v.AbsX(); a.CmpAbs(maxAbs) > 0 {
+			maxAbs = a
+		}
+	}
+	out := make([]xmath.XComplex, k)
+	if maxAbs.Zero() {
+		return out
+	}
+	scaleInv := xmath.FromXFloat(maxAbs)
+	norm := make([]complex128, k)
+	for i, v := range values {
+		norm[i] = v.Div(scaleInv).Complex128()
+	}
+	spec := transform(norm, -1)
+	invK := complex(1/float64(k), 0)
+	for i, c := range spec {
+		out[i] = xmath.FromComplex(c * invK).Mul(scaleInv)
+	}
+	return out
+}
+
+// InverseComplex is the plain complex128 inverse DFT (with 1/K scaling),
+// used by the unscaled baseline method and by tests.
+func InverseComplex(values []complex128) []complex128 {
+	k := len(values)
+	if k == 0 {
+		return nil
+	}
+	spec := transform(values, -1)
+	out := make([]complex128, k)
+	invK := complex(1/float64(k), 0)
+	for i, c := range spec {
+		out[i] = c * invK
+	}
+	return out
+}
+
+// Forward computes Σ_k x_k e^(+2πjik/K) — the evaluation of the
+// polynomial with coefficients x at the unit-circle points s_i. No 1/K
+// factor is applied, so InverseComplex(Forward(x)) = x.
+func Forward(values []complex128) []complex128 {
+	if len(values) == 0 {
+		return nil
+	}
+	return transform(values, +1)
+}
+
+// transform dispatches between the radix-2 FFT (power-of-two lengths) and
+// the direct O(K²) sum. sign (+1 or −1) selects the twiddle exponent sign;
+// no 1/K factor is applied.
+func transform(values []complex128, sign float64) []complex128 {
+	if len(values)&(len(values)-1) == 0 {
+		return fftRadix2(values, sign)
+	}
+	return direct(values, sign)
+}
+
+// direct is the O(K²) transform.
+func direct(values []complex128, sign float64) []complex128 {
+	k := len(values)
+	out := make([]complex128, k)
+	// Precompute the twiddle table e^(sign·2πjm/K); index products mod K
+	// walk it without accumulating angle rounding.
+	tw := make([]complex128, k)
+	for m := range tw {
+		tw[m] = cmplx.Rect(1, sign*2*math.Pi*float64(m)/float64(k))
+	}
+	for i := 0; i < k; i++ {
+		var sum complex128
+		idx := 0
+		for j := 0; j < k; j++ {
+			sum += values[j] * tw[idx]
+			idx += i
+			if idx >= k {
+				idx -= k
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// fftRadix2 is an iterative radix-2 Cooley-Tukey FFT. sign selects the
+// twiddle exponent sign; no 1/K factor is applied. len(values) must be a
+// power of two.
+func fftRadix2(values []complex128, sign float64) []complex128 {
+	n := len(values)
+	out := make([]complex128, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i, v := range values {
+		out[bits.Reverse64(uint64(i))>>shift] = v
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Rect(1, sign*2*math.Pi/float64(size))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for off := 0; off < half; off++ {
+				a := out[start+off]
+				b := out[start+off+half] * w
+				out[start+off] = a + b
+				out[start+off+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+func TestUnitCirclePoints(t *testing.T) {
+	pts := UnitCirclePoints(8)
+	if pts[0] != 1 {
+		t.Errorf("s_0 = %v, want exactly 1", pts[0])
+	}
+	if pts[4] != -1 {
+		t.Errorf("s_4 = %v, want exactly -1", pts[4])
+	}
+	for i, p := range pts {
+		if math.Abs(cmplx.Abs(p)-1) > 1e-15 {
+			t.Errorf("|s_%d| = %v", i, cmplx.Abs(p))
+		}
+	}
+	// Distinctness.
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if cmplx.Abs(pts[i]-pts[j]) < 1e-9 {
+				t.Errorf("points %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestUnitCirclePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for K=0")
+		}
+	}()
+	UnitCirclePoints(0)
+}
+
+func TestScaledPoints(t *testing.T) {
+	pts := ScaledPoints(4, 1e9)
+	for i, p := range pts {
+		if math.Abs(cmplx.Abs(p)-1e9)/1e9 > 1e-15 {
+			t.Errorf("|s_%d| = %v, want 1e9", i, cmplx.Abs(p))
+		}
+	}
+}
+
+// interpolate evaluates p on the unit circle and runs the inverse DFT,
+// recovering the coefficients.
+func interpolate(t *testing.T, p poly.Poly, k int) []complex128 {
+	t.Helper()
+	pts := UnitCirclePoints(k)
+	vals := make([]complex128, k)
+	for i, s := range pts {
+		vals[i] = p.Eval(s)
+	}
+	return InverseComplex(vals)
+}
+
+func TestInterpolationRecoversCoefficients(t *testing.T) {
+	for _, k := range []int{4, 5, 7, 8, 16, 33} { // powers of two and not
+		p := poly.New(1, -2, 3, 0.5)
+		got := interpolate(t, p, k)
+		for i := 0; i < k; i++ {
+			want := 0.0
+			if i < len(p) {
+				want = p[i]
+			}
+			if math.Abs(real(got[i])-want) > 1e-12 || math.Abs(imag(got[i])) > 1e-12 {
+				t.Errorf("K=%d: coeff %d = %v, want %g", k, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestInverseExtendedRange(t *testing.T) {
+	// Values near 1e+124 (the µA741 normalized scale): plain complex128
+	// would survive, but verify the normalized path is exact anyway.
+	k := 8
+	pts := UnitCirclePoints(k)
+	coeff := 1.28095e124
+	vals := make([]xmath.XComplex, k)
+	for i, s := range pts {
+		// p(s) = c + c·s²
+		vals[i] = xmath.FromComplex(complex(coeff, 0) * (1 + s*s))
+	}
+	out := Inverse(vals)
+	if got := out[0].Real().Float64(); math.Abs(got-coeff)/coeff > 1e-12 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := out[2].Real().Float64(); math.Abs(got-coeff)/coeff > 1e-12 {
+		t.Errorf("p2 = %g", got)
+	}
+	if got := out[1].AbsX().Float64(); got > coeff*1e-12 {
+		t.Errorf("p1 = %g, want ~0", got)
+	}
+}
+
+func TestInverseBeyondFloat64(t *testing.T) {
+	// Values of magnitude 1e400: impossible in complex128, must still invert.
+	k := 4
+	big := xmath.Pow10(400)
+	vals := make([]xmath.XComplex, k)
+	for i, s := range UnitCirclePoints(k) {
+		vals[i] = xmath.FromXFloat(big).MulComplex(s) // p(s) = big·s
+	}
+	out := Inverse(vals)
+	if got := out[1].AbsX().Log10(); math.Abs(got-400) > 1e-9 {
+		t.Errorf("log10 p1 = %g, want 400", got)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !out[i].AbsX().Zero() && out[i].AbsX().Log10() > 400-12 {
+			t.Errorf("p%d = %v, want ~0", i, out[i])
+		}
+	}
+}
+
+func TestInverseZeroAndEmpty(t *testing.T) {
+	if got := Inverse(nil); got != nil {
+		t.Errorf("Inverse(nil) = %v", got)
+	}
+	out := Inverse(make([]xmath.XComplex, 5))
+	for i, v := range out {
+		if !v.Zero() {
+			t.Errorf("all-zero input: out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestForwardInverseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range []int{3, 4, 8, 10, 16, 21} {
+		in := make([]complex128, k)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		back := InverseComplex(Forward(in))
+		for i := range in {
+			if cmplx.Abs(back[i]-in[i]) > 1e-12 {
+				t.Errorf("K=%d: round trip [%d] = %v, want %v", k, i, back[i], in[i])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]complex128, 16)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, sign := range []float64{-1, 1} {
+		fft := fftRadix2(in, sign)
+		dir := direct(in, sign)
+		for i := range in {
+			if cmplx.Abs(fft[i]-dir[i]) > 1e-11 {
+				t.Errorf("sign %g: fft[%d] = %v, direct = %v", sign, i, fft[i], dir[i])
+			}
+		}
+	}
+}
+
+func TestQuickInterpolationExact(t *testing.T) {
+	f := func(c0, c1, c2 float64) bool {
+		for _, v := range []float64{c0, c1, c2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		p := poly.New(c0, c1, c2)
+		k := 5
+		pts := UnitCirclePoints(k)
+		vals := make([]xmath.XComplex, k)
+		for i, s := range pts {
+			vals[i] = xmath.FromComplex(p.Eval(s))
+		}
+		out := Inverse(vals)
+		scale := math.Max(math.Max(math.Abs(c0), math.Abs(c1)), math.Abs(c2)) + 1e-300
+		for i := 0; i < 3; i++ {
+			if math.Abs(out[i].Real().Float64()-p[i]) > 1e-12*scale {
+				return false
+			}
+		}
+		return out[3].AbsX().Float64() <= 1e-12*scale && out[4].AbsX().Float64() <= 1e-12*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+)
+
+func TestSinCos(t *testing.T) {
+	const prec = 128
+	cases := []float64{0, 0.5, 1, math.Pi / 4, math.Pi / 2, 3, 6.2}
+	for _, x := range cases {
+		bx := new(big.Float).SetPrec(prec).SetFloat64(x)
+		s, c := sinCos(bx, prec)
+		sf, _ := s.Float64()
+		cf, _ := c.Float64()
+		if math.Abs(sf-math.Sin(x)) > 1e-15 {
+			t.Errorf("sin(%g) = %g, want %g", x, sf, math.Sin(x))
+		}
+		if math.Abs(cf-math.Cos(x)) > 1e-15 {
+			t.Errorf("cos(%g) = %g, want %g", x, cf, math.Cos(x))
+		}
+	}
+}
+
+func TestUnitCircleBC(t *testing.T) {
+	pts := unitCircleBC(8, 128)
+	for i, p := range pts {
+		re, _ := p.re.Float64()
+		im, _ := p.im.Float64()
+		wantRe := math.Cos(2 * math.Pi * float64(i) / 8)
+		wantIm := math.Sin(2 * math.Pi * float64(i) / 8)
+		if math.Abs(re-wantRe) > 1e-15 || math.Abs(im-wantIm) > 1e-15 {
+			t.Errorf("pt %d = (%g,%g), want (%g,%g)", i, re, im, wantRe, wantIm)
+		}
+	}
+	// Sum of all roots of unity is 0 to full precision.
+	sum := newBC(128)
+	for _, p := range pts {
+		sum.add(sum, p)
+	}
+	if sum.norm1(128).MantExp(nil) > -100 {
+		t.Errorf("Σ roots ≠ 0: %v", sum.norm1(128))
+	}
+}
+
+func TestBigComplexArithmetic(t *testing.T) {
+	const prec = 128
+	mk := func(re, im float64) bigComplex {
+		z := newBC(prec)
+		z.re.SetFloat64(re)
+		z.im.SetFloat64(im)
+		return z
+	}
+	a, b := mk(1, 2), mk(3, -1)
+	p := newBC(prec)
+	p.mul(a, b)
+	if re, _ := p.re.Float64(); re != 5 {
+		t.Errorf("re(a·b) = %g", re)
+	}
+	if im, _ := p.im.Float64(); im != 5 {
+		t.Errorf("im(a·b) = %g", im)
+	}
+	q := newBC(prec)
+	q.div(p, b)
+	if re, _ := q.re.Float64(); math.Abs(re-1) > 1e-30 {
+		t.Errorf("re(p/b) = %g", re)
+	}
+	if im, _ := q.im.Float64(); math.Abs(im-2) > 1e-30 {
+		t.Errorf("im(p/b) = %g", im)
+	}
+}
+
+func TestDetBCSmall(t *testing.T) {
+	const prec = 128
+	mk := func(re float64) bigComplex { return bcFromFloat(prec, re) }
+	m := [][]bigComplex{{mk(1), mk(2)}, {mk(3), mk(4)}}
+	d := detBC(m, prec)
+	if re, _ := d.re.Float64(); re != -2 {
+		t.Errorf("det = %g", re)
+	}
+	// Singular.
+	m2 := [][]bigComplex{{mk(1), mk(2)}, {mk(2), mk(4)}}
+	d2 := detBC(m2, prec)
+	if !d2.isZero() && d2.norm1(prec).MantExp(nil) > -100 {
+		t.Errorf("singular det = %v", d2.norm1(prec))
+	}
+}
+
+func TestHPMatchesBareissSmall(t *testing.T) {
+	// On circuits Bareiss can handle, the high-precision interpolation
+	// must agree with the exact rational result to ~1e-15.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 3; trial++ {
+		c := circuits.RandomGCgm(rng, 5)
+		num, den, err := HPVoltageGain(c, "n0", "n2", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNum, wantDen, err := VoltageGain(c, "n0", "n2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := MaxRelErr(num, wantNum.ToXPoly(), 1e-30); e > 1e-14 {
+			t.Errorf("trial %d num err %g", trial, e)
+		}
+		if e := MaxRelErr(den, wantDen.ToXPoly(), 1e-30); e > 1e-14 {
+			t.Errorf("trial %d den err %g", trial, e)
+		}
+	}
+}
+
+func TestHPRecoversWideSpreadWithoutScaling(t *testing.T) {
+	// The whole point: a circuit whose float64 interpolation drowns
+	// (ladder order 15 spans ~50 decades) is fully recovered by a single
+	// unscaled interpolation at 256 bits.
+	n := 15
+	c := circuits.RCLadder(n, 1e3, 1e-12)
+	num, den, err := HPVoltageGain(c, "in", circuits.RCLadderOut(n), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs, cs []float64
+	for _, e := range c.Elements() {
+		switch e.Kind {
+		case circuit.Resistor:
+			rs = append(rs, e.Value)
+		case circuit.Capacitor:
+			cs = append(cs, e.Value)
+		}
+	}
+	wantNum, wantDen := RCLadderGain(rs, cs)
+	if !RatioEqual(num, den, wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-12) {
+		t.Error("HP interpolation does not match the ladder recursion")
+	}
+}
+
+func TestHPErrors(t *testing.T) {
+	c := circuit.New("bad")
+	c.AddV("v", "a", "0", 1).AddR("r", "a", "0", 1)
+	if _, _, err := HPVoltageGain(c, "a", "a", 128); err == nil {
+		t.Error("non-admittance circuit accepted")
+	}
+	c2 := circuit.New("ok")
+	c2.AddR("r", "a", "0", 1).AddC("c", "a", "0", 1e-12)
+	if _, _, err := HPVoltageGain(c2, "a", "zz", 128); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package interp_test
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/poly"
+)
+
+// ExampleUnitCircle demonstrates the paper's §2.2 failure mode: with a
+// 20-decade coefficient spread, plain unit-circle interpolation keeps
+// the largest coefficient and drowns the rest in the 1e-13·max noise
+// floor.
+func ExampleUnitCircle() {
+	p := poly.NewX(1, 1e-10, 1e-20)
+	res := interp.UnitCircle(interp.FromPoly("demo", p, 3))
+	lo, hi, _ := interp.ValidRegion(res.Normalized, 6)
+	fmt.Printf("valid region: s^%d..s^%d of s^0..s^2\n", lo, hi)
+	fmt.Println("p2 recovered:", res.Denormalized[2].ApproxEqual(p[2], 0.01))
+	// Output:
+	// valid region: s^0..s^0 of s^0..s^2
+	// p2 recovered: false
+}
+
+// ExampleFixedScale shows the repair: one scale factor equalizes the
+// spread and every coefficient becomes valid (the Table 1b situation).
+func ExampleFixedScale() {
+	p := poly.NewX(1, 1e-10, 1e-20)
+	res := interp.FixedScale(interp.FromPoly("demo", p, 3), 1e10, 1)
+	lo, hi, _ := interp.ValidRegion(res.Normalized, 6)
+	fmt.Printf("valid region: s^%d..s^%d\n", lo, hi)
+	fmt.Println("p2 recovered:", res.Denormalized[2].ApproxEqual(p[2], 1e-6))
+	// Output:
+	// valid region: s^0..s^2
+	// p2 recovered: true
+}

@@ -1,0 +1,251 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+func TestRunRecoversBenignPolynomial(t *testing.T) {
+	p := poly.NewX(3, -1, 0.5, 2)
+	ev := FromPoly("p", p, 4)
+	res := Run(ev, 1, 1, 4)
+	if !res.Denormalized.ApproxEqual(p, 1e-12) {
+		t.Errorf("denormalized = %v, want %v", res.Denormalized, p)
+	}
+	if !res.Normalized.ApproxEqual(p, 1e-12) {
+		t.Errorf("normalized with unit scales should equal p")
+	}
+}
+
+func TestRunScalingRoundTrip(t *testing.T) {
+	p := poly.NewX(1e-20, 3e-29, -2e-38)
+	ev := FromPoly("p", p, 7)
+	res := Run(ev, 1e9, 2.5e4, 3)
+	if !res.Denormalized.ApproxEqual(p, 1e-6) {
+		t.Errorf("denormalized = %v, want %v", res.Denormalized, p)
+	}
+	// Normalized must follow eq. (11).
+	want := p.Normalize(1e9, 2.5e4, 7)
+	if !res.Normalized.ApproxEqual(want, 1e-6) {
+		t.Errorf("normalized = %v, want %v", res.Normalized, want)
+	}
+}
+
+func TestUnitCircleDrownsWideSpread(t *testing.T) {
+	// Spread of 1e20 across coefficients: everything below max·1e-13 is
+	// noise after unscaled interpolation.
+	p := poly.NewX(1, 1e-10, 1e-20)
+	res := UnitCircle(FromPoly("p", p, 3))
+	if !res.Denormalized[0].ApproxEqual(p[0], 1e-10) {
+		t.Errorf("p0 lost: %v", res.Denormalized[0])
+	}
+	if res.Denormalized[2].ApproxEqual(p[2], 0.5) {
+		t.Errorf("p2 = %v unexpectedly survived a 20-decade spread", res.Denormalized[2])
+	}
+}
+
+func TestFixedScaleRepairsWindow(t *testing.T) {
+	p := poly.NewX(1, 1e-10, 1e-20)
+	// f = 1e10 equalizes the profile: all three recoverable.
+	res := FixedScale(FromPoly("p", p, 3), 1e10, 1)
+	if !res.Denormalized.ApproxEqual(p, 1e-9) {
+		t.Errorf("fixed scale failed: %v", res.Denormalized)
+	}
+}
+
+func TestValidRegion(t *testing.T) {
+	p := poly.NewX(1e-20, 1e-3, 1, 1e-2, 1e-9, 1e-16)
+	lo, hi, ok := ValidRegion(p, 6)
+	if !ok {
+		t.Fatal("no region")
+	}
+	// threshold = 1e-7·1 → indices 1,2,3,4 qualify (1e-9 ≥ 1e-7? no:
+	// 1e-9 < 1e-7, so region is 1..3).
+	if lo != 1 || hi != 3 {
+		t.Errorf("region [%d,%d], want [1,3]", lo, hi)
+	}
+	if _, _, ok := ValidRegion(poly.NewX(0, 0), 6); ok {
+		t.Error("zero vector has a region")
+	}
+}
+
+func TestValidRegionSingleCoefficient(t *testing.T) {
+	lo, hi, ok := ValidRegion(poly.NewX(5), 6)
+	if !ok || lo != 0 || hi != 0 {
+		t.Errorf("region [%d,%d] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestValidRegionWithThreshold(t *testing.T) {
+	p := poly.NewX(1, 0.1, 0.01)
+	thr := xmath.FromFloat(0.05)
+	lo, hi, ok := ValidRegionWithThreshold(p, thr)
+	if !ok || lo != 0 || hi != 1 {
+		t.Errorf("region [%d,%d] ok=%v, want [0,1]", lo, hi, ok)
+	}
+	if _, _, ok := ValidRegionWithThreshold(p, xmath.FromFloat(10)); ok {
+		t.Error("threshold above max should yield no region")
+	}
+	if _, _, ok := ValidRegionWithThreshold(p, xmath.XFloat{}); ok {
+		t.Error("zero threshold should yield no region")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	p := poly.NewX(-2, 1)
+	got := Threshold(p, 6)
+	want := 2e-7
+	if math.Abs(got.Float64()-want)/want > 1e-12 {
+		t.Errorf("threshold = %v, want %g", got, want)
+	}
+	if !Threshold(poly.NewX(0), 6).Zero() {
+		t.Error("zero poly threshold nonzero")
+	}
+}
+
+func TestNextScalesIndexLaw(t *testing.T) {
+	// After rescaling with q from eq. (14), the relative boost between
+	// indices e and m must be exactly 10^(13+r).
+	f, g := 1e9, 1e-4
+	pm := xmath.FromFloat(1e5)
+	pe := xmath.FromFloat(3e-2)
+	m, e := 3, 12
+	r := -1.0
+	f2, g2 := NextScales(f, g, pm, pe, m, e, r, +1)
+	// boost(i) = (f2/f)^i·(g2/g)^(M-i); ratio between indices i,j:
+	// ((f2/f)/(g2/g))^(i-j) = q^(i-j).
+	q := (f2 / f) / (g2 / g)
+	gotShift := math.Log10(q) * float64(e-m)
+	wantShift := pm.Log10() - pe.Log10() + 13 + r
+	if math.Abs(gotShift-wantShift) > 1e-9 {
+		t.Errorf("shift %g, want %g", gotShift, wantShift)
+	}
+	// Simultaneous split: f grows by √q, g shrinks by √q.
+	if math.Abs(f2/f-math.Sqrt(q))/math.Sqrt(q) > 1e-12 {
+		t.Errorf("f split wrong: %g vs %g", f2/f, math.Sqrt(q))
+	}
+	if math.Abs(g2/g-1/math.Sqrt(q))*math.Sqrt(q) > 1e-12 {
+		t.Errorf("g split wrong: %g vs %g", g2/g, 1/math.Sqrt(q))
+	}
+}
+
+func TestNextScalesDownward(t *testing.T) {
+	f, g := 1e9, 1e-4
+	pm := xmath.FromFloat(1e5)
+	pb := xmath.FromFloat(1e1)
+	// b < m: moving toward lower powers must shrink f and grow g.
+	f2, g2 := NextScales(f, g, pm, pb, 10, 2, 0, -1)
+	if f2 >= f || g2 <= g {
+		t.Errorf("downward move went up: f %g→%g, g %g→%g", f, f2, g, g2)
+	}
+}
+
+func TestNextScalesSingleCoefficient(t *testing.T) {
+	pm := xmath.FromFloat(1)
+	fUp, _ := NextScales(1, 1, pm, pm, 5, 5, 0, +1)
+	if fUp <= 1 {
+		t.Errorf("e==m dir=+1: f = %g, want > 1", fUp)
+	}
+	fDown, _ := NextScales(1, 1, pm, pm, 5, 5, 0, -1)
+	if fDown >= 1 {
+		t.Errorf("e==m dir=-1: f = %g, want < 1", fDown)
+	}
+}
+
+func TestRepairScales(t *testing.T) {
+	f1, g1 := 1e10, 1e2
+	f2, g2 := 1e14, 1e-2
+	fn, gn := RepairScales(f1, g1, f2, g2)
+	if math.Abs(math.Log10(gn)-0) > 1e-9 { // √(1e2·1e-2) = 1
+		t.Errorf("gnew = %g, want 1", gn)
+	}
+	// f/g ratio is the geometric mean of the two ratios: √(1e8·1e16)=1e12.
+	if math.Abs(math.Log10(fn/gn)-12) > 1e-9 {
+		t.Errorf("fnew/gnew = %g, want 1e12", fn/gn)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Run(FromPoly("p", poly.NewX(1, 2), 2), 1, 1, 2)
+	if s := res.String(); s == "" {
+		t.Error("empty string")
+	}
+	zero := Run(FromPoly("z", poly.NewX(0, 0), 2), 1, 1, 2)
+	if s := zero.String(); s == "" {
+		t.Error("empty string for zero result")
+	}
+}
+
+func TestRunPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Run(FromPoly("p", poly.NewX(1), 1), 1, 1, 0)
+}
+
+func TestRealPointsRecoverSmallOrders(t *testing.T) {
+	// At low order the Vandermonde path still works.
+	p := poly.NewX(3, -1, 0.5)
+	res := RunRealPoints(FromPoly("p", p, 3), 1, 1, 3)
+	if !res.Denormalized.ApproxEqual(p, 1e-8) {
+		t.Errorf("got %v, want %v", res.Denormalized, p)
+	}
+}
+
+func TestUnitCircleBeatsRealPoints(t *testing.T) {
+	// The §2.1 claim: at higher orders the real-point Vandermonde loses
+	// far more digits than the unit-circle DFT. Flat benign coefficients,
+	// order 19: unit circle stays near machine precision, real points
+	// lose ≥6 digits more.
+	coeffs := make([]float64, 20)
+	for i := range coeffs {
+		coeffs[i] = 1 + float64(i%5)
+	}
+	p := poly.NewX(coeffs...)
+	ev := FromPoly("p", p, 20)
+	worst := func(res Result) float64 {
+		w := 0.0
+		for i := range p {
+			d := res.Denormalized[i].Sub(p[i]).Abs().Div(p[i].Abs()).Float64()
+			if d > w {
+				w = d
+			}
+		}
+		return w
+	}
+	circleErr := worst(Run(ev, 1, 1, 20))
+	realErr := worst(RunRealPoints(ev, 1, 1, 20))
+	if circleErr > 1e-11 {
+		t.Errorf("unit circle err %g", circleErr)
+	}
+	if realErr < circleErr*1e6 {
+		t.Errorf("real points err %g not ≫ circle err %g: ablation claim broken", realErr, circleErr)
+	}
+	t.Logf("order 19: circle err %.2g, real-point err %.2g", circleErr, realErr)
+}
+
+func TestQuickRegionContainsMax(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := poly.NewX(a, b, c, d)
+		lo, hi, ok := ValidRegion(p, 6)
+		if !ok {
+			return a == 0 && b == 0 && c == 0 && d == 0
+		}
+		_, m := p.MaxAbs()
+		return lo <= m && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

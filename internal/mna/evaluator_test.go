@@ -1,0 +1,276 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/roots"
+	"repro/internal/xmath"
+)
+
+func TestDetEvaluatorRC(t *testing.T) {
+	// V source + R + C: MNA dim = 3 (two nodes + branch).
+	// det by elimination: the branch rows make D(s) = -(g + sC)/g·... —
+	// verify against the exact oracle instead of hand algebra.
+	c := circuit.New("rc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "out", 1e3).
+		AddC("c1", "out", "0", 1e-9)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantDen, err := exact.MNATransfer(c, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sys.DetEvaluator()
+	if ev.OrderBound != 1 {
+		t.Errorf("order bound = %d", ev.OrderBound)
+	}
+	for _, s := range []complex128{0, complex(0, 1e6), complex(2e5, -3e5)} {
+		got := ev.Eval(s, 1, 1).Complex128()
+		want := evalRat(wantDen, s)
+		if cmplx.Abs(got-want) > 1e-10*(1+cmplx.Abs(want)) {
+			t.Errorf("D(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// evalRat evaluates a RatPoly at a complex point in float precision.
+func evalRat(p exact.RatPoly, s complex128) complex128 {
+	x := p.ToXPoly()
+	return x.Eval(xmath.FromComplex(s)).Complex128()
+}
+
+func TestTransferEvaluatorsMatchSolve(t *testing.T) {
+	// N(s)/D(s) from the evaluators must equal the direct solve at
+	// arbitrary points.
+	c := circuit.New("rlc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "mid", 50).
+		AddL("l1", "mid", "out", 1e-6).
+		AddC("c1", "out", "0", 1e-9).
+		AddR("r2", "out", "0", 1e3)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Num.OrderBound != 2 || tf.Den.OrderBound != 2 {
+		t.Errorf("order bounds: %d/%d", tf.Num.OrderBound, tf.Den.OrderBound)
+	}
+	for _, s := range []complex128{0, complex(0, 1e7), complex(1e6, 1e6)} {
+		n := tf.Num.Eval(s, 1, 1)
+		d := tf.Den.Eval(s, 1, 1)
+		h := n.Div(d).Complex128()
+		x, err := sys.Solve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := sys.VoltageAt(x, "out")
+		if cmplx.Abs(h-v) > 1e-9*(1+cmplx.Abs(v)) {
+			t.Errorf("H(%v) = %v, direct %v", s, h, v)
+		}
+	}
+}
+
+func TestMNAGenerateVsExactRLC(t *testing.T) {
+	// Full pipeline: adaptive generation (frequency-only scaling) on an
+	// RLC circuit vs the exact MNA oracle, compared as rational
+	// functions.
+	c := circuit.New("rlc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "mid", 50).
+		AddL("l1", "mid", "out", 1e-6).
+		AddC("c1", "out", "0", 1e-9).
+		AddR("r2", "out", "0", 1e3).
+		AddC("c2", "mid", "0", 2e-10)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{SingleFactor: true, InitFScale: 1e7}
+	num, err := core.Generate(tf.Num, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNum, wantDen, err := exact.MNATransfer(c, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.RatioEqual(num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-6) {
+		t.Errorf("transfer mismatch:\n num %v\n den %v\nwant num %v\nwant den %v",
+			num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly())
+	}
+}
+
+func TestMNAControlledSourcesVsExact(t *testing.T) {
+	// Every controlled-source kind in one circuit, vs the oracle.
+	c := circuit.New("zoo")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "a", 100).
+		AddC("c1", "a", "0", 1e-9).
+		AddVCVS("e1", "b", "0", "a", "0", 2).
+		AddR("r2", "b", "c", 200).
+		AddCCCS("f1", "0", "d", "vin", 3).
+		AddR("r3", "d", "0", 50).
+		AddVCCS("g1", "c", "0", "d", "0", 1e-2).
+		AddR("r4", "c", "0", 300).
+		AddCCVS("h1", "out", "0", "vin", 150).
+		AddR("r5", "out", "c", 1e3).
+		AddL("l1", "d", "c", 1e-5)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{SingleFactor: true, InitFScale: 1e6}
+	num, err := core.Generate(tf.Num, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNum, wantDen, err := exact.MNATransfer(c, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.RatioEqual(num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-6) {
+		t.Error("controlled-source transfer mismatch vs oracle")
+	}
+}
+
+func TestButterworthLadder(t *testing.T) {
+	// 5th-order doubly-terminated Butterworth: generated coefficients
+	// must reproduce |H(jω)|² = ¼/(1+(ω/ω0)^10).
+	const order = 5
+	w0 := 2 * math.Pi * 1e6
+	c := circuits.LCLadder(order, 50, w0)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{SingleFactor: true, InitFScale: 1 / w0}
+	num, err := core.Generate(tf.Num, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, dp := num.Poly(), den.Poly()
+	if den.Order() != order {
+		t.Errorf("denominator order %d, want %d", den.Order(), order)
+	}
+	for _, ratio := range []float64{0.01, 0.5, 1, 2, 10} {
+		w := ratio * w0
+		h := np.EvalJOmega(w).Div(dp.EvalJOmega(w))
+		got := h.AbsX().Float64()
+		want := 0.5 / math.Sqrt(1+math.Pow(ratio, 2*order))
+		if math.Abs(got-want)/want > 1e-3 {
+			t.Errorf("|H| at ω/ω0=%g: %g, want %g", ratio, got, want)
+		}
+	}
+}
+
+func TestSallenKeyPolesFromReferences(t *testing.T) {
+	// Full loop on the MNA path: Sallen-Key → references → poles → the
+	// designed (f0, Q) within the follower's gain error.
+	f0, q := 10e3, 2.0
+	c := circuits.SallenKey(f0, q, 10e3)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := 2 * math.Pi * f0
+	cfg := core.Config{SingleFactor: true, InitFScale: 1 / w0}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, err := roots.Find(den.Poly(), roots.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pair complex128
+	for _, p := range poles {
+		if imag(p) > 0 {
+			pair = p
+		}
+	}
+	if pair == 0 {
+		t.Fatalf("no complex pair in %v", poles)
+	}
+	gotW0 := cmplx.Abs(pair)
+	gotQ := gotW0 / (2 * math.Abs(real(pair)))
+	if math.Abs(gotW0-w0)/w0 > 1e-3 {
+		t.Errorf("ω0 = %g, want %g", gotW0, w0)
+	}
+	if math.Abs(gotQ-q)/q > 1e-3 {
+		t.Errorf("Q = %g, want %g", gotQ, q)
+	}
+}
+
+func TestTransferEvaluatorsErrors(t *testing.T) {
+	c := circuit.New("t")
+	c.AddR("r1", "a", "0", 1)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TransferEvaluators("nope"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := sys.TransferEvaluators("0"); err == nil {
+		t.Error("ground output accepted")
+	}
+	if _, err := sys.TransferEvaluators("a"); err == nil {
+		t.Error("source-free circuit accepted")
+	}
+}
+
+func TestOrderBoundCounts(t *testing.T) {
+	c := circuit.New("t")
+	c.AddV("v", "a", "0", 1).
+		AddR("r", "a", "b", 1).
+		AddC("c1", "b", "0", 1e-9).
+		AddL("l1", "b", "0", 1e-6)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.OrderBound(); got != 2 {
+		t.Errorf("order bound = %d, want 2 (1 C + 1 L)", got)
+	}
+}

@@ -1,0 +1,221 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func solveOne(t *testing.T, c *circuit.Circuit, s complex128, node string) complex128 {
+	t.Helper()
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.VoltageAt(x, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestResistiveDivider(t *testing.T) {
+	c := circuit.New("div")
+	c.AddV("vin", "in", "0", 2).
+		AddR("r1", "in", "out", 1000).
+		AddR("r2", "out", "0", 1000)
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-1) > 1e-12 {
+		t.Errorf("V(out) = %v, want 1", got)
+	}
+}
+
+func TestRCLowpassPole(t *testing.T) {
+	r, cap := 1e3, 1e-9 // pole at 1/(2πRC) ≈ 159 kHz
+	c := circuit.New("rc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "out", r).
+		AddC("c1", "out", "0", cap)
+	w := 1 / (r * cap)
+	got := solveOne(t, c, complex(0, w), "out")
+	want := 1 / complex(1, 1) // H(jω) = 1/(1+jωRC) at ωRC = 1
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("H at pole = %v, want %v", got, want)
+	}
+	if math.Abs(cmplx.Abs(got)-1/math.Sqrt2) > 1e-12 {
+		t.Errorf("|H| = %v, want -3 dB", cmplx.Abs(got))
+	}
+}
+
+func TestInductorImpedance(t *testing.T) {
+	// V -> L -> R to ground: |V(out)| = R/|R + jωL|.
+	r, l := 50.0, 1e-6
+	c := circuit.New("lr")
+	c.AddV("vin", "in", "0", 1).
+		AddL("l1", "in", "out", l).
+		AddR("r1", "out", "0", r)
+	w := r / l // ωL = R → H = 1/(1+j)
+	got := solveOne(t, c, complex(0, w), "out")
+	want := 1 / complex(1, 1)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("H = %v, want %v", got, want)
+	}
+	// At DC the inductor is a short.
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-1) > 1e-12 {
+		t.Errorf("DC H = %v, want 1", got)
+	}
+}
+
+func TestCurrentSourceAndConductance(t *testing.T) {
+	c := circuit.New("ig")
+	c.AddI("i1", "0", "n1", 2e-3). // 2 mA into n1
+					AddG("g1", "n1", "0", 1e-3)
+	if got := solveOne(t, c, 0, "n1"); cmplx.Abs(got-2) > 1e-12 {
+		t.Errorf("V = %v, want 2", got)
+	}
+}
+
+func TestVCCSInvertingAmp(t *testing.T) {
+	// gm stage: vin -> gm -> rl. V(out) = -gm·R·vin.
+	c := circuit.New("amp")
+	c.AddV("vin", "in", "0", 1).
+		AddVCCS("gm1", "out", "0", "in", "0", 1e-3).
+		AddR("rl", "out", "0", 10000)
+	// Current gm·vin flows from out to ground inside the source: pulls
+	// out node down: V(out) = -gm·R = -10.
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-(-10)) > 1e-9 {
+		t.Errorf("V(out) = %v, want -10", got)
+	}
+}
+
+func TestVCVS(t *testing.T) {
+	c := circuit.New("e")
+	c.AddV("vin", "in", "0", 0.5).
+		AddR("rdummy", "in", "0", 1e6).
+		AddVCVS("e1", "out", "0", "in", "0", 8).
+		AddR("rl", "out", "0", 100)
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-4) > 1e-12 {
+		t.Errorf("V(out) = %v, want 4", got)
+	}
+}
+
+func TestCCCSCurrentMirror(t *testing.T) {
+	// I flows through vsense; F mirrors 3× into a load.
+	c := circuit.New("f")
+	c.AddI("ibias", "0", "a", 1e-3).
+		AddV("vsense", "a", "0", 0). // ammeter
+		AddCCCS("f1", "0", "out", "vsense", 3).
+		AddR("rl", "out", "0", 1000)
+	// I(vsense): current 1 mA enters node a and exits through vsense to
+	// ground; branch current (P→N = a→0) is +1 mA. F injects 3 mA from
+	// node 0 to out: 3 mA into out. V(out) = 3 mA · 1 kΩ = 3.
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-3) > 1e-9 {
+		t.Errorf("V(out) = %v, want 3", got)
+	}
+}
+
+func TestCCVS(t *testing.T) {
+	c := circuit.New("h")
+	c.AddI("ibias", "0", "a", 2e-3).
+		AddV("vsense", "a", "0", 0).
+		AddCCVS("h1", "out", "0", "vsense", 500). // V(out) = 500·I
+		AddR("rl", "out", "0", 1000)
+	if got := solveOne(t, c, 0, "out"); cmplx.Abs(got-1) > 1e-9 {
+		t.Errorf("V(out) = %v, want 1", got)
+	}
+}
+
+func TestBranchCurrent(t *testing.T) {
+	c := circuit.New("t")
+	c.AddV("vin", "in", "0", 1).AddR("r1", "in", "0", 100)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := sys.BranchCurrent(x, "vin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch current flows P→N through the source: the source delivers
+	// 10 mA out of its + terminal, so the internal P→N current is −10 mA.
+	if cmplx.Abs(i-(-0.01)) > 1e-12 {
+		t.Errorf("I(vin) = %v, want -0.01", i)
+	}
+	if _, err := sys.BranchCurrent(x, "r1"); err == nil {
+		t.Error("resistor branch current should error")
+	}
+}
+
+func TestACAnalysis(t *testing.T) {
+	r, cap := 1e3, 1e-9
+	c := circuit.New("rc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "out", r).
+		AddC("c1", "out", "0", cap)
+	fc := 1 / (2 * math.Pi * r * cap)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sys.ACAnalysis("out", []float64{fc / 100, fc, fc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmplx.Abs(pts[0].V)-1) > 1e-3 {
+		t.Errorf("passband |H| = %v", cmplx.Abs(pts[0].V))
+	}
+	if math.Abs(cmplx.Abs(pts[1].V)-1/math.Sqrt2) > 1e-9 {
+		t.Errorf("corner |H| = %v", cmplx.Abs(pts[1].V))
+	}
+	if cmplx.Abs(pts[2].V) > 0.011 {
+		t.Errorf("stopband |H| = %v", cmplx.Abs(pts[2].V))
+	}
+}
+
+func TestVoltageAtErrors(t *testing.T) {
+	c := circuit.New("t")
+	c.AddR("r", "a", "0", 1)
+	sys, _ := Build(c)
+	x := []complex128{0}
+	if v, err := sys.VoltageAt(x, "0"); err != nil || v != 0 {
+		t.Error("ground voltage should be 0")
+	}
+	if _, err := sys.VoltageAt(x, "nope"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	c := circuit.New("t")
+	c.AddV("vin", "a", "0", 1).AddR("r", "a", "0", 1)
+	sys, _ := Build(c)
+	names := sys.UnknownNames()
+	if len(names) != 2 || names[0] != "V(a)" || names[1] != "I(vin)" {
+		t.Errorf("names = %v", names)
+	}
+	if sys.Dim() != 2 {
+		t.Errorf("dim = %d", sys.Dim())
+	}
+}
+
+func TestSingularSolveErrors(t *testing.T) {
+	// Two ideal V sources fighting across the same node pair.
+	c := circuit.New("bad")
+	c.AddV("v1", "a", "0", 1).AddV("v2", "a", "0", 2)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(0); err == nil {
+		t.Error("singular system solved")
+	}
+}

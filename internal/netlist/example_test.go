@@ -1,0 +1,47 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// ExampleParseString shows the netlist grammar: title line, element
+// cards, device cards with models, hierarchy.
+func ExampleParseString() {
+	src := `two-stage amplifier
+.model fast NPN BETA=300 TF=0.2n
+.subckt ce in out
+Q1 out in 0 IC=1m MODEL=fast
+Rl out 0 5k
+.ends
+V1 in 0 1
+X1 in mid ce
+X2 mid out ce
+`
+	c, err := netlist.ParseString(src, "example")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Stats())
+	fmt.Println("X2.Q1 expanded:", c.HasElement("X2.Q1.gm"))
+	// Output:
+	// two-stage amplifier: 5 nodes, 4 R, 4 G, 4 C, 2 VCCS, 1 V
+	// X2.Q1 expanded: true
+}
+
+// ExampleParseValue shows SPICE magnitude suffixes.
+func ExampleParseValue() {
+	for _, s := range []string{"2.2k", "30pF", "1meg", "0.5u"} {
+		v, err := netlist.ParseValue(s)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s = %g\n", s, v)
+	}
+	// Output:
+	// 2.2k = 2200
+	// 30pF = 3e-11
+	// 1meg = 1e+06
+	// 0.5u = 5e-07
+}

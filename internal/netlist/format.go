@@ -1,0 +1,100 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Format writes the circuit as a netlist this package can parse back.
+// Elements whose names don't start with the letter their kind requires
+// get a kind-prefixed alias (expanded device primitives like "q1.gm"
+// become "Gq1.gm" etc.), so round-tripping always works.
+func Format(w io.Writer, c *circuit.Circuit) error {
+	if _, err := fmt.Fprintf(w, "%s\n", c.Name); err != nil {
+		return err
+	}
+	for _, e := range c.Elements() {
+		line, err := formatElement(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ".end")
+	return err
+}
+
+// FormatString renders the circuit to a string.
+func FormatString(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Format(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func formatElement(e circuit.Element) (string, error) {
+	name := e.Name
+	ensure := func(p string) string {
+		if strings.HasPrefix(strings.ToUpper(name), p) {
+			return name
+		}
+		return p + name
+	}
+	switch e.Kind {
+	case circuit.Resistor:
+		return fmt.Sprintf("%s %s %s %s", ensure("R"), e.P, e.N, FormatValue(e.Value)), nil
+	case circuit.Conductance:
+		// No dedicated conductance card: emit the equivalent resistor.
+		return fmt.Sprintf("%s %s %s %s", ensure("R"), e.P, e.N, FormatValue(1/e.Value)), nil
+	case circuit.Capacitor:
+		return fmt.Sprintf("%s %s %s %s", ensure("C"), e.P, e.N, FormatValue(e.Value)), nil
+	case circuit.Inductor:
+		return fmt.Sprintf("%s %s %s %s", ensure("L"), e.P, e.N, FormatValue(e.Value)), nil
+	case circuit.VCCS:
+		return fmt.Sprintf("%s %s %s %s %s %s", ensure("G"), e.P, e.N, e.CP, e.CN, FormatValue(e.Value)), nil
+	case circuit.VCVS:
+		return fmt.Sprintf("%s %s %s %s %s %s", ensure("E"), e.P, e.N, e.CP, e.CN, FormatValue(e.Value)), nil
+	case circuit.CCCS:
+		return fmt.Sprintf("%s %s %s %s %s", ensure("F"), e.P, e.N, e.Ctrl, FormatValue(e.Value)), nil
+	case circuit.CCVS:
+		return fmt.Sprintf("%s %s %s %s %s", ensure("H"), e.P, e.N, e.Ctrl, FormatValue(e.Value)), nil
+	case circuit.VSource:
+		return fmt.Sprintf("%s %s %s %s", ensure("V"), e.P, e.N, FormatValue(e.Value)), nil
+	case circuit.ISource:
+		return fmt.Sprintf("%s %s %s %s", ensure("I"), e.P, e.N, FormatValue(e.Value)), nil
+	}
+	return "", fmt.Errorf("netlist: cannot format element kind %v", e.Kind)
+}
+
+// FormatValue renders a value with the natural SPICE magnitude suffix.
+func FormatValue(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	abs := math.Abs(v)
+	type suf struct {
+		m float64
+		s string
+	}
+	for _, s := range []suf{
+		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	} {
+		if abs >= s.m {
+			return trimFloat(v/s.m) + s.s
+		}
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}

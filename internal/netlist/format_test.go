@@ -1,0 +1,152 @@
+package netlist
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/mna"
+)
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {1000, "1k"}, {2.2e3, "2.2k"}, {1e-12, "1p"},
+		{30e-12, "30p"}, {1e6, "1meg"}, {0.5, "500m"}, {5e-6, "5u"},
+		{-1e3, "-1k"}, {1.5e9, "1.5g"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatValueRoundTrips(t *testing.T) {
+	for _, v := range []float64{1, 1234, 1e-12, 3.3e-9, 4.7e4, 2.2e6, 1e12, 0.001} {
+		s := FormatValue(v)
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Errorf("%g -> %q: %v", v, s, err)
+			continue
+		}
+		if math.Abs(got-v)/v > 1e-5 {
+			t.Errorf("%g -> %q -> %g", v, s, got)
+		}
+	}
+}
+
+func TestRoundTripSimpleCircuit(t *testing.T) {
+	src := `round trip
+V1 in 0 1
+R1 in mid 1k
+L1 mid out 10u
+C1 out 0 100p
+G1 x 0 out 0 2m
+E1 y 0 x 0 4
+F1 0 z V1 2
+H1 h 0 V1 50
+R2 x 0 1k
+R3 y 0 1k
+R4 z 0 1k
+R5 h 0 1k
+I1 0 x 1m
+`
+	c1, err := ParseString(src, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := FormatString(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(text, "rt2")
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if len(c1.Elements()) != len(c2.Elements()) {
+		t.Fatalf("element count %d vs %d", len(c1.Elements()), len(c2.Elements()))
+	}
+	// Behavioural equivalence: same AC response at the output.
+	s1, err := mna.Build(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mna.Build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1e3, 1e6, 1e8} {
+		x1, err := s1.Solve(complex(0, 2*math.Pi*f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := s2.Solve(complex(0, 2*math.Pi*f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, _ := s1.VoltageAt(x1, "out")
+		v2, _ := s2.VoltageAt(x2, "out")
+		if cmplx.Abs(v1-v2) > 1e-6*(1+cmplx.Abs(v1)) {
+			t.Errorf("at %g Hz: %v vs %v", f, v1, v2)
+		}
+	}
+}
+
+func TestRoundTripExpandedDevices(t *testing.T) {
+	// The µA741's expanded primitives ("q1.gm" etc.) must format with
+	// kind prefixes and re-parse into an equivalent circuit.
+	c := circuits.UA741()
+	text, err := FormatString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(text, "ua741rt")
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(c.Elements()) != len(c2.Elements()) {
+		t.Fatalf("element count %d vs %d", len(c.Elements()), len(c2.Elements()))
+	}
+	// DC differential gain must agree.
+	gain := func(ck *circuit.Circuit) complex128 {
+		d := circuit.New("d")
+		for _, e := range ck.Elements() {
+			if err := d.AddElement(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.AddV("vdrv", "inp", "inn", 1)
+		sys, err := mna.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := sys.Solve(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := sys.VoltageAt(x, "out")
+		return v
+	}
+	g1, g2 := gain(c), gain(c2)
+	if cmplx.Abs(g1-g2) > 1e-4*cmplx.Abs(g1) {
+		t.Errorf("gain %v vs %v", g1, g2)
+	}
+}
+
+func TestFormatConductanceAsResistor(t *testing.T) {
+	c := circuit.New("g")
+	c.AddG("gload", "a", "0", 1e-3)
+	text, err := FormatString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Rgload a 0 1k") {
+		t.Errorf("conductance formatting: %q", text)
+	}
+}

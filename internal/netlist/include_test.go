@@ -1,0 +1,114 @@
+package netlist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIncludeLibrary(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "lib.sp", `.model fast NPN BETA=300
+.subckt stage in out
+Q1 out in 0 IC=1m MODEL=fast
+Rl out 0 5k
+.ends
+`)
+	main := writeFile(t, dir, "main.sp", `uses a library
+.include lib.sp
+V1 a 0 1
+X1 a b stage
+`)
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasElement("X1.Q1.gm") {
+		t.Error("library subcircuit not usable")
+	}
+	if c.Name != "uses a library" {
+		t.Errorf("title = %q", c.Name)
+	}
+}
+
+func TestIncludeElements(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "bias.sp", "Rb a 0 10k\nCb a 0 1p\n")
+	main := writeFile(t, dir, "main.sp", `with elements
+V1 a 0 1
+.include bias.sp
+`)
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasElement("Rb") || !c.HasElement("Cb") {
+		t.Error("included elements missing")
+	}
+}
+
+func TestIncludeNested(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "inner.sp", "Rinner x 0 1k\n")
+	writeFile(t, dir, "outer.sp", ".include inner.sp\nRouter x 0 2k\n")
+	main := writeFile(t, dir, "main.sp", "nested\nV1 x 0 1\n.include outer.sp\n")
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasElement("Rinner") || !c.HasElement("Router") {
+		t.Error("nested include missing elements")
+	}
+}
+
+func TestIncludeCycleDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.sp", ".include b.sp\nRa x 0 1\n")
+	writeFile(t, dir, "b.sp", ".include a.sp\nRb x 0 1\n")
+	main := writeFile(t, dir, "main.sp", "cycle\nV1 x 0 1\n.include a.sp\n")
+	_, err := ParseFile(main)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestIncludeMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	main := writeFile(t, dir, "main.sp", "missing\nV1 x 0 1\nR1 x 0 1\n.include nope.sp\n")
+	_, err := ParseFile(main)
+	if err == nil {
+		t.Error("missing include accepted")
+	}
+}
+
+func TestIncludeInsideSubcktRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "x.sp", "Rx a 0 1\n")
+	main := writeFile(t, dir, "main.sp", "bad\n.subckt s a\n.include x.sp\n.ends\nV1 v 0 1\nR1 v 0 1\n")
+	_, err := ParseFile(main)
+	if err == nil || !strings.Contains(err.Error(), "inside .subckt") {
+		t.Errorf("include inside subckt: %v", err)
+	}
+}
+
+func TestParseFileWithoutIncludes(t *testing.T) {
+	dir := t.TempDir()
+	main := writeFile(t, dir, "main.sp", "plain\nV1 a 0 1\nR1 a 0 1k\n")
+	c, err := ParseFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Elements()) != 2 {
+		t.Errorf("elements = %d", len(c.Elements()))
+	}
+}

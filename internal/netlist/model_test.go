@@ -1,0 +1,158 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelBJT(t *testing.T) {
+	src := `custom bjt model
+.model fast NPN BETA=300 TF=0.1n CJE=0.2p CMU=0.1p RB=50 VA=80
+I1 0 b 1u
+Q1 c b 0 IC=1m MODEL=fast
+R1 c 0 1k
+`
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gm = 1m/25.85m ≈ 38.7 mS; gpi = gm/300; cpi = gm·0.1n + 0.2p.
+	var gm, gpi, cpi, rb float64
+	for _, e := range c.Elements() {
+		switch e.Name {
+		case "Q1.gm":
+			gm = e.Value
+		case "Q1.gpi":
+			gpi = e.Value
+		case "Q1.cpi":
+			cpi = e.Value
+		case "Q1.rb":
+			rb = e.Value
+		}
+	}
+	wantGm := 1e-3 / 0.02585
+	if math.Abs(gm-wantGm)/wantGm > 1e-12 {
+		t.Errorf("gm = %g", gm)
+	}
+	if math.Abs(gpi-wantGm/300)/gpi > 1e-12 {
+		t.Errorf("gpi = %g (β wrong?)", gpi)
+	}
+	wantCpi := wantGm*0.1e-9 + 0.2e-12
+	if math.Abs(cpi-wantCpi)/wantCpi > 1e-12 {
+		t.Errorf("cpi = %g, want %g", cpi, wantCpi)
+	}
+	if rb != 50 {
+		t.Errorf("rb = %g", rb)
+	}
+}
+
+func TestModelPNPFlag(t *testing.T) {
+	src := `pnp model
+.model lat PNP BETA=40
+I1 0 b 1u
+Q1 c b 0 IC=100u MODEL=lat
+R1 c 0 1k
+`
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gm, gpi float64
+	for _, e := range c.Elements() {
+		switch e.Name {
+		case "Q1.gm":
+			gm = e.Value
+		case "Q1.gpi":
+			gpi = e.Value
+		}
+	}
+	if beta := gm / gpi; math.Abs(beta-40) > 1e-9 {
+		t.Errorf("β = %g, want 40", beta)
+	}
+}
+
+func TestModelMOS(t *testing.T) {
+	src := `mos model
+.model thin NMOS LAMBDA=0.02 CGS=0.5p CGD=0.1p
+V1 g 0 1
+M1 d g 0 ID=100u VOV=0.25 MODEL=thin
+R1 d 0 10k
+`
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gds, cgs float64
+	for _, e := range c.Elements() {
+		switch e.Name {
+		case "M1.gds":
+			gds = e.Value
+		case "M1.cgs":
+			cgs = e.Value
+		}
+	}
+	if math.Abs(gds-0.02*100e-6)/gds > 1e-12 {
+		t.Errorf("gds = %g", gds)
+	}
+	if cgs != 0.5e-12 {
+		t.Errorf("cgs = %g", cgs)
+	}
+}
+
+func TestModelDefaultsFilled(t *testing.T) {
+	src := `sparse model
+.model plain NPN BETA=100
+I1 0 b 1u
+Q1 c b 0 IC=1m MODEL=plain
+R1 c 0 1k
+`
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasElement("Q1.cmu") || !c.HasElement("Q1.rb") {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestModelInsideSubckt(t *testing.T) {
+	src := `models are global
+.model fast NPN BETA=300
+.subckt stage in out
+Q1 out in 0 IC=1m MODEL=fast
+Rl out 0 5k
+.ends
+V1 a 0 1
+X1 a b stage
+`
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasElement("X1.Q1.gm") {
+		t.Error("model not visible inside subcircuit")
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{".model\n", "want .model"},
+		{".model m1 JFET\n", "unknown type"},
+		{".model m1 NPN BETA\n", "bad parameter"},
+		{".model m1 NPN ZETA=3\n", "unknown parameter"},
+		{".model m1 NPN LAMBDA=1\n", "unknown parameter"}, // MOS key on BJT
+		{".model m1 NPN\n.model m1 NPN\n", "duplicate"},
+		{"I1 0 b 1u\nQ1 c b 0 IC=1m MODEL=ghost\nR1 c 0 1k\n", "unknown model"},
+		{".model m1 NMOS\nI1 0 b 1u\nQ1 c b 0 IC=1m MODEL=m1\nR1 c 0 1k\n", "is a MOS model"},
+		{".model m1 NPN\nV1 g 0 1\nM1 d g 0 ID=1u VOV=0.2 MODEL=m1\nR1 d 0 1k\n", "is a BJT model"},
+	}
+	for _, c := range cases {
+		_, err := ParseString("title\n"+c.src, "t")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err %v, want %q", c.src, err, c.want)
+		}
+	}
+}

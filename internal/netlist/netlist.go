@@ -1,0 +1,634 @@
+// Package netlist parses a SPICE-like circuit description into the
+// circuit data model, so the command-line tools can analyze user
+// circuits without Go code.
+//
+// Grammar (one element per line, case-insensitive, '*' and ';' start
+// comments):
+//
+//	R<name> n+ n- value          resistor (Ω)
+//	C<name> n+ n- value          capacitor (F)
+//	L<name> n+ n- value          inductor (H)
+//	G<name> n+ n- nc+ nc- value  VCCS (S)
+//	E<name> n+ n- nc+ nc- value  VCVS (gain)
+//	F<name> n+ n- vsrc value     CCCS (gain)
+//	H<name> n+ n- vsrc value     CCVS (Ω)
+//	V<name> n+ n- value          independent voltage source (AC value)
+//	I<name> n+ n- value          independent current source (AC value)
+//	Q<name> c b e IC=value [PNP] BJT, hybrid-π at the given bias current
+//	M<name> d g s ID=val VOV=val [PMOS]  MOSFET small-signal model
+//
+// Values accept the usual SPICE magnitude suffixes (f p n u m k meg g t).
+// The first line may be a free-form title; ".end" terminates parsing.
+//
+// Hierarchy: ".subckt <name> <port>..." / ".ends" define subcircuits,
+// instantiated with "X<name> <node>... <subckt>". Instance elements and
+// internal nodes are scoped as "X<name>.<local>"; ground is global.
+//
+// Device models: ".model <name> NPN|PNP|NMOS|PMOS [KEY=value ...]"
+// defines bias-independent parameters (BJT: BETA VA TF CJE CMU RB;
+// MOS: LAMBDA CGS CGD CDB CSB); Q and M cards select one with
+// "MODEL=<name>". Models are global, visible inside subcircuits.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/devices"
+)
+
+// subcktDef is a parsed .subckt block: port names and the raw element
+// cards between .subckt and .ends.
+type subcktDef struct {
+	name  string
+	ports []string
+	lines []numberedLine
+}
+
+type numberedLine struct {
+	no   int
+	text string
+}
+
+// scope translates names and nodes while instantiating subcircuits: an
+// instance prefixes every element and internal node, and maps the
+// definition's port names onto the instance's connection nodes.
+type scope struct {
+	c       *circuit.Circuit
+	prefix  string
+	nodeMap map[string]string
+	models  map[string]deviceModel
+}
+
+// deviceModel is a parsed .model card.
+type deviceModel struct {
+	bjt   devices.BJTModel
+	mos   devices.MOSModel
+	isMOS bool
+}
+
+func (s scope) node(n string) string {
+	if circuit.IsGround(n) {
+		return "0"
+	}
+	if mapped, ok := s.nodeMap[n]; ok {
+		return mapped
+	}
+	return s.prefix + n
+}
+
+func (s scope) elemName(n string) string { return s.prefix + n }
+
+// ParseFile parses a netlist file; ".include" directives resolve
+// relative to the file's directory.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	defer f.Close()
+	p := &parser{baseDir: filepath.Dir(path), included: map[string]bool{}}
+	abs, err := filepath.Abs(path)
+	if err == nil {
+		p.included[abs] = true
+	}
+	return p.parse(f, path)
+}
+
+// Parse reads a netlist and builds the circuit. The name labels the
+// circuit in diagnostics (often the file name). Hierarchy is supported
+// through .subckt/.ends definitions instantiated with X cards:
+//
+//	.subckt stage in out
+//	Q1 out in 0 IC=1m
+//	Rl out 0 10k
+//	.ends
+//	Xa a b stage
+//	Xb b c stage
+//
+// ".include <file>" directives resolve relative to the current working
+// directory; use ParseFile to resolve them against the netlist's own
+// location.
+func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	p := &parser{baseDir: ".", included: map[string]bool{}}
+	return p.parse(r, name)
+}
+
+// parser carries the include context.
+type parser struct {
+	baseDir  string
+	included map[string]bool
+}
+
+func (p *parser) parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	c := circuit.New(name)
+	defs := map[string]*subcktDef{}
+	models := map[string]deviceModel{}
+	var mainLines []numberedLine
+	if err := p.scan(r, name, c, defs, models, &mainLines, true); err != nil {
+		return nil, err
+	}
+	root := scope{c: c, prefix: "", nodeMap: map[string]string{}, models: models}
+	if err := parseLines(root, mainLines, defs, name, 0); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scan tokenizes one source (the main file or an include) into the
+// shared definition tables and main-line list.
+func (p *parser) scan(r io.Reader, name string, c *circuit.Circuit, defs map[string]*subcktDef, models map[string]deviceModel, mainLines *[]numberedLine, allowTitle bool) error {
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	first := allowTitle
+	var current *subcktDef
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexAny(line, "*;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, ".subckt"):
+			if current != nil {
+				return fmt.Errorf("netlist %s:%d: nested .subckt definition", name, lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return fmt.Errorf("netlist %s:%d: .subckt needs a name and at least one port", name, lineNo)
+			}
+			def := &subcktDef{name: strings.ToLower(fields[1]), ports: fields[2:]}
+			if _, dup := defs[def.name]; dup {
+				return fmt.Errorf("netlist %s:%d: duplicate subcircuit %q", name, lineNo, fields[1])
+			}
+			defs[def.name] = def
+			current = def
+			continue
+		case strings.HasPrefix(lower, ".ends"):
+			if current == nil {
+				return fmt.Errorf("netlist %s:%d: .ends without .subckt", name, lineNo)
+			}
+			current = nil
+			continue
+		case strings.HasPrefix(lower, ".end"):
+			// .ends matched above, so this is the terminator.
+			lineNo = -1 // sentinel: stop reading
+		case strings.HasPrefix(lower, ".model"):
+			if err := parseModel(models, line); err != nil {
+				return fmt.Errorf("netlist %s:%d: %w", name, lineNo, err)
+			}
+			continue
+		case strings.HasPrefix(lower, ".include"):
+			if current != nil {
+				return fmt.Errorf("netlist %s:%d: .include inside .subckt", name, lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return fmt.Errorf("netlist %s:%d: .include needs one file name", name, lineNo)
+			}
+			if err := p.include(fields[1], c, defs, models, mainLines); err != nil {
+				return fmt.Errorf("netlist %s:%d: %w", name, lineNo, err)
+			}
+			continue
+		case strings.HasPrefix(lower, "."):
+			// Other dot-cards (.title, .options …) are ignored.
+			continue
+		}
+		if lineNo == -1 {
+			break
+		}
+		if first && current == nil {
+			first = false
+			// A first line that doesn't look like an element is a title.
+			if !looksLikeElement(line) && !strings.HasPrefix(line, "X") && !strings.HasPrefix(line, "x") {
+				c.Name = line
+				continue
+			}
+		}
+		if current != nil {
+			current.lines = append(current.lines, numberedLine{lineNo, line})
+			continue
+		}
+		*mainLines = append(*mainLines, numberedLine{lineNo, line})
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("netlist %s: %w", name, err)
+	}
+	if current != nil {
+		return fmt.Errorf("netlist %s: unterminated .subckt %q", name, current.name)
+	}
+	return nil
+}
+
+// include scans another file into the shared tables. Element cards from
+// included files run before/among the including file's in source order.
+func (p *parser) include(file string, c *circuit.Circuit, defs map[string]*subcktDef, models map[string]deviceModel, mainLines *[]numberedLine) error {
+	path := file
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(p.baseDir, path)
+	}
+	abs, err := filepath.Abs(path)
+	if err == nil {
+		if p.included[abs] {
+			return fmt.Errorf(".include cycle: %s", file)
+		}
+		p.included[abs] = true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf(".include: %w", err)
+	}
+	defer f.Close()
+	return p.scan(f, file, c, defs, models, mainLines, false)
+}
+
+// parseLines parses element cards within a scope, instantiating X cards
+// recursively.
+func parseLines(sc scope, lines []numberedLine, defs map[string]*subcktDef, file string, depth int) error {
+	if depth > 50 {
+		return fmt.Errorf("netlist %s: subcircuit nesting deeper than 50 (recursive definition?)", file)
+	}
+	for _, ln := range lines {
+		if ln.text[0] == 'X' || ln.text[0] == 'x' {
+			fields := strings.Fields(ln.text)
+			if len(fields) < 2 {
+				return fmt.Errorf("netlist %s:%d: %s: want X<name> nodes... subckt", file, ln.no, fields[0])
+			}
+			defName := strings.ToLower(fields[len(fields)-1])
+			def, ok := defs[defName]
+			if !ok {
+				return fmt.Errorf("netlist %s:%d: unknown subcircuit %q", file, ln.no, fields[len(fields)-1])
+			}
+			conns := fields[1 : len(fields)-1]
+			if len(conns) != len(def.ports) {
+				return fmt.Errorf("netlist %s:%d: %s: %d connections for %d ports of %q",
+					file, ln.no, fields[0], len(conns), len(def.ports), def.name)
+			}
+			child := scope{
+				c:       sc.c,
+				prefix:  sc.elemName(fields[0]) + ".",
+				nodeMap: map[string]string{},
+				models:  sc.models,
+			}
+			for i, port := range def.ports {
+				child.nodeMap[port] = sc.node(conns[i])
+			}
+			if err := parseLines(child, def.lines, defs, file, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := parseElement(sc, ln.text); err != nil {
+			return fmt.Errorf("netlist %s:%d: %w", file, ln.no, err)
+		}
+	}
+	return nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, name string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+// parseModel parses a ".model <name> NPN|PNP|NMOS|PMOS [KEY=value ...]"
+// card. BJT keys: BETA, VA, TF, CJE, CMU, RB. MOS keys: LAMBDA, CGS,
+// CGD, CDB, CSB. Unset keys take the typical defaults.
+func parseModel(models map[string]deviceModel, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf(".model: want .model <name> <type> [params]")
+	}
+	name := strings.ToLower(fields[1])
+	if _, dup := models[name]; dup {
+		return fmt.Errorf(".model: duplicate model %q", fields[1])
+	}
+	kind := strings.ToUpper(fields[2])
+	var m deviceModel
+	switch kind {
+	case "NPN", "PNP":
+		m.bjt.PNP = kind == "PNP"
+	case "NMOS", "PMOS":
+		m.isMOS = true
+		m.mos.PMOS = kind == "PMOS"
+	default:
+		return fmt.Errorf(".model %s: unknown type %q (want NPN, PNP, NMOS or PMOS)", fields[1], fields[2])
+	}
+	for _, f := range fields[3:] {
+		eq := strings.Index(f, "=")
+		if eq < 0 {
+			return fmt.Errorf(".model %s: bad parameter %q", fields[1], f)
+		}
+		key := strings.ToUpper(f[:eq])
+		v, err := ParseValue(f[eq+1:])
+		if err != nil {
+			return fmt.Errorf(".model %s: %s: %w", fields[1], key, err)
+		}
+		ok := true
+		if m.isMOS {
+			switch key {
+			case "LAMBDA":
+				m.mos.Lambda = v
+			case "CGS":
+				m.mos.CGS = v
+			case "CGD":
+				m.mos.CGD = v
+			case "CDB":
+				m.mos.CDB = v
+			case "CSB":
+				m.mos.CSB = v
+			default:
+				ok = false
+			}
+		} else {
+			switch key {
+			case "BETA":
+				m.bjt.Beta = v
+			case "VA":
+				m.bjt.VA = v
+			case "TF":
+				m.bjt.TF = v
+			case "CJE":
+				m.bjt.CJE = v
+			case "CMU":
+				m.bjt.CMU = v
+			case "RB":
+				m.bjt.RB = v
+			default:
+				ok = false
+			}
+		}
+		if !ok {
+			return fmt.Errorf(".model %s: unknown parameter %q for type %s", fields[1], key, kind)
+		}
+	}
+	models[name] = m
+	return nil
+}
+
+func looksLikeElement(line string) bool {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return false
+	}
+	switch strings.ToUpper(line[:1]) {
+	case "R", "C", "L", "G", "E", "F", "H", "V", "I", "Q", "M":
+	default:
+		return false
+	}
+	// The last positional of simple elements must parse as a value, or
+	// the card carries key=value fields (devices).
+	if strings.Contains(line, "=") {
+		return true
+	}
+	_, err := ParseValue(fields[len(fields)-1])
+	return err == nil
+}
+
+func parseElement(sc scope, line string) error {
+	fields := strings.Fields(line)
+	name := fields[0]
+	kind := strings.ToUpper(name[:1])
+	switch kind {
+	case "R", "C", "L", "V", "I":
+		if len(fields) != 4 {
+			return fmt.Errorf("%s: want 4 fields, got %d", name, len(fields))
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		var e circuit.Element
+		switch kind {
+		case "R":
+			e = circuit.Element{Kind: circuit.Resistor, Value: v}
+		case "C":
+			e = circuit.Element{Kind: circuit.Capacitor, Value: v}
+		case "L":
+			e = circuit.Element{Kind: circuit.Inductor, Value: v}
+		case "V":
+			e = circuit.Element{Kind: circuit.VSource, Value: v}
+		case "I":
+			e = circuit.Element{Kind: circuit.ISource, Value: v}
+		}
+		if e.Value <= 0 && (kind == "R" || kind == "C" || kind == "L") {
+			return fmt.Errorf("%s: value must be positive, got %g", name, v)
+		}
+		e.Name, e.P, e.N = sc.elemName(name), sc.node(fields[1]), sc.node(fields[2])
+		return sc.c.AddElement(e)
+	case "G", "E":
+		if len(fields) != 6 {
+			return fmt.Errorf("%s: want 6 fields, got %d", name, len(fields))
+		}
+		v, err := ParseValue(fields[5])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		k := circuit.VCCS
+		if kind == "E" {
+			k = circuit.VCVS
+		}
+		return sc.c.AddElement(circuit.Element{
+			Kind: k, Name: sc.elemName(name), P: sc.node(fields[1]), N: sc.node(fields[2]),
+			CP: sc.node(fields[3]), CN: sc.node(fields[4]), Value: v,
+		})
+	case "F", "H":
+		if len(fields) != 5 {
+			return fmt.Errorf("%s: want 5 fields, got %d", name, len(fields))
+		}
+		v, err := ParseValue(fields[4])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		k := circuit.CCCS
+		if kind == "H" {
+			k = circuit.CCVS
+		}
+		return sc.c.AddElement(circuit.Element{
+			Kind: k, Name: sc.elemName(name), P: sc.node(fields[1]), N: sc.node(fields[2]),
+			Ctrl: sc.elemName(fields[3]), Value: v,
+		})
+	case "Q":
+		return parseBJT(sc, name, fields)
+	case "M":
+		return parseMOS(sc, name, fields)
+	}
+	return fmt.Errorf("%s: unknown element type %q", name, kind)
+}
+
+func parseBJT(sc scope, name string, fields []string) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("%s: want Q<name> c b e IC=value [PNP]", name)
+	}
+	ic := 0.0
+	pnp := false
+	off := false
+	modelName := ""
+	for _, f := range fields[4:] {
+		upper := strings.ToUpper(f)
+		switch {
+		case strings.HasPrefix(upper, "IC="):
+			v, err := ParseValue(f[3:])
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			ic = v
+		case strings.HasPrefix(upper, "MODEL="):
+			modelName = strings.ToLower(f[6:])
+		case upper == "PNP":
+			pnp = true
+		case upper == "NPN":
+		case upper == "OFF":
+			off = true
+		default:
+			return fmt.Errorf("%s: unknown attribute %q", name, f)
+		}
+	}
+	if ic <= 0 && !off {
+		return fmt.Errorf("%s: needs IC=<bias current> or OFF", name)
+	}
+	if ic <= 0 {
+		ic = 1e-6
+	}
+	var p devices.BJTParams
+	switch {
+	case modelName != "":
+		m, ok := sc.models[modelName]
+		if !ok {
+			return fmt.Errorf("%s: unknown model %q", name, modelName)
+		}
+		if m.isMOS {
+			return fmt.Errorf("%s: model %q is a MOS model", name, modelName)
+		}
+		p = m.bjt.AtBias(ic)
+		pnp = m.bjt.PNP
+	case pnp:
+		p = devices.TypicalPNP(ic)
+	default:
+		p = devices.TypicalNPN(ic)
+	}
+	if off {
+		p = devices.Off(p)
+	}
+	devices.AddBJT(sc.c, sc.elemName(name), sc.node(fields[1]), sc.node(fields[2]), sc.node(fields[3]), p)
+	return nil
+}
+
+func parseMOS(sc scope, name string, fields []string) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("%s: want M<name> d g s ID=value VOV=value [PMOS]", name)
+	}
+	id, vov := 0.0, 0.0
+	pmos := false
+	modelName := ""
+	for _, f := range fields[4:] {
+		upper := strings.ToUpper(f)
+		switch {
+		case strings.HasPrefix(upper, "ID="):
+			v, err := ParseValue(f[3:])
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			id = v
+		case strings.HasPrefix(upper, "VOV="):
+			v, err := ParseValue(f[4:])
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			vov = v
+		case strings.HasPrefix(upper, "MODEL="):
+			modelName = strings.ToLower(f[6:])
+		case upper == "PMOS":
+			pmos = true
+		case upper == "NMOS":
+		default:
+			return fmt.Errorf("%s: unknown attribute %q", name, f)
+		}
+	}
+	if id <= 0 || vov <= 0 {
+		return fmt.Errorf("%s: needs ID= and VOV=", name)
+	}
+	var p devices.MOSParams
+	switch {
+	case modelName != "":
+		m, ok := sc.models[modelName]
+		if !ok {
+			return fmt.Errorf("%s: unknown model %q", name, modelName)
+		}
+		if !m.isMOS {
+			return fmt.Errorf("%s: model %q is a BJT model", name, modelName)
+		}
+		p = m.mos.AtBias(id, vov)
+	case pmos:
+		p = devices.TypicalPMOS(id, vov)
+	default:
+		p = devices.TypicalNMOS(id, vov)
+	}
+	devices.AddMOS(sc.c, sc.elemName(name), sc.node(fields[1]), sc.node(fields[2]), sc.node(fields[3]), p)
+	return nil
+}
+
+// suffixes maps SPICE magnitude suffixes to multipliers. "MEG" must be
+// checked before "M".
+var suffixes = []struct {
+	s string
+	m float64
+}{
+	{"MEG", 1e6}, {"T", 1e12}, {"G", 1e9}, {"K", 1e3},
+	{"M", 1e-3}, {"U", 1e-6}, {"N", 1e-9}, {"P", 1e-12}, {"F", 1e-15},
+}
+
+// ParseValue parses a number with an optional SPICE magnitude suffix
+// ("2.2k", "30p", "1meg"). Trailing unit letters after the suffix are
+// ignored, as in SPICE ("30pF").
+func ParseValue(s string) (float64, error) {
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	if upper == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Split numeric prefix from letters.
+	end := len(upper)
+	for i, r := range upper {
+		if (r < '0' || r > '9') && r != '.' && r != '+' && r != '-' && r != 'E' {
+			end = i
+			break
+		}
+		// 'E' is valid only as exponent: must be followed by digit or sign.
+		if r == 'E' {
+			if i+1 >= len(upper) || !strings.ContainsRune("0123456789+-", rune(upper[i+1])) {
+				end = i
+				break
+			}
+		}
+	}
+	numPart, sufPart := upper[:end], upper[end:]
+	v, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	if sufPart == "" {
+		return v, nil
+	}
+	for _, suf := range suffixes {
+		if strings.HasPrefix(sufPart, suf.s) {
+			return v * suf.m, nil
+		}
+	}
+	// Unknown letters: treat as unit annotation (e.g. "3OHM"? no — only
+	// accept pure unit letters after a known suffix; bare units like "pF"
+	// are covered above). Reject otherwise.
+	return 0, fmt.Errorf("bad magnitude suffix in %q", s)
+}

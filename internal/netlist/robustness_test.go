@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds quasi-random garbage to the parser: every
+// input must produce a circuit or an error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", raw, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseString(string(raw), "fuzz")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsStructured does the same with inputs that look
+// like netlists (element letters, numbers, separators), which reach
+// deeper code paths than raw bytes.
+func TestParseNeverPanicsStructured(t *testing.T) {
+	pieces := []string{
+		"R1", "C2", "L3", "G4", "E5", "F6", "H7", "V8", "I9", "Q10", "M11",
+		"a", "b", "0", "out", "in", "1k", "-3", "1e", "..", "IC=", "IC=1m",
+		"VOV=0.2", "ID=", "PNP", "PMOS", "*", ";", ".end", "=", "1meg", "0p",
+	}
+	f := func(seed []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		var b strings.Builder
+		for i, s := range seed {
+			b.WriteString(pieces[int(s)%len(pieces)])
+			if i%5 == 4 {
+				b.WriteString("\n")
+			} else {
+				b.WriteString(" ")
+			}
+		}
+		_, _ = ParseString(b.String(), "fuzz")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseValueNeverPanics covers the value scanner.
+func TestParseValueNeverPanics(t *testing.T) {
+	f := func(raw string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseValue(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

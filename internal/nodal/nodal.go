@@ -1,0 +1,365 @@
+// Package nodal implements the node-admittance formulation used by the
+// interpolation pipeline.
+//
+// It accepts the admittance-only element subset (G, R, C, VCCS): in that
+// class every entry of the grounded node-admittance matrix Y(s) has the
+// form Σg + s·Σc, every determinant term is a product of exactly n
+// admittance factors, and the conductance/frequency scaling law of the
+// paper's eq. (11) — p'_i = p_i·f^i·g^(M−i) — holds exactly with M equal
+// to the matrix order. Network functions are ratios of signed cofactors
+// (P. M. Lin, Symbolic Network Analysis): both numerator and denominator
+// are determinants of admittance matrices and interpolate under the same
+// law.
+package nodal
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/interp"
+	"repro/internal/sparse"
+	"repro/internal/xmath"
+)
+
+// stamp is one (row, col, value) contribution.
+type stamp struct {
+	i, j int
+	v    float64
+}
+
+// System is the assembled grounded node-admittance structure: separate
+// conductance and capacitance stamp lists so the matrix can be evaluated
+// at any complex frequency with any pair of scale factors.
+type System struct {
+	n       int
+	gStamps []stamp
+	cStamps []stamp
+	numCaps int
+	// plans cache sparse pivot orders per deleted-row/column pair: the
+	// interpolation loop factors the same pattern at every point, so the
+	// Markowitz search runs once per pattern. Keys: {-1,-1} for the full
+	// determinant, {r,c} for first-order cofactors, and synthetic keys
+	// for merged/shorted variants. Not safe for concurrent use.
+	plans map[[2]int]*sparse.Plan
+}
+
+func (sys *System) plan(key [2]int) *sparse.Plan {
+	if sys.plans == nil {
+		sys.plans = make(map[[2]int]*sparse.Plan)
+	}
+	p, ok := sys.plans[key]
+	if !ok {
+		p = &sparse.Plan{}
+		sys.plans[key] = p
+	}
+	return p
+}
+
+// planned factors m under the cached plan for key and returns the
+// determinant (zero when singular).
+func (sys *System) planned(key [2]int, m *sparse.Matrix) xmath.XComplex {
+	f, err := m.FactorPlanned(sys.plan(key))
+	if err != nil {
+		return xmath.XComplex{}
+	}
+	return f.Det()
+}
+
+// Build assembles the system from a circuit. It returns an error if the
+// circuit contains elements outside the admittance subset or fails
+// validation.
+func Build(c *circuit.Circuit) (*System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if !c.AdmittanceOnly() {
+		return nil, fmt.Errorf("nodal: circuit %q contains non-admittance elements; use the MNA path for analysis or reduce sources to Norton equivalents", c.Name)
+	}
+	sys := &System{n: c.NumNodes(), numCaps: c.NumCapacitors()}
+	for _, e := range c.Elements() {
+		p, n := c.NodeIndex(e.P), c.NodeIndex(e.N)
+		switch e.Kind {
+		case circuit.Conductance:
+			sys.stampAdmittance(&sys.gStamps, p, n, e.Value)
+		case circuit.Resistor:
+			sys.stampAdmittance(&sys.gStamps, p, n, 1/e.Value)
+		case circuit.Capacitor:
+			sys.stampAdmittance(&sys.cStamps, p, n, e.Value)
+		case circuit.VCCS:
+			cp, cn := c.NodeIndex(e.CP), c.NodeIndex(e.CN)
+			sys.stampVCCS(p, n, cp, cn, e.Value)
+		}
+	}
+	return sys, nil
+}
+
+// stampAdmittance adds the two-terminal admittance pattern, skipping
+// ground (-1) rows/columns.
+func (sys *System) stampAdmittance(list *[]stamp, p, n int, v float64) {
+	if p >= 0 {
+		*list = append(*list, stamp{p, p, v})
+	}
+	if n >= 0 {
+		*list = append(*list, stamp{n, n, v})
+	}
+	if p >= 0 && n >= 0 {
+		*list = append(*list, stamp{p, n, -v}, stamp{n, p, -v})
+	}
+}
+
+// stampVCCS adds the transconductance pattern: current gm·(v_cp − v_cn)
+// flows from node p through the source into node n.
+func (sys *System) stampVCCS(p, n, cp, cn int, gm float64) {
+	add := func(i, j int, v float64) {
+		if i >= 0 && j >= 0 {
+			sys.gStamps = append(sys.gStamps, stamp{i, j, v})
+		}
+	}
+	add(p, cp, gm)
+	add(p, cn, -gm)
+	add(n, cp, -gm)
+	add(n, cn, gm)
+}
+
+// N returns the matrix order (number of non-ground nodes).
+func (sys *System) N() int { return sys.n }
+
+// NumCapacitors returns the capacitor count (the order upper bound).
+func (sys *System) NumCapacitors() int { return sys.numCaps }
+
+// MatrixAt assembles Y(s) with every conductance multiplied by gscale and
+// every capacitance by fscale:
+//
+//	Y_ij = gscale·G_ij + s·fscale·C_ij
+//
+// Evaluating the scaled matrix at unit-circle points makes the
+// interpolated coefficients p'_i = p_i·fscale^i·gscale^(M−i) (eq. 11).
+func (sys *System) MatrixAt(s complex128, fscale, gscale float64) *sparse.Matrix {
+	m := sparse.New(sys.n)
+	for _, st := range sys.gStamps {
+		m.Add(st.i, st.j, complex(st.v*gscale, 0))
+	}
+	sc := s * complex(fscale, 0)
+	for _, st := range sys.cStamps {
+		m.Add(st.i, st.j, sc*complex(st.v, 0))
+	}
+	return m
+}
+
+// cofactorSign returns (−1)^(r+c).
+func cofactorSign(r, c int) float64 {
+	if (r+c)%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Cofactor evaluates the signed first-order cofactor
+// C_rc(s) = (−1)^(r+c)·det(Y(s) with row r and column c deleted)
+// of the scaled matrix.
+func (sys *System) Cofactor(r, c int, s complex128, fscale, gscale float64) xmath.XComplex {
+	m := sys.MatrixAt(s, fscale, gscale).Minor([]int{r}, []int{c})
+	det := sys.planned([2]int{r, c}, m)
+	if cofactorSign(r, c) < 0 {
+		det = det.Neg()
+	}
+	return det
+}
+
+// Det evaluates det Y(s) of the scaled matrix.
+func (sys *System) Det(s complex128, fscale, gscale float64) xmath.XComplex {
+	return sys.planned([2]int{-1, -1}, sys.MatrixAt(s, fscale, gscale))
+}
+
+// DetShorted evaluates det of Y(s) with node b merged into node a (rows
+// and columns summed) — the circuit with the two nodes shorted. By
+// multilinearity this single determinant equals the four-cofactor sum
+// C_aa + C_bb − C_ab − C_ba, but without the ~6-digit cancellation the
+// explicit sum suffers on weakly-coupled input pairs.
+func (sys *System) DetShorted(a, b int, s complex128, fscale, gscale float64) xmath.XComplex {
+	m := sys.MatrixAt(s, fscale, gscale)
+	merged := sparse.New(sys.n - 1)
+	// Index map: drop b, everything after shifts down; b's row/col fold
+	// into a's.
+	idx := func(i int) int {
+		switch {
+		case i == b:
+			i = a
+		}
+		if i > b {
+			return i - 1
+		}
+		return i
+	}
+	for i := 0; i < sys.n; i++ {
+		for j := 0; j < sys.n; j++ {
+			if v := m.At(i, j); v != 0 {
+				merged.Add(idx(i), idx(j), v)
+			}
+		}
+	}
+	return sys.planned([2]int{-2 - a, -2 - b}, merged)
+}
+
+// CofactorMergedRows evaluates the single-determinant form of
+// C_a,c − C_b,c: det of Y(s) with row b added into row a, row b and
+// column c removed, with the appropriate cofactor sign. Like DetShorted
+// it avoids the cancellation of the explicit difference.
+func (sys *System) CofactorMergedRows(a, b, c int, s complex128, fscale, gscale float64) xmath.XComplex {
+	m := sys.MatrixAt(s, fscale, gscale)
+	reduced := sparse.New(sys.n - 1)
+	rowIdx := func(i int) int {
+		if i == b {
+			i = a
+		}
+		if i > b {
+			return i - 1
+		}
+		return i
+	}
+	for i := 0; i < sys.n; i++ {
+		for j := 0; j < sys.n; j++ {
+			if j == c {
+				continue
+			}
+			jj := j
+			if j > c {
+				jj = j - 1
+			}
+			if v := m.At(i, j); v != 0 {
+				reduced.Add(rowIdx(i), jj, v)
+			}
+		}
+	}
+	det := sys.planned([2]int{-100 - a*sys.n - b, c}, reduced)
+	// Multilinear expansion of the merged row gives
+	// C_ac − C_bc = (−1)^(b+c+1)·det(reduced), with b the deleted row —
+	// independent of whether a < b (the row move parity absorbs the
+	// difference). Verified against the explicit cofactor difference in
+	// the package tests.
+	if (b+c+1)%2 != 0 {
+		det = det.Neg()
+	}
+	return det
+}
+
+func (sys *System) orderBound(m int) int {
+	if sys.numCaps < m {
+		return sys.numCaps
+	}
+	return m
+}
+
+// VoltageGain returns H(s) = V(out)/V(in) for an ideal voltage source
+// driving node in against ground:
+//
+//	N = C_in,out   D = C_in,in
+//
+// Both polynomials are cofactors of order n−1.
+func (sys *System) VoltageGain(c *circuit.Circuit, in, out string) (*interp.TransferFunction, error) {
+	i, err := nodeIndex(c, in)
+	if err != nil {
+		return nil, err
+	}
+	o, err := nodeIndex(c, out)
+	if err != nil {
+		return nil, err
+	}
+	m := sys.n - 1
+	return &interp.TransferFunction{
+		Name: fmt.Sprintf("V(%s)/V(%s)", out, in),
+		Num: interp.Evaluator{
+			Name: "numerator", M: m, OrderBound: sys.orderBound(m),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.Cofactor(i, o, s, f, g)
+			},
+		},
+		Den: interp.Evaluator{
+			Name: "denominator", M: m, OrderBound: sys.orderBound(m),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.Cofactor(i, i, s, f, g)
+			},
+		},
+	}, nil
+}
+
+// DifferentialVoltageGain returns H(s) = V(out)/(V(inp)−V(inn)) for an
+// ideal floating source between inp and inn:
+//
+//	N = C_inp,out − C_inn,out
+//	D = C_inp,inp + C_inn,inn − C_inp,inn − C_inn,inp
+//
+// derived from H = (Z_out,inp − Z_out,inn)/(Z_inp,inp + Z_inn,inn −
+// Z_inp,inn − Z_inn,inp) with Z = Y⁻¹ and Z_ij = C_ji/det Y.
+func (sys *System) DifferentialVoltageGain(c *circuit.Circuit, inp, inn, out string) (*interp.TransferFunction, error) {
+	ip, err := nodeIndex(c, inp)
+	if err != nil {
+		return nil, err
+	}
+	in, err := nodeIndex(c, inn)
+	if err != nil {
+		return nil, err
+	}
+	o, err := nodeIndex(c, out)
+	if err != nil {
+		return nil, err
+	}
+	if o == ip || o == in {
+		return nil, fmt.Errorf("nodal: output node must differ from the input pair")
+	}
+	m := sys.n - 1
+	return &interp.TransferFunction{
+		Name: fmt.Sprintf("V(%s)/(V(%s)-V(%s))", out, inp, inn),
+		Num: interp.Evaluator{
+			Name: "numerator", M: m, OrderBound: sys.orderBound(m),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.CofactorMergedRows(ip, in, o, s, f, g)
+			},
+		},
+		Den: interp.Evaluator{
+			Name: "denominator", M: m, OrderBound: sys.orderBound(m),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.DetShorted(ip, in, s, f, g)
+			},
+		},
+	}, nil
+}
+
+// Transimpedance returns H(s) = V(out)/I(in) for a current source
+// injected into node in: N = C_in,out (order n−1), D = det Y (order n).
+func (sys *System) Transimpedance(c *circuit.Circuit, in, out string) (*interp.TransferFunction, error) {
+	i, err := nodeIndex(c, in)
+	if err != nil {
+		return nil, err
+	}
+	o, err := nodeIndex(c, out)
+	if err != nil {
+		return nil, err
+	}
+	return &interp.TransferFunction{
+		Name: fmt.Sprintf("V(%s)/I(%s)", out, in),
+		Num: interp.Evaluator{
+			Name: "numerator", M: sys.n - 1, OrderBound: sys.orderBound(sys.n - 1),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.Cofactor(i, o, s, f, g)
+			},
+		},
+		Den: interp.Evaluator{
+			Name: "denominator", M: sys.n, OrderBound: sys.orderBound(sys.n),
+			Eval: func(s complex128, f, g float64) xmath.XComplex {
+				return sys.Det(s, f, g)
+			},
+		},
+	}, nil
+}
+
+func nodeIndex(c *circuit.Circuit, name string) (int, error) {
+	idx := c.NodeIndex(name)
+	switch idx {
+	case -1:
+		return 0, fmt.Errorf("nodal: node %q is ground; network functions need non-ground terminals", name)
+	case -2:
+		return 0, fmt.Errorf("nodal: unknown node %q", name)
+	}
+	return idx, nil
+}

@@ -1,0 +1,274 @@
+package nodal
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mna"
+)
+
+func TestBuildRejectsNonAdmittance(t *testing.T) {
+	c := circuit.New("t")
+	c.AddR("r", "a", "0", 1).AddV("v", "a", "0", 1)
+	if _, err := Build(c); err == nil {
+		t.Error("circuit with V source accepted")
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(circuit.New("empty")); err == nil {
+		t.Error("empty circuit accepted")
+	}
+}
+
+func TestSingleNodeRC(t *testing.T) {
+	// Current into node 1 with R and C to ground: H = V/I = 1/(g + sC).
+	g, cv := 1e-3, 2e-12
+	c := circuit.New("rc")
+	c.AddG("g1", "n1", "0", g).AddC("c1", "n1", "0", cv)
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.Transimpedance(c, "n1", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Num.M != 0 || tf.Den.M != 1 {
+		t.Errorf("M: num %d den %d", tf.Num.M, tf.Den.M)
+	}
+	s := complex(0, 2e9)
+	num := tf.Num.Eval(s, 1, 1).Complex128()
+	den := tf.Den.Eval(s, 1, 1).Complex128()
+	if cmplx.Abs(num-1) > 1e-14 {
+		t.Errorf("N(s) = %v, want 1 (det of empty matrix)", num)
+	}
+	want := complex(g, 0) + s*complex(cv, 0)
+	if cmplx.Abs(den-want) > 1e-14*cmplx.Abs(want) {
+		t.Errorf("D(s) = %v, want %v", den, want)
+	}
+}
+
+func TestVoltageDivider(t *testing.T) {
+	c := circuit.New("div")
+	c.AddR("r1", "in", "out", 1000). // g1 = 1e-3
+						AddR("r2", "out", "0", 3000) // g2 = 1/3000
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.VoltageGain(c, "in", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex128(0)
+	h := tf.Num.Eval(s, 1, 1).Div(tf.Den.Eval(s, 1, 1)).Complex128()
+	want := complex(3000.0/4000.0, 0)
+	if cmplx.Abs(h-want) > 1e-12 {
+		t.Errorf("H(0) = %v, want %v", h, want)
+	}
+}
+
+func TestScalingLaw(t *testing.T) {
+	// Denominator of the single-node RC at scaled matrix must equal
+	// g·gscale + s·fscale·C: the eq. (11) law with M=1.
+	g, cv := 2e-4, 5e-12
+	c := circuit.New("rc")
+	c.AddG("g1", "n1", "0", g).AddC("c1", "n1", "0", cv)
+	sys, _ := Build(c)
+	tf, _ := sys.Transimpedance(c, "n1", "n1")
+	s := complex(0.3, 0.7)
+	fs, gs := 1e9, 5e3
+	got := tf.Den.Eval(s, fs, gs).Complex128()
+	want := complex(g*gs, 0) + s*complex(cv*fs, 0)
+	if cmplx.Abs(got-want) > 1e-13*cmplx.Abs(want) {
+		t.Errorf("scaled D = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownNodeErrors(t *testing.T) {
+	c := circuit.New("t")
+	c.AddR("r", "a", "0", 1)
+	sys, _ := Build(c)
+	if _, err := sys.VoltageGain(c, "a", "nope"); err == nil {
+		t.Error("unknown output node accepted")
+	}
+	if _, err := sys.VoltageGain(c, "0", "a"); err == nil {
+		t.Error("ground input accepted")
+	}
+	if _, err := sys.Transimpedance(c, "zz", "a"); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := sys.DifferentialVoltageGain(c, "a", "b", "a"); err == nil {
+		t.Error("unknown differential node accepted")
+	}
+}
+
+// randomGCgm builds a connected random admittance-only circuit with the
+// given number of nodes.
+func randomGCgm(rng *rand.Rand, nodes int) *circuit.Circuit {
+	c := circuit.New("rand")
+	name := func(i int) string { return fmt.Sprintf("n%d", i) }
+	// Spanning chain of conductances (keeps the matrix nonsingular) plus a
+	// ground tie at every node.
+	for i := 0; i < nodes; i++ {
+		c.AddG(fmt.Sprintf("gg%d", i), name(i), "0", 1e-5*(1+rng.Float64()))
+		if i > 0 {
+			c.AddG(fmt.Sprintf("gc%d", i), name(i-1), name(i), 1e-4*(1+rng.Float64()))
+		}
+	}
+	// Random extra couplings.
+	for k := 0; k < nodes; k++ {
+		i, j := rng.Intn(nodes), rng.Intn(nodes)
+		if i == j {
+			continue
+		}
+		c.AddC(fmt.Sprintf("cc%d", k), name(i), name(j), 1e-12*(1+rng.Float64()))
+	}
+	for k := 0; k < nodes/2; k++ {
+		i, j, ci, cj := rng.Intn(nodes), rng.Intn(nodes), rng.Intn(nodes), rng.Intn(nodes)
+		if i == j || ci == cj {
+			continue
+		}
+		c.AddVCCS(fmt.Sprintf("gm%d", k), name(i), name(j), name(ci), name(cj), 1e-3*rng.NormFloat64())
+	}
+	return c
+}
+
+// TestTransimpedanceMatchesMNA cross-checks the cofactor formulation
+// against a direct MNA solve with a 1 A source injected into the input.
+func TestTransimpedanceMatchesMNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		nodes := 3 + rng.Intn(6)
+		c := randomGCgm(rng, nodes)
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := fmt.Sprintf("n%d", rng.Intn(nodes))
+		out := fmt.Sprintf("n%d", rng.Intn(nodes))
+		tf, err := sys.Transimpedance(c, in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MNA twin: same circuit + unit current source into `in`.
+		c2 := randomGCgmClone(c)
+		c2.AddI("itest", "0", in, 1)
+		msys, err := mna.Build(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []complex128{0, complex(0, 1e6), complex(1e3, 1e7)} {
+			den := tf.Den.Eval(s, 1, 1)
+			if den.Zero() {
+				continue
+			}
+			h := tf.Num.Eval(s, 1, 1).Div(den).Complex128()
+			x, err := msys.Solve(s)
+			if err != nil {
+				t.Fatalf("mna solve: %v", err)
+			}
+			v, _ := msys.VoltageAt(x, out)
+			if cmplx.Abs(h-v) > 1e-8*(1+cmplx.Abs(v)) {
+				t.Errorf("trial %d %s->%s at s=%v: cofactor %v, mna %v", trial, in, out, s, h, v)
+			}
+		}
+	}
+}
+
+// TestVoltageGainMatchesMNA cross-checks the single-ended voltage gain.
+func TestVoltageGainMatchesMNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 8; trial++ {
+		nodes := 3 + rng.Intn(6)
+		c := randomGCgm(rng, nodes)
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := "n0"
+		out := fmt.Sprintf("n%d", 1+rng.Intn(nodes-1))
+		tf, err := sys.VoltageGain(c, in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := randomGCgmClone(c)
+		c2.AddV("vtest", in, "0", 1)
+		msys, err := mna.Build(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []complex128{0, complex(0, 1e5), complex(0, 1e8)} {
+			den := tf.Den.Eval(s, 1, 1)
+			if den.Zero() {
+				continue
+			}
+			h := tf.Num.Eval(s, 1, 1).Div(den).Complex128()
+			x, err := msys.Solve(s)
+			if err != nil {
+				t.Fatalf("mna solve: %v", err)
+			}
+			v, _ := msys.VoltageAt(x, out)
+			if cmplx.Abs(h-v) > 1e-8*(1+cmplx.Abs(v)) {
+				t.Errorf("trial %d V(%s)/V(%s) at s=%v: cofactor %v, mna %v", trial, out, in, s, h, v)
+			}
+		}
+	}
+}
+
+// TestDifferentialGainMatchesMNA cross-checks the floating-source
+// formulation against MNA with a V source between the input pair.
+func TestDifferentialGainMatchesMNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 8; trial++ {
+		nodes := 4 + rng.Intn(5)
+		c := randomGCgm(rng, nodes)
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inp, inn := "n0", "n1"
+		out := fmt.Sprintf("n%d", 2+rng.Intn(nodes-2))
+		tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := randomGCgmClone(c)
+		c2.AddV("vtest", inp, inn, 1)
+		msys, err := mna.Build(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []complex128{0, complex(0, 1e6)} {
+			den := tf.Den.Eval(s, 1, 1)
+			if den.Zero() {
+				continue
+			}
+			h := tf.Num.Eval(s, 1, 1).Div(den).Complex128()
+			x, err := msys.Solve(s)
+			if err != nil {
+				t.Fatalf("mna solve: %v", err)
+			}
+			v, _ := msys.VoltageAt(x, out)
+			if cmplx.Abs(h-v) > 1e-8*(1+cmplx.Abs(v)) {
+				t.Errorf("trial %d at s=%v: cofactor %v, mna %v", trial, s, h, v)
+			}
+		}
+	}
+}
+
+// randomGCgmClone rebuilds an identical circuit (the builder keeps no
+// copy method on purpose: circuits are cheap to reconstruct).
+func randomGCgmClone(c *circuit.Circuit) *circuit.Circuit {
+	c2 := circuit.New(c.Name + "-clone")
+	for _, e := range c.Elements() {
+		if err := c2.AddElement(e); err != nil {
+			panic(err)
+		}
+	}
+	return c2
+}

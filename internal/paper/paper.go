@@ -1,0 +1,150 @@
+// Package paper produces the data behind every table and figure of the
+// paper's evaluation as structured values, so the reproduction itself is
+// library code under test; cmd/tables renders it.
+package paper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/mna"
+	"repro/internal/nodal"
+)
+
+// Table1 holds the OTA baselines: the unit-circle failure (1a) and the
+// single-scale repair (1b).
+type Table1 struct {
+	// Unit-circle interpolation of numerator and denominator (Table 1a):
+	// Raw carries the complex outputs whose imaginary residue is the
+	// paper's round-off exhibit.
+	UnitNum, UnitDen interp.Result
+	// Fixed-scale interpolation (Table 1b) and the mean-value scale pair
+	// used.
+	FixedNum, FixedDen interp.Result
+	FScale, GScale     float64
+	// Valid regions of the fixed-scale runs (σ = 6).
+	NumLo, NumHi, DenLo, DenHi int
+}
+
+// OTATable1 computes Table 1a/1b on the positive-feedback OTA with the
+// paper's a-priori order estimate (the capacitor count).
+func OTATable1() (*Table1, error) {
+	c := circuits.OTA()
+	inp, inn, out := circuits.OTAInputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		return nil, err
+	}
+	bound := c.NumCapacitors()
+	tf.Num.OrderBound = bound
+	tf.Den.OrderBound = bound
+	t := &Table1{
+		UnitNum: interp.UnitCircle(tf.Num),
+		UnitDen: interp.UnitCircle(tf.Den),
+		FScale:  1 / c.MeanCapacitance(),
+		GScale:  1 / c.MeanConductance(),
+	}
+	t.FixedNum = interp.FixedScale(tf.Num, t.FScale, t.GScale)
+	t.FixedDen = interp.FixedScale(tf.Den, t.FScale, t.GScale)
+	t.NumLo, t.NumHi, _ = interp.ValidRegion(t.FixedNum.Normalized, 6)
+	t.DenLo, t.DenHi, _ = interp.ValidRegion(t.FixedDen.Normalized, 6)
+	return t, nil
+}
+
+// UA741Denominator runs the adaptive generator on the µA741 denominator
+// with the paper's mean-value seeds. The returned M is the homogeneity
+// degree needed to denormalize iteration records for display.
+func UA741Denominator(noReduce bool) (*core.Result, int, error) {
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nil, 0, err
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := core.Config{NoReduce: noReduce}
+	if mc := c.MeanCapacitance(); mc > 0 {
+		cfg.InitFScale = 1 / mc
+	}
+	if mg := c.MeanConductance(); mg > 0 {
+		cfg.InitGScale = 1 / mg
+	}
+	den, err := core.Generate(tf.Den, cfg)
+	if err != nil {
+		return den, 0, err
+	}
+	return den, sys.N() - 1, nil
+}
+
+// Fig2Data holds the Fig. 2 comparison.
+type Fig2Data struct {
+	Freqs            []float64
+	Interp, Direct   []bode.Point
+	MagErrDB, PhsErr float64
+}
+
+// Fig2 generates references for the µA741 voltage gain, computes the
+// Bode response from the coefficients and from a direct MNA AC sweep,
+// and reports the worst deviations.
+func Fig2(points int) (*Fig2Data, error) {
+	if points < 2 {
+		return nil, fmt.Errorf("paper: need at least 2 points")
+	}
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		return nil, err
+	}
+	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig2Data{Freqs: bode.LogSpace(1, 1e8, points)}
+	d.Interp, err = bode.FromPolys(num.Poly(), den.Poly(), d.Freqs)
+	if err != nil {
+		return nil, err
+	}
+	direct := c.Clone("+source")
+	direct.AddV("vdrive", inp, inn, 1)
+	msys, err := mna.Build(direct)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]complex128, len(d.Freqs))
+	for i, f := range d.Freqs {
+		x, err := msys.Solve(complex(0, 2*math.Pi*f))
+		if err != nil {
+			return nil, err
+		}
+		h[i], err = msys.VoltageAt(x, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.Direct = bode.FromComplexResponse(d.Freqs, h)
+	d.MagErrDB, d.PhsErr, err = bode.Compare(d.Interp, d.Direct)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// OTACircuit exposes the Fig. 1 circuit for the rendering layer.
+func OTACircuit() *circuit.Circuit { return circuits.OTA() }

@@ -1,0 +1,34 @@
+package poly_test
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// ExampleXPoly_Normalize shows the paper's eq. (11) scaling law: with
+// frequency scale f and conductance scale g, coefficient i picks up
+// f^i·g^(M−i).
+func ExampleXPoly_Normalize() {
+	p := poly.NewX(2e-9, 3e-18) // p0 + p1·s
+	q := p.Normalize(1e9, 1e3, 2)
+	fmt.Println("normalized:", q)
+	fmt.Println("round trip:", q.Denormalize(1e9, 1e3, 2))
+	// Output:
+	// normalized: 2.00000e-03 + 3.00000e-06·s
+	// round trip: 2.00000e-09 + 3.00000e-18·s
+}
+
+// ExampleXPoly_Eval shows extended-range Horner evaluation: the µA741's
+// coefficients underflow float64 but evaluate fine.
+func ExampleXPoly_Eval() {
+	p := poly.XPoly{
+		xmath.FromFloat(4.2).Mul(xmath.Pow10(-127)),
+		xmath.FromFloat(1.3).Mul(xmath.Pow10(-135)),
+	}
+	v := p.Eval(xmath.FromComplex(complex(0, 1e8)))
+	fmt.Printf("|P(j1e8)| ≈ 10^%.1f\n", v.AbsX().Log10())
+	// Output:
+	// |P(j1e8)| ≈ 10^-126.4
+}

@@ -1,0 +1,174 @@
+// Package poly implements dense univariate polynomials in the complex
+// frequency s, in both plain float64 and extended-range (xmath.XFloat)
+// coefficient representations.
+//
+// Coefficients are stored in ascending order of powers: c[i] is the
+// coefficient of s^i. This matches the paper's notation
+// P(s) = p0 + p1·s + ... + pn·s^n (eq. 4).
+package poly
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmath"
+)
+
+// Poly is a real-coefficient polynomial in float64 precision.
+// The zero-length polynomial is the zero polynomial.
+type Poly []float64
+
+// New returns a polynomial with the given ascending coefficients.
+func New(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p
+}
+
+// Degree returns the index of the highest nonzero coefficient, or -1 for
+// the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p without trailing zero coefficients.
+func (p Poly) Trim() Poly {
+	return p[:p.Degree()+1]
+}
+
+// Eval evaluates p at the complex point s by Horner's rule.
+func (p Poly) Eval(s complex128) complex128 {
+	var acc complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*s + complex(p[i], 0)
+	}
+	return acc
+}
+
+// EvalReal evaluates p at a real point by Horner's rule.
+func (p Poly) EvalReal(x float64) float64 {
+	var acc float64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + p[i]
+	}
+	return acc
+}
+
+// Add returns p+q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	copy(r, p)
+	for i, c := range q {
+		r[i] += c
+	}
+	return r
+}
+
+// Sub returns p−q.
+func (p Poly) Sub(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	copy(r, p)
+	for i, c := range q {
+		r[i] -= c
+	}
+	return r
+}
+
+// Mul returns p·q by schoolbook convolution.
+func (p Poly) Mul(q Poly) Poly {
+	dp, dq := p.Degree(), q.Degree()
+	if dp < 0 || dq < 0 {
+		return Poly{}
+	}
+	r := make(Poly, dp+dq+1)
+	for i := 0; i <= dp; i++ {
+		if p[i] == 0 {
+			continue
+		}
+		for j := 0; j <= dq; j++ {
+			r[i+j] += p[i] * q[j]
+		}
+	}
+	return r
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	r := make(Poly, len(p))
+	for i, c := range p {
+		r[i] = k * c
+	}
+	return r
+}
+
+// ShiftUp returns s^k · p (coefficients shifted toward higher powers).
+func (p Poly) ShiftUp(k int) Poly {
+	if k < 0 {
+		panic("poly: negative shift")
+	}
+	r := make(Poly, len(p)+k)
+	copy(r[k:], p)
+	return r
+}
+
+// Derivative returns dp/ds.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		r[i-1] = float64(i) * p[i]
+	}
+	return r
+}
+
+// ToX converts p to extended-range representation.
+func (p Poly) ToX() XPoly {
+	r := make(XPoly, len(p))
+	for i, c := range p {
+		r[i] = xmath.FromFloat(c)
+	}
+	return r
+}
+
+// String renders the polynomial in human-readable ascending form.
+func (p Poly) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := 0; i <= d; i++ {
+		if p[i] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%g", p[i])
+		case 1:
+			fmt.Fprintf(&b, "%g·s", p[i])
+		default:
+			fmt.Fprintf(&b, "%g·s^%d", p[i], i)
+		}
+	}
+	return b.String()
+}

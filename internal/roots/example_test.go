@@ -1,0 +1,24 @@
+package roots_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/poly"
+	"repro/internal/roots"
+)
+
+// ExampleFind extracts the poles of a second-order section.
+func ExampleFind() {
+	// D(s) = 5 + 2s + s²: poles at −1 ± 2i.
+	poles, err := roots.Find(poly.NewX(5, 2, 1), roots.Config{})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range poles {
+		fmt.Printf("%.4f%+.4fi  |s| = %.4f\n", real(p), imag(p), cmplx.Abs(p))
+	}
+	// Output:
+	// -1.0000-2.0000i  |s| = 2.2361
+	// -1.0000+2.0000i  |s| = 2.2361
+}

@@ -1,0 +1,231 @@
+// Package roots extracts polynomial roots from extended-range
+// coefficient vectors — the poles and zeros of the network functions the
+// reference generator produces.
+//
+// The difficulty is the coefficient range: the µA741 denominator's
+// coefficients span ~420 decades, far outside float64, although the
+// roots themselves are physical frequencies within a few decades of
+// 1e0..1e11 rad/s. The solver therefore
+//
+//   - takes initial guesses from the Newton polygon of (i, log10|p_i|),
+//     whose segment slopes estimate the root magnitudes cluster by
+//     cluster, and
+//   - runs Aberth–Ehrlich simultaneous iteration with P(z)/P'(z)
+//     evaluated in extended-range arithmetic (the values overflow
+//     float64 even when the ratio is tame).
+package roots
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// Config tunes the solver; the zero value selects sensible defaults.
+type Config struct {
+	// MaxIterations bounds the Aberth sweeps. 0 selects 200.
+	MaxIterations int
+	// Tol is the relative correction size treated as converged.
+	// 0 selects 1e-12.
+	Tol float64
+	// StagnationTol accepts the root set when the largest per-sweep
+	// correction has dithered below this level for several consecutive
+	// sweeps without reaching Tol — the signature of roots located as
+	// precisely as the coefficient accuracy permits (generated
+	// references carry ~6 digits; their clustered roots jiggle at
+	// ~1e-6·|z|). 0 selects 1e-4.
+	StagnationTol float64
+}
+
+// Find returns the roots of p (degree = index of highest nonzero
+// coefficient). Roots at the origin (trailing low-order zero
+// coefficients) are returned exactly. The result is sorted by magnitude.
+func Find(p poly.XPoly, cfg Config) ([]complex128, error) {
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 200
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-12
+	}
+	if cfg.StagnationTol == 0 {
+		cfg.StagnationTol = 1e-4
+	}
+	deg := p.Degree()
+	if deg < 0 {
+		return nil, errors.New("roots: zero polynomial")
+	}
+	if deg == 0 {
+		return nil, nil
+	}
+	// Strip roots at the origin.
+	low := 0
+	for p[low].Zero() {
+		low++
+	}
+	work := make(poly.XPoly, deg-low+1)
+	copy(work, p[low:deg+1])
+	zero := make([]complex128, low)
+
+	n := work.Degree()
+	if n == 0 {
+		return zero, nil
+	}
+	z := initialGuesses(work)
+	dwork := derivative(work)
+
+	stagnant := 0
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		maxRel := 0.0
+		for k := range z {
+			w := newtonRatio(work, dwork, z[k])
+			// Aberth correction: w/(1 − w·Σ 1/(z_k − z_j)).
+			var sum complex128
+			for j := range z {
+				if j == k {
+					continue
+				}
+				d := z[k] - z[j]
+				if d == 0 {
+					// Coincident iterates: nudge apart.
+					d = complex(1e-12*(1+cmplx.Abs(z[k])), 0)
+				}
+				sum += 1 / d
+			}
+			denom := 1 - w*sum
+			corr := w
+			if denom != 0 {
+				corr = w / denom
+			}
+			z[k] -= corr
+			scale := cmplx.Abs(z[k])
+			if scale == 0 {
+				scale = 1
+			}
+			if rel := cmplx.Abs(corr) / scale; rel > maxRel {
+				maxRel = rel
+			}
+		}
+		done := maxRel < cfg.Tol
+		if !done && maxRel < cfg.StagnationTol {
+			// Dithering below the stagnation level: count consecutive
+			// sweeps; the roots are as precise as the data allows.
+			stagnant++
+			done = stagnant >= 5
+		} else if !done {
+			stagnant = 0
+		}
+		if done {
+			out := append(zero, z...)
+			sort.Slice(out, func(i, j int) bool { return cmplx.Abs(out[i]) < cmplx.Abs(out[j]) })
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("roots: no convergence after %d iterations", cfg.MaxIterations)
+}
+
+// newtonRatio computes P(z)/P'(z) in extended range, returning it as a
+// complex128 (the ratio is root-scaled even when the values overflow).
+func newtonRatio(p, dp poly.XPoly, z complex128) complex128 {
+	xz := xmath.FromComplex(z)
+	pv := p.Eval(xz)
+	if pv.Zero() {
+		return 0
+	}
+	dv := dp.Eval(xz)
+	if dv.Zero() {
+		// Stationary point: fall back to a small push.
+		return complex(1e-12*(1+cmplx.Abs(z)), 0)
+	}
+	return pv.Div(dv).Complex128()
+}
+
+func derivative(p poly.XPoly) poly.XPoly {
+	if len(p) <= 1 {
+		return poly.XPoly{}
+	}
+	d := make(poly.XPoly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = p[i].MulFloat(float64(i))
+	}
+	return d
+}
+
+// initialGuesses places starting points on circles whose radii come from
+// the Newton polygon of (i, log10|p_i|): each upper-hull segment from
+// index i to j contributes j−i roots of magnitude ≈ 10^((log|p_i|−log|p_j|)/(j−i)).
+func initialGuesses(p poly.XPoly) []complex128 {
+	n := p.Degree()
+	type pt struct {
+		i int
+		l float64
+	}
+	var pts []pt
+	for i := 0; i <= n; i++ {
+		if !p[i].Zero() {
+			pts = append(pts, pt{i, p[i].Abs().Log10()})
+		}
+	}
+	// Upper convex hull over index order (Andrew's monotone chain).
+	var hull []pt
+	for _, q := range pts {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Keep b only if it lies above the chord a→q.
+			if (b.l-a.l)*float64(q.i-a.i) > (q.l-a.l)*float64(b.i-a.i) {
+				break
+			}
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, q)
+	}
+	guesses := make([]complex128, 0, n)
+	// The golden angle spreads the points irrationally so no two initial
+	// guesses coincide and no symmetry traps the iteration.
+	const golden = 2.399963229728653
+	seq := 0
+	for h := 0; h+1 < len(hull); h++ {
+		a, b := hull[h], hull[h+1]
+		count := b.i - a.i
+		slope := (a.l - b.l) / float64(count)
+		radius := math.Pow(10, slope)
+		for k := 0; k < count; k++ {
+			angle := golden*float64(seq) + 0.4
+			guesses = append(guesses, cmplx.Rect(radius, angle))
+			seq++
+		}
+	}
+	// Defensive: exactly n guesses (hull segments cover index span n when
+	// p[0] ≠ 0, which the caller guarantees by stripping origin roots).
+	for len(guesses) < n {
+		guesses = append(guesses, cmplx.Rect(1, golden*float64(seq)))
+		seq++
+	}
+	return guesses[:n]
+}
+
+// Reconstruct multiplies out (monic) root factors and rescales by the
+// leading coefficient — the inverse of Find, used to validate root sets:
+// p(s) = p_n·Π(s − r_k).
+func Reconstruct(rootsIn []complex128, leading xmath.XFloat) poly.XPoly {
+	acc := []xmath.XComplex{xmath.FromComplex(1)}
+	for _, r := range rootsIn {
+		next := make([]xmath.XComplex, len(acc)+1)
+		xr := xmath.FromComplex(r)
+		for i, c := range acc {
+			next[i+1] = next[i+1].Add(c)
+			next[i] = next[i].Sub(c.Mul(xr))
+		}
+		acc = next
+	}
+	out := make(poly.XPoly, len(acc))
+	xl := xmath.FromXFloat(leading)
+	for i, c := range acc {
+		out[i] = c.Mul(xl).Real()
+	}
+	return out
+}

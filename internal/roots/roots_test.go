@@ -1,0 +1,287 @@
+package roots
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/nodal"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+func sortByMag(z []complex128) {
+	sort.Slice(z, func(i, j int) bool { return cmplx.Abs(z[i]) < cmplx.Abs(z[j]) })
+}
+
+func TestQuadratic(t *testing.T) {
+	// (s+1)(s+2) = 2 + 3s + s².
+	r, err := Find(poly.NewX(2, 3, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("roots = %v", r)
+	}
+	if cmplx.Abs(r[0]+1) > 1e-10 || cmplx.Abs(r[1]+2) > 1e-10 {
+		t.Errorf("roots = %v, want -1, -2", r)
+	}
+}
+
+func TestComplexPair(t *testing.T) {
+	// s² + 2s + 5: roots −1 ± 2i.
+	r, err := Find(poly.NewX(5, 2, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range r {
+		if math.Abs(real(z)+1) > 1e-10 || math.Abs(math.Abs(imag(z))-2) > 1e-10 {
+			t.Errorf("root %v, want -1±2i", z)
+		}
+	}
+}
+
+func TestRootsAtOrigin(t *testing.T) {
+	// s²·(s+3).
+	r, err := Find(poly.NewX(0, 0, 3, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[0] != 0 || r[1] != 0 {
+		t.Fatalf("roots = %v", r)
+	}
+	if cmplx.Abs(r[2]+3) > 1e-10 {
+		t.Errorf("nonzero root %v", r[2])
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := Find(poly.NewX(0), Config{}); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+	r, err := Find(poly.NewX(7), Config{})
+	if err != nil || len(r) != 0 {
+		t.Errorf("constant: %v %v", r, err)
+	}
+}
+
+func TestWideMagnitudeSpread(t *testing.T) {
+	// Roots at -1, -1e6, -1e12: coefficients span 18 decades.
+	want := []complex128{-1, -1e6, -1e12}
+	p := Reconstruct(want, xmath.FromFloat(1))
+	r, err := Find(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortByMag(r)
+	for i := range want {
+		if cmplx.Abs(r[i]-want[i]) > 1e-6*cmplx.Abs(want[i]) {
+			t.Errorf("root %d = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestButterworthPoles(t *testing.T) {
+	// 5th-order Butterworth denominator has poles on the circle |s| = ω0
+	// at angles π/2+ (2k+1)π/10 in the left half plane. Build it from the
+	// known roots and recover them.
+	w0 := 2 * math.Pi * 1e6
+	var want []complex128
+	n := 5
+	for k := 0; k < n; k++ {
+		theta := math.Pi/2 + (2*float64(k)+1)*math.Pi/(2*float64(n))
+		want = append(want, cmplx.Rect(w0, theta))
+	}
+	p := Reconstruct(want, xmath.FromFloat(1))
+	r, err := Find(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range r {
+		if math.Abs(cmplx.Abs(z)-w0)/w0 > 1e-8 {
+			t.Errorf("|pole| = %g, want %g", cmplx.Abs(z), w0)
+		}
+		if real(z) > 0 {
+			t.Errorf("pole %v in right half plane", z)
+		}
+	}
+}
+
+func TestRCLadderPolesRealNegative(t *testing.T) {
+	// RC ladder poles are real and negative (RC network theorem); extract
+	// them from the generated denominator and reconstruct.
+	n := 8
+	c := circuits.RCLadder(n, 1e3, 1e-12)
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.VoltageGain(c, "in", circuits.RCLadderOut(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := den.Poly()
+	r, err := Find(dp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != n {
+		t.Fatalf("%d poles, want %d", len(r), n)
+	}
+	for _, z := range r {
+		if real(z) >= 0 {
+			t.Errorf("pole %v not in left half plane", z)
+		}
+		if math.Abs(imag(z)) > 1e-6*math.Abs(real(z)) {
+			t.Errorf("pole %v not real", z)
+		}
+	}
+	// Round trip: reconstruct and compare coefficient-wise.
+	rec := Reconstruct(r, dp[dp.Degree()])
+	if !rec.ApproxEqual(dp, 1e-6) {
+		t.Errorf("reconstruction mismatch:\n got %v\nwant %v", rec, dp)
+	}
+}
+
+func TestUA741Poles(t *testing.T) {
+	// The flagship case: 48 poles from coefficients spanning ~420
+	// decades. Checks: stability (all LHP), the dominant pole matches
+	// p0/p1 (= 1/Στ), and reconstruction reproduces the coefficients.
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := den.Poly()
+	r, err := Find(dp, Config{MaxIterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != den.Order() {
+		t.Fatalf("%d poles, want %d", len(r), den.Order())
+	}
+	for _, z := range r {
+		if real(z) > 0 {
+			t.Errorf("unstable pole %v", z)
+		}
+	}
+	sortByMag(r)
+	dominant := cmplx.Abs(r[0])
+	sumTau := dp[1].Div(dp[0]).Float64() // Στ_i = p1/p0 ≈ 1/|dominant|
+	if ratio := dominant * sumTau; ratio < 0.5 || ratio > 2 {
+		t.Errorf("dominant pole %g vs 1/Στ %g (ratio %g)", dominant, 1/sumTau, ratio)
+	}
+	// Dominant pole of a compensated 741 sits near 2π·(5..30) Hz.
+	if hz := dominant / (2 * math.Pi); hz < 1 || hz > 100 {
+		t.Errorf("dominant pole at %g Hz, expected single-digit..tens", hz)
+	}
+	rec := Reconstruct(r, dp[dp.Degree()])
+	if !rec.ApproxEqual(dp, 1e-3) {
+		for i := range dp {
+			if i < len(rec) && !rec[i].ApproxEqual(dp[i], 1e-3) {
+				t.Errorf("coeff %d: rec %v vs %v", i, rec[i], dp[i])
+			}
+		}
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	// (s+1)(s+2)(s+3)·5 = 5(6 + 11s + 6s² + s³).
+	p := Reconstruct([]complex128{-1, -2, -3}, xmath.FromFloat(5))
+	want := poly.NewX(30, 55, 30, 5)
+	if !p.ApproxEqual(want, 1e-12) {
+		t.Errorf("got %v, want %v", p, want)
+	}
+	// Complex-conjugate pair gives real coefficients.
+	p2 := Reconstruct([]complex128{complex(-1, 2), complex(-1, -2)}, xmath.FromFloat(1))
+	want2 := poly.NewX(5, 2, 1)
+	if !p2.ApproxEqual(want2, 1e-12) {
+		t.Errorf("conjugate pair: got %v, want %v", p2, want2)
+	}
+}
+
+func TestQuickRandomStableRootSets(t *testing.T) {
+	// Random LHP root sets (real + conjugate pairs) over wide magnitude
+	// spreads: reconstruct, find, match.
+	rng := rand.New(rand.NewSource(97))
+	f := func(seed uint8) bool {
+		nReal := 1 + int(seed%3)
+		nPairs := int((seed / 3) % 3)
+		var want []complex128
+		for i := 0; i < nReal; i++ {
+			mag := math.Pow(10, 1+6*rng.Float64())
+			want = append(want, complex(-mag, 0))
+		}
+		for i := 0; i < nPairs; i++ {
+			mag := math.Pow(10, 1+6*rng.Float64())
+			ang := (0.5 + 0.45*rng.Float64()) * math.Pi // left half plane
+			want = append(want, cmplx.Rect(mag, ang), cmplx.Rect(mag, -ang))
+		}
+		p := Reconstruct(want, xmath.FromFloat(1))
+		got, err := Find(p, Config{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		// Magnitude ties (conjugate pairs) need a secondary key.
+		byMagIm := func(z []complex128) {
+			sort.Slice(z, func(i, j int) bool {
+				mi, mj := cmplx.Abs(z[i]), cmplx.Abs(z[j])
+				if math.Abs(mi-mj) > 1e-9*(mi+mj) {
+					return mi < mj
+				}
+				return imag(z[i]) < imag(z[j])
+			})
+		}
+		byMagIm(got)
+		byMagIm(want)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-4*cmplx.Abs(want[i]) {
+				t.Logf("seed %d: root %v vs %v", seed, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewtonPolygonGuesses(t *testing.T) {
+	// Roots at 1e-3 and 1e3 (coefficients 1, ~1e-3, 1e-6·... p = (s+1e-3)(s+1e3) = 1 + 1000.001·... )
+	p := Reconstruct([]complex128{-1e-3, -1e3}, xmath.FromFloat(1))
+	g := initialGuesses(p)
+	if len(g) != 2 {
+		t.Fatalf("guesses = %v", g)
+	}
+	mags := []float64{cmplx.Abs(g[0]), cmplx.Abs(g[1])}
+	sort.Float64s(mags)
+	if mags[0] < 1e-4 || mags[0] > 1e-2 {
+		t.Errorf("small guess magnitude %g", mags[0])
+	}
+	if mags[1] < 1e2 || mags[1] > 1e4 {
+		t.Errorf("large guess magnitude %g", mags[1])
+	}
+}

@@ -1,0 +1,205 @@
+package sbg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bode"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+)
+
+func band(f0, f1 float64, n int) []float64 { return bode.LogSpace(f0, f1, n) }
+
+func TestRemovesNegligibleParallelElements(t *testing.T) {
+	// RC lowpass with a negligible parallel capacitor (1e-6× the main
+	// one) and a negligible shunt conductance: both must be opened.
+	c := circuit.New("rc+parasitics")
+	c.AddR("r1", "in", "out", 1e3).
+		AddC("cmain", "out", "0", 1e-9).
+		AddC("cpar", "out", "0", 1e-15).
+		AddG("gpar", "out", "0", 1e-12)
+	freqs := band(1e2, 1e7, 21)
+	ref, err := ReferenceResponse(c, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simplify(c, "in", "", "out", freqs, ref, Config{MaxErrDB: 0.1, MaxPhaseDeg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := map[string]bool{}
+	for _, a := range res.Actions {
+		removed[a.Element] = true
+	}
+	if !removed["cpar"] || !removed["gpar"] {
+		t.Errorf("parasitics not removed: %v", res.Actions)
+	}
+	if removed["cmain"] || removed["r1"] {
+		t.Errorf("load-bearing element removed: %v", res.Actions)
+	}
+	if res.After >= res.Before {
+		t.Errorf("no reduction: %d -> %d", res.Before, res.After)
+	}
+}
+
+func TestShortsNegligibleSeriesResistor(t *testing.T) {
+	// A 1 mΩ series resistor in a 1 kΩ divider is a short.
+	c := circuit.New("divider+rs")
+	c.AddR("rsmall", "in", "x", 1e-3).
+		AddR("r1", "x", "out", 1e3).
+		AddR("r2", "out", "0", 1e3).
+		AddC("c1", "out", "0", 1e-12)
+	freqs := band(1e3, 1e8, 15)
+	ref, err := ReferenceResponse(c, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simplify(c, "in", "", "out", freqs, ref, Config{MaxErrDB: 0.05, MaxPhaseDeg: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Actions {
+		if a.Element == "rsmall" && a.Op == "short" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("series 1 mΩ not shorted: %v", res.Actions)
+	}
+	// Simplified circuit must still solve and match.
+	resp, err := ReferenceResponse(res.Circuit, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, deg := deviation(resp, ref)
+	if db > 0.05 || deg > 0.5 {
+		t.Errorf("simplified deviates %g dB / %g°", db, deg)
+	}
+}
+
+func TestBudgetIsGlobal(t *testing.T) {
+	// Ten elements each individually below the budget, but cumulatively
+	// not: the global-reference comparison must stop accepting before
+	// the total error exceeds the budget.
+	c := circuit.New("accum")
+	c.AddR("r1", "in", "out", 1e3)
+	c.AddR("rl", "out", "0", 1e3)
+	for i := 0; i < 10; i++ {
+		// Each shunt conductance shifts the divider by ~0.43%·(i+1).
+		c.AddG(gName(i), "out", "0", 1e-6)
+	}
+	freqs := band(1e3, 1e6, 5)
+	ref, err := ReferenceResponse(c, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simplify(c, "in", "", "out", freqs, ref, Config{MaxErrDB: 0.02, MaxPhaseDeg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReferenceResponse(res.Circuit, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := deviation(resp, ref)
+	if db > 0.02 {
+		t.Errorf("accumulated error %g dB exceeds the budget", db)
+	}
+	if len(res.Actions) == 10 {
+		t.Error("all ten accepted; the budget should have stopped earlier")
+	}
+	if len(res.Actions) == 0 {
+		t.Error("nothing accepted; individual removals are within budget")
+	}
+}
+
+func gName(i int) string { return "gx" + string(rune('a'+i)) }
+
+func TestUA741Simplification(t *testing.T) {
+	// The flagship: SBG on the 24-transistor µA741 with a 1 dB budget
+	// over the audio..MHz band must find a meaningful number of
+	// negligible elements (protection-device parasitics etc.) while the
+	// response stays within budget.
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	freqs := band(10, 1e7, 15)
+	ref, err := ReferenceResponse(c, inp, inn, out, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simplify(c, inp, inn, out, freqs, ref, Config{MaxErrDB: 1, MaxPhaseDeg: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("µA741: %d -> %d elements (%d actions)", res.Before, res.After, len(res.Actions))
+	if res.After >= res.Before-5 {
+		t.Errorf("only %d of %d elements removed; expected a substantial reduction", res.Before-res.After, res.Before)
+	}
+	resp, err := ReferenceResponse(res.Circuit, inp, inn, out, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, deg := deviation(resp, ref)
+	if db > 1 || deg > 10 {
+		t.Errorf("simplified deviates %g dB / %g°", db, deg)
+	}
+}
+
+func TestInconsistentReferenceRejected(t *testing.T) {
+	c := circuit.New("t")
+	c.AddR("r1", "in", "out", 1e3).AddR("r2", "out", "0", 1e3)
+	freqs := band(1e3, 1e6, 3)
+	bad := []complex128{1, 1, 1} // true response is 0.5
+	if _, err := Simplify(c, "in", "", "out", freqs, bad, Config{}); err == nil {
+		t.Error("inconsistent reference accepted")
+	}
+	if _, err := Simplify(c, "in", "", "out", freqs, bad[:2], Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTerminalsNeverMergedAway(t *testing.T) {
+	// A tiny resistor directly across in-out: shorting it would merge
+	// the output into the input; the simplifier may open it (if within
+	// budget) but must never produce a circuit without the terminals.
+	c := circuit.New("t")
+	c.AddR("rtiny", "in", "out", 1e9). // huge R: candidate for open
+						AddR("r1", "in", "out", 1e3).
+						AddR("r2", "out", "0", 1e3).
+						AddC("c1", "out", "0", 1e-12)
+	freqs := band(1e3, 1e6, 5)
+	ref, err := ReferenceResponse(c, "in", "", "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simplify(c, "in", "", "out", freqs, ref, Config{MaxErrDB: 0.1, MaxPhaseDeg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NodeIndex("out") < 0 || res.Circuit.NodeIndex("in") < 0 {
+		t.Error("terminal node vanished")
+	}
+	for _, a := range res.Actions {
+		if a.Element == "r1" && a.Op == "short" {
+			t.Error("in-out shorted")
+		}
+	}
+}
+
+func TestDeviationMath(t *testing.T) {
+	a := response{complex(1, 0), complex(0, 2)}
+	b := response{complex(2, 0), complex(0, 2)}
+	db, deg := deviation(a, b)
+	if math.Abs(db-20*math.Log10(2)) > 1e-12 {
+		t.Errorf("db = %g", db)
+	}
+	if deg != 0 {
+		t.Errorf("deg = %g", deg)
+	}
+	db, deg = deviation(response{1i}, response{1})
+	if db != 0 || math.Abs(deg-90) > 1e-12 {
+		t.Errorf("phase dev = %g/%g", db, deg)
+	}
+}

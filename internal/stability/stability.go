@@ -1,0 +1,128 @@
+// Package stability implements the Routh–Hurwitz criterion on
+// extended-range polynomials: a purely algebraic left-half-plane test
+// for the denominators the reference generator produces, independent of
+// root finding.
+//
+// The extended-range arithmetic matters: the µA741 denominator's
+// coefficients span ~420 decades and the Routh array's entries span even
+// more; float64 would overflow/underflow immediately.
+package stability
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// Verdict is the outcome of the Routh–Hurwitz test.
+type Verdict int
+
+// Verdicts.
+const (
+	// Stable: all roots strictly in the left half plane.
+	Stable Verdict = iota
+	// Unstable: at least one right-half-plane root; RHPCount says how many.
+	Unstable
+	// Marginal: a zero appeared in the first column (imaginary-axis roots
+	// or a degenerate row); the strict test cannot decide.
+	Marginal
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Stable:
+		return "stable"
+	case Unstable:
+		return "unstable"
+	}
+	return "marginal"
+}
+
+// Result reports the test outcome.
+type Result struct {
+	Verdict Verdict
+	// RHPCount is the number of right-half-plane roots (sign changes in
+	// the first Routh column); meaningful for Stable/Unstable.
+	RHPCount int
+	// FirstColumn holds the Routh array's first column for diagnostics.
+	FirstColumn []xmath.XFloat
+}
+
+// Routh runs the Routh–Hurwitz criterion on p (ascending coefficients).
+// The polynomial must have a nonzero leading and constant coefficient;
+// roots at the origin should be stripped first (they are marginal by
+// definition and reported as such here).
+func Routh(p poly.XPoly) (Result, error) {
+	n := p.Degree()
+	if n < 0 {
+		return Result{}, fmt.Errorf("stability: zero polynomial")
+	}
+	if n == 0 {
+		return Result{Verdict: Stable, FirstColumn: []xmath.XFloat{p[0]}}, nil
+	}
+	if p[0].Zero() {
+		return Result{Verdict: Marginal}, nil // root at the origin
+	}
+	// Rows are indexed by descending powers: row0 = s^n, s^(n-2), ...;
+	// row1 = s^(n-1), s^(n-3), ...
+	width := n/2 + 1
+	row0 := make([]xmath.XFloat, width)
+	row1 := make([]xmath.XFloat, width)
+	for i := 0; i <= n; i++ {
+		c := p[n-i]
+		if i%2 == 0 {
+			row0[i/2] = c
+		} else {
+			row1[i/2] = c
+		}
+	}
+	first := []xmath.XFloat{row0[0]}
+	for r := 0; r < n; r++ {
+		pivot := row1[0]
+		if pivot.Zero() {
+			return Result{Verdict: Marginal, FirstColumn: first}, nil
+		}
+		first = append(first, pivot)
+		next := make([]xmath.XFloat, width)
+		for j := 0; j+1 < width; j++ {
+			var a, b xmath.XFloat
+			a = row0[j+1]
+			if j+1 < len(row1) {
+				b = row1[j+1]
+			}
+			// next[j] = (pivot·a − row0[0]·b)/pivot
+			next[j] = pivot.Mul(a).Sub(row0[0].Mul(b)).Div(pivot)
+		}
+		row0, row1 = row1, next
+		if allZero(row1) {
+			// Auxiliary-polynomial case (symmetric root pairs): marginal
+			// for this strict test — unless we've consumed every row.
+			if r == n-1 {
+				break
+			}
+			return Result{Verdict: Marginal, FirstColumn: first}, nil
+		}
+	}
+	// Count sign changes down the first column.
+	changes := 0
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Sign()*first[i].Sign() < 0 {
+			changes++
+		}
+	}
+	v := Stable
+	if changes > 0 {
+		v = Unstable
+	}
+	return Result{Verdict: v, RHPCount: changes, FirstColumn: first}, nil
+}
+
+func allZero(row []xmath.XFloat) bool {
+	for _, c := range row {
+		if !c.Zero() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package stability
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/nodal"
+	"repro/internal/poly"
+	"repro/internal/roots"
+	"repro/internal/xmath"
+)
+
+func TestStableSecondOrder(t *testing.T) {
+	// s² + 2s + 5: stable.
+	res, err := Routh(poly.NewX(5, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Stable || res.RHPCount != 0 {
+		t.Errorf("verdict %v, RHP %d", res.Verdict, res.RHPCount)
+	}
+	if len(res.FirstColumn) != 3 {
+		t.Errorf("first column %v", res.FirstColumn)
+	}
+}
+
+func TestUnstableCounts(t *testing.T) {
+	// (s−1)(s+2)(s+3) = s³+4s²+s−6: one RHP root.
+	res, err := Routh(poly.NewX(-6, 1, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unstable || res.RHPCount != 1 {
+		t.Errorf("verdict %v, RHP %d", res.Verdict, res.RHPCount)
+	}
+	// (s−1)(s−2)(s+3) = s³ −7s +6: two RHP roots.
+	res, err = Routh(poly.NewX(6, -7, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == Stable {
+		t.Errorf("verdict %v for a 2-RHP polynomial", res.Verdict)
+	}
+	if res.Verdict == Unstable && res.RHPCount != 2 {
+		t.Errorf("RHP count %d, want 2", res.RHPCount)
+	}
+}
+
+func TestMarginalOscillator(t *testing.T) {
+	// s² + 1: poles on the imaginary axis.
+	res, err := Routh(poly.NewX(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Marginal {
+		t.Errorf("verdict %v", res.Verdict)
+	}
+}
+
+func TestRootAtOrigin(t *testing.T) {
+	res, err := Routh(poly.NewX(0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Marginal {
+		t.Errorf("verdict %v", res.Verdict)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if _, err := Routh(poly.NewX(0)); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+	res, err := Routh(poly.NewX(5))
+	if err != nil || res.Verdict != Stable {
+		t.Errorf("constant: %v %v", res, err)
+	}
+	res, err = Routh(poly.NewX(3, 2)) // 2s+3: root −1.5
+	if err != nil || res.Verdict != Stable {
+		t.Errorf("first order: %v %v", res, err)
+	}
+}
+
+func TestUA741DenominatorStable(t *testing.T) {
+	// The flagship cross-validation: Routh on the 48th-order extended-
+	// range denominator must agree with the root finder (all LHP).
+	c := circuits.UA741()
+	inp, inn, out := circuits.UA741Inputs()
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.DifferentialVoltageGain(c, inp, inn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, den, err := core.GenerateTransferFunction(c, tf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := den.Poly()
+	res, err := Routh(dp[:dp.Degree()+1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Stable {
+		t.Errorf("Routh verdict %v (RHP %d) for the µA741 denominator", res.Verdict, res.RHPCount)
+	}
+}
+
+func TestRouthAgreesWithRootsOnRandomPolys(t *testing.T) {
+	// Build polynomials from random root sets with known RHP counts and
+	// verify both the verdict and the count.
+	cases := [][]complex128{
+		{-1, -2, -3, -4},
+		{-1, 2, -3},
+		{1, 2, -3, -4},
+		{complex(-1, 5), complex(-1, -5), -2},
+		{complex(2, 3), complex(2, -3), -1, -10},
+		{-1e3, -1e6, -1e9, -1e12}, // wide spread: exercises XFloat Routh
+	}
+	for _, rts := range cases {
+		wantRHP := 0
+		for _, r := range rts {
+			if real(r) > 0 {
+				wantRHP++
+			}
+		}
+		p := roots.Reconstruct(rts, xmath.FromFloat(1))
+		res, err := Routh(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantRHP == 0 && res.Verdict != Stable {
+			t.Errorf("roots %v: verdict %v", rts, res.Verdict)
+		}
+		if wantRHP > 0 && (res.Verdict != Unstable || res.RHPCount != wantRHP) {
+			t.Errorf("roots %v: verdict %v RHP %d, want %d", rts, res.Verdict, res.RHPCount, wantRHP)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Stable.String() != "stable" || Unstable.String() != "unstable" || Marginal.String() != "marginal" {
+		t.Error("verdict strings")
+	}
+}

@@ -1,0 +1,54 @@
+package symbolic_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/symbolic"
+	"repro/internal/xmath"
+)
+
+// ExampleVoltageGain shows full symbolic analysis of an RC divider.
+func ExampleVoltageGain() {
+	c := circuit.New("rc")
+	c.AddG("g1", "in", "out", 1e-3)
+	c.AddG("g2", "out", "0", 1e-4)
+	c.AddC("c1", "out", "0", 1e-9)
+
+	num, den, err := symbolic.VoltageGain(c, "in", "out")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("N terms:", num.NumTerms())
+	for k := 0; k <= den.MaxPower(); k++ {
+		for _, t := range den.ByPower[k] {
+			fmt.Printf("D s^%d: %s\n", k, t)
+		}
+	}
+	// Output:
+	// N terms: 1
+	// D s^0: g1
+	// D s^0: g2
+	// D s^1: c1
+}
+
+// ExampleTruncateSDG demonstrates eq. (3) error control: with the
+// reference h_0 = g1+g2 and ε = 5%, only the dominant term survives.
+func ExampleTruncateSDG() {
+	c := circuit.New("rc")
+	c.AddG("g1", "in", "out", 1e-3)
+	c.AddG("g2", "out", "0", 1e-5) // 1% of g1
+	_, den, err := symbolic.VoltageGain(c, "in", "out")
+	if err != nil {
+		panic(err)
+	}
+	ref := xmath.FromFloat(1e-3 + 1e-5) // from the reference generator
+	tr, err := symbolic.TruncateSDG(den.ByPower[0], ref, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("h_0 ≈ %s (kept %d of %d, error %.3f)\n",
+		tr.Formula(), len(tr.Kept), tr.Total, tr.AchievedError)
+	// Output:
+	// h_0 ≈ g1 (kept 1 of 2, error 0.010)
+}

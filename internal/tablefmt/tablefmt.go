@@ -1,0 +1,95 @@
+// Package tablefmt renders aligned text tables in the style of the
+// paper's Tables 1–3, for the cmd tools and EXPERIMENTS.md.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends one row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) Row(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rowf appends one row formatting each cell with fmt.Sprint.
+func (t *Table) Rowf(cells ...interface{}) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		s[i] = fmt.Sprint(c)
+	}
+	t.Row(s...)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var out strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&out, "%s\n", t.title)
+	}
+	writeLine := func(cells []string) {
+		var lb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				lb.WriteString("  ")
+			}
+			lb.WriteString(c)
+			if i < len(cells)-1 {
+				lb.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+			}
+		}
+		out.WriteString(strings.TrimRight(lb.String(), " "))
+		out.WriteString("\n")
+	}
+	writeLine(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeLine(sep)
+	for _, row := range t.rows {
+		writeLine(row)
+	}
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicTable(t *testing.T) {
+	tb := New("Title", "s^i", "Value")
+	tb.Row("s0", "-1.5e-3")
+	tb.Row("s1", "2e-9")
+	got := tb.String()
+	want := "Title\ns^i  Value\n---  -------\ns0   -1.5e-3\ns1   2e-9\n"
+	if got != want {
+		t.Errorf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Row("1", "2")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("leading newline without title")
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Row("only")             // missing cells
+	tb.Row("1", "2", "3", "4") // extra dropped
+	got := tb.String()
+	if strings.Contains(got, "4") {
+		t.Error("extra cell kept")
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestRowf(t *testing.T) {
+	tb := New("", "n", "x")
+	tb.Rowf(3, 1.5)
+	if !strings.Contains(tb.String(), "3") || !strings.Contains(tb.String(), "1.5") {
+		t.Errorf("Rowf output: %q", tb.String())
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "col", "v")
+	tb.Row("short", "x")
+	tb.Row("a-much-longer-cell", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// 'x' and 'y' must start at the same column.
+	ix := strings.Index(lines[2], "x")
+	iy := strings.Index(lines[3], "y")
+	if ix != iy {
+		t.Errorf("misaligned: %d vs %d\n%s", ix, iy, tb.String())
+	}
+}

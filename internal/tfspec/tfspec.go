@@ -1,0 +1,66 @@
+// Package tfspec resolves command-line transfer-function specifications
+// (kind + node names) against a circuit, shared by the cmd tools.
+package tfspec
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/interp"
+	"repro/internal/mna"
+	"repro/internal/nodal"
+)
+
+// Spec names a network function of a circuit.
+type Spec struct {
+	// Kind is "vgain", "diffgain", "transz" (admittance-cofactor path) or
+	// "mna" (full MNA path, eqs. 7–10: any element kind, sources drive).
+	Kind string
+	// In is the input node ("vgain", "transz") or positive input
+	// ("diffgain"). Unused by "mna" (the circuit's sources drive it).
+	In string
+	// Inn is the negative input ("diffgain" only).
+	Inn string
+	// Out is the output node.
+	Out string
+}
+
+// MNA reports whether the spec selects the full-MNA formulation, which
+// requires frequency-only scaling (core.Config.SingleFactor).
+func (s Spec) MNA() bool { return s.Kind == "mna" }
+
+// Resolve builds the formulation and the transfer function. The first
+// return value is the nodal system when the cofactor path was used (nil
+// for "mna").
+func (s Spec) Resolve(c *circuit.Circuit) (*nodal.System, *interp.TransferFunction, error) {
+	if s.Kind == "mna" {
+		msys, err := mna.Build(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		tf, err := msys.TransferEvaluators(s.Out)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, tf, nil
+	}
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tf *interp.TransferFunction
+	switch s.Kind {
+	case "vgain":
+		tf, err = sys.VoltageGain(c, s.In, s.Out)
+	case "diffgain":
+		tf, err = sys.DifferentialVoltageGain(c, s.In, s.Inn, s.Out)
+	case "transz":
+		tf, err = sys.Transimpedance(c, s.In, s.Out)
+	default:
+		return nil, nil, fmt.Errorf("tfspec: unknown kind %q (want vgain, diffgain, transz or mna)", s.Kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, tf, nil
+}

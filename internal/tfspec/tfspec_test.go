@@ -1,0 +1,79 @@
+package tfspec
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func rcCircuit() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.AddG("g1", "in", "out", 1e-3).AddC("c1", "out", "0", 1e-12)
+	return c
+}
+
+func TestResolveKinds(t *testing.T) {
+	for _, kind := range []string{"vgain", "transz"} {
+		sys, tf, err := Spec{Kind: kind, In: "in", Out: "out"}.Resolve(rcCircuit())
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if sys == nil || tf == nil {
+			t.Errorf("%s: nil result", kind)
+		}
+	}
+	c := rcCircuit()
+	c.AddG("g2", "inn", "0", 1e-4)
+	if _, tf, err := (Spec{Kind: "diffgain", In: "in", Inn: "inn", Out: "out"}).Resolve(c); err != nil || tf == nil {
+		t.Errorf("diffgain: %v", err)
+	}
+}
+
+func TestResolveMNA(t *testing.T) {
+	c := circuit.New("rlc")
+	c.AddV("vin", "in", "0", 1).
+		AddR("r1", "in", "out", 1e3).
+		AddL("l1", "out", "0", 1e-3)
+	spec := Spec{Kind: "mna", Out: "out"}
+	if !spec.MNA() {
+		t.Error("MNA() false")
+	}
+	sys, tf, err := spec.Resolve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys != nil {
+		t.Error("nodal system returned for mna kind")
+	}
+	// H(0): inductor shorts the output → 0; at high s → 1.
+	h0 := tf.Num.Eval(0, 1, 1)
+	if !h0.Zero() && h0.AbsX().Float64() > 1e-15 {
+		t.Errorf("N(0) = %v", h0)
+	}
+	s := complex(0, 1e9)
+	h := tf.Num.Eval(s, 1, 1).Div(tf.Den.Eval(s, 1, 1)).Complex128()
+	if cmplx.Abs(h-1) > 0.01 {
+		t.Errorf("H(j1e9) = %v, want ≈ 1", h)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, _, err := (Spec{Kind: "bogus", In: "in", Out: "out"}).Resolve(rcCircuit()); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, err := (Spec{Kind: "vgain", In: "in", Out: "zz"}).Resolve(rcCircuit()); err == nil {
+		t.Error("unknown node accepted")
+	}
+	// MNA kind on a source-free circuit.
+	if _, _, err := (Spec{Kind: "mna", Out: "out"}).Resolve(rcCircuit()); err == nil {
+		t.Error("source-free mna accepted")
+	}
+	// Cofactor kind on a circuit with sources.
+	c := rcCircuit()
+	c.AddV("v", "in", "0", 1)
+	if _, _, err := (Spec{Kind: "vgain", In: "in", Out: "out"}).Resolve(c); err == nil {
+		t.Error("non-admittance circuit accepted by cofactor path")
+	}
+}

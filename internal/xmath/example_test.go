@@ -1,0 +1,33 @@
+package xmath_test
+
+import (
+	"fmt"
+
+	"repro/internal/xmath"
+)
+
+// ExampleXFloat shows arithmetic far outside float64 range: the µA741's
+// smallest denominator coefficients live near 1e-522.
+func ExampleXFloat() {
+	tiny := xmath.FromFloat(1.1215).Mul(xmath.Pow10(-522))
+	ratio := tiny.Div(xmath.FromFloat(8.9418e-30))
+	fmt.Println("coefficient:", tiny)
+	fmt.Println("ratio to s^0:", ratio)
+	fmt.Println("as float64:", tiny.Float64()) // flushes to zero
+	// Output:
+	// coefficient: 1.12150e-522
+	// ratio to s^0: 1.25422e-493
+	// as float64: 0
+}
+
+// ExampleXComplex shows determinant-style accumulation: a product of 50
+// pivots of magnitude ~1e12 overflows float64 but not the extended form.
+func ExampleXComplex() {
+	det := xmath.FromComplex(1)
+	for i := 0; i < 50; i++ {
+		det = det.MulComplex(complex(1e12, 2e11))
+	}
+	fmt.Printf("log10|det| = %.2f\n", det.AbsX().Log10())
+	// Output:
+	// log10|det| = 600.43
+}

@@ -1,0 +1,163 @@
+package xmath
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func cOK(v complex128) bool {
+	return !cmplx.IsNaN(v) && !cmplx.IsInf(v)
+}
+
+func TestComplexRoundTrip(t *testing.T) {
+	cases := []complex128{0, 1, -1i, 3 + 4i, complex(1e300, -1e250), complex(0, 2.5)}
+	for _, v := range cases {
+		if got := FromComplex(v).Complex128(); got != v {
+			t.Errorf("round trip %v = %v", v, got)
+		}
+	}
+}
+
+func TestComplexNormalForm(t *testing.T) {
+	z := FromComplex(3 + 4i)
+	a := math.Max(math.Abs(real(z.Mant())), math.Abs(imag(z.Mant())))
+	if a < 1 || a >= 2 {
+		t.Errorf("mantissa %v not normalized", z.Mant())
+	}
+	if !FromComplex(0).Zero() {
+		t.Error("FromComplex(0) not zero")
+	}
+}
+
+func TestComplexArithmetic(t *testing.T) {
+	vals := []complex128{1, -1, 1i, 2 - 3i, -0.5 + 0.25i, 100 + 1e-3i}
+	for _, a := range vals {
+		for _, b := range vals {
+			za, zb := FromComplex(a), FromComplex(b)
+			if got, want := za.Add(zb).Complex128(), a+b; got != want {
+				t.Errorf("%v+%v = %v, want %v", a, b, got, want)
+			}
+			if got, want := za.Mul(zb).Complex128(), a*b; cmplx.Abs(got-want) > 1e-15*cmplx.Abs(want) {
+				t.Errorf("%v*%v = %v, want %v", a, b, got, want)
+			}
+			if got, want := za.Div(zb).Complex128(), a/b; cmplx.Abs(got-want) > 1e-14*cmplx.Abs(want) {
+				t.Errorf("%v/%v = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestComplexExtendedProduct(t *testing.T) {
+	// Product of 50 pivots of magnitude 1e12 = 1e600: overflows complex128
+	// but must survive in XComplex.
+	p := FromComplex(1)
+	for i := 0; i < 50; i++ {
+		p = p.MulComplex(complex(1e12, 3e11))
+	}
+	got := p.AbsX().Log10()
+	want := 50 * math.Log10(math.Hypot(1e12, 3e11))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("|prod| log10 = %g, want %g", got, want)
+	}
+}
+
+func TestComplexRealImag(t *testing.T) {
+	z := FromComplex(-2.5 + 7i)
+	if got := z.Real().Float64(); got != -2.5 {
+		t.Errorf("Real = %g", got)
+	}
+	if got := z.Imag().Float64(); got != 7 {
+		t.Errorf("Imag = %g", got)
+	}
+	if !FromComplex(5).Imag().Zero() {
+		t.Error("Imag of real value not zero")
+	}
+}
+
+func TestComplexConjNeg(t *testing.T) {
+	z := FromComplex(1 + 2i)
+	if got := z.Conj().Complex128(); got != 1-2i {
+		t.Errorf("Conj = %v", got)
+	}
+	if got := z.Neg().Complex128(); got != -1-2i {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestComplexPowInt(t *testing.T) {
+	z := FromComplex(1 + 1i)
+	if got, want := z.PowInt(4).Complex128(), complex128(-4); cmplx.Abs(got-want) > 1e-14 {
+		t.Errorf("(1+i)^4 = %v", got)
+	}
+	if got := z.PowInt(0).Complex128(); got != 1 {
+		t.Errorf("z^0 = %v", got)
+	}
+	if got, want := z.PowInt(-2).Complex128(), 1/(2i); cmplx.Abs(got-want) > 1e-14 {
+		t.Errorf("(1+i)^-2 = %v, want %v", got, want)
+	}
+}
+
+func TestComplexString(t *testing.T) {
+	if got := FromComplex(2).String(); got != "2.00000e+00" {
+		t.Errorf("String(2) = %q", got)
+	}
+	if got := FromComplex(1 - 2i).String(); got != "1.00000e+00-j2.00000e+00" {
+		t.Errorf("String(1-2i) = %q", got)
+	}
+}
+
+func TestComplexDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero did not panic")
+		}
+	}()
+	FromComplex(1).Div(FromComplex(0))
+}
+
+func TestQuickComplexMulAbs(t *testing.T) {
+	f := func(ar, ai, br, bi float64) bool {
+		a, b := complex(ar, ai), complex(br, bi)
+		if !cOK(a) || !cOK(b) || a == 0 || b == 0 ||
+			math.IsInf(cmplx.Abs(a), 0) || math.IsInf(cmplx.Abs(b), 0) {
+			return true
+		}
+		got := FromComplex(a).Mul(FromComplex(b)).AbsX()
+		want := FromFloat(cmplx.Abs(a)).Mul(FromFloat(cmplx.Abs(b)))
+		return got.ApproxEqual(want, 1e-13)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplexAddCommutes(t *testing.T) {
+	f := func(ar, ai, br, bi float64) bool {
+		a, b := complex(ar, ai), complex(br, bi)
+		if !cOK(a) || !cOK(b) {
+			return true
+		}
+		p := FromComplex(a).Add(FromComplex(b))
+		q := FromComplex(b).Add(FromComplex(a))
+		return p.Mant() == q.Mant() && p.Exp() == q.Exp()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplexMulDivInverse(t *testing.T) {
+	f := func(ar, ai, br, bi float64) bool {
+		a, b := complex(ar, ai), complex(br, bi)
+		if !cOK(a) || !cOK(b) || b == 0 {
+			return true
+		}
+		x := FromComplex(a)
+		return x.Mul(FromComplex(b)).Div(FromComplex(b)).ApproxEqual(x, 1e-13)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

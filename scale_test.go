@@ -1,0 +1,34 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+func TestScaleLadder100(t *testing.T) {
+	n := 100
+	c := circuits.RCLadder(n, 1e3, 1e-12)
+	var rs, cs []float64
+	for _, e := range c.Elements() {
+		switch e.Kind {
+		case circuit.Resistor:
+			rs = append(rs, e.Value)
+		case circuit.Capacitor:
+			cs = append(cs, e.Value)
+		}
+	}
+	num, den := generateGain(t, c, "in", circuits.RCLadderOut(n), core.Config{MaxIterations: 500})
+	wantNum, wantDen := exact.RCLadderGain(rs, cs)
+	if !exact.RatioEqual(num.Poly(), den.Poly(), wantNum.ToXPoly(), wantDen.ToXPoly(), 1e-5) {
+		t.Error("order-100 ladder mismatch")
+	}
+	if den.Order() != n {
+		t.Errorf("order %d", den.Order())
+	}
+	t.Logf("order 100: %d iterations (den), coeff span %.0f decades",
+		len(den.Iterations), den.Poly()[0].Abs().Log10()-den.Poly()[n].Abs().Log10())
+}

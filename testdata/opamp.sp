@@ -1,0 +1,14 @@
+two-stage CMOS opamp (small-signal)
+* input differential pair with mirror load, second stage, Miller cap
+M1 x inp tail ID=10u VOV=0.2
+M2 y inn tail ID=10u VOV=0.2
+M3 x x 0 ID=10u VOV=0.25 PMOS
+M4 y x 0 ID=10u VOV=0.25 PMOS
+G5 tail 0 tail 0 2u      ; tail current source output conductance
+M6 out y 0 ID=100u VOV=0.25 PMOS
+G7 out 0 out 0 10u       ; second-stage bias source conductance
+Cc y out 2p
+Cl out 0 3p
+Rin1 inp 0 1meg
+Rin2 inn 0 1meg
+.end

@@ -1,0 +1,8 @@
+series RLC bandpass
+V1 in 0 1
+R1 in a 50
+L1 a b 10u
+C1 b out 100p
+R2 out 0 1k
+C2 out 0 20p
+.end

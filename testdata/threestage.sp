@@ -1,0 +1,13 @@
+three-stage amplifier built from a subcircuit
+.subckt gmstage in out
+Ggm out 0 0 in 2m      ; inverting transconductor
+Rl out 0 10k
+Cl out 0 2p
+Cf out in 0.1p
+.ends
+Rins inp 0 1meg
+X1 inp m1 gmstage
+X2 m1 m2 gmstage
+X3 m2 out gmstage
+Rload out 0 100k
+.end
