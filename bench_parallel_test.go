@@ -1,0 +1,83 @@
+// Benchmarks for the batched parallel evaluation layer: the same
+// Generate run at Parallelism 1 versus Parallelism = NumCPU. On a
+// multi-core host the parallel variants should approach a NumCPU-fold
+// reduction of the evaluation time (the acceptance target is ≥ 2× at
+// NumCPU ≥ 4); results are bit-identical either way (parallel_test.go).
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/nodal"
+)
+
+// benchGenerateThreestage runs the full two-polynomial generation on a
+// fresh system per iteration, so the shared-plan priming cost is
+// included and the serial/parallel variants do identical work.
+func benchGenerateThreestage(b *testing.B, parallelism int) {
+	c, err := netlist.ParseFile("testdata/threestage.sp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{MaxIterations: 200, Parallelism: parallelism}
+	b.ResetTimer()
+	var solves int
+	var evalNS int64
+	for i := 0; i < b.N; i++ {
+		sys, err := nodal.Build(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tf, err := sys.VoltageGain(c, "inp", "out")
+		if err != nil {
+			b.Fatal(err)
+		}
+		num, den, err := core.GenerateTransferFunction(c, tf, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solves = num.TotalSolves + den.TotalSolves
+		evalNS = (num.EvalElapsed + den.EvalElapsed).Nanoseconds()
+	}
+	b.ReportMetric(float64(solves), "solves/op")
+	b.ReportMetric(float64(evalNS), "eval-ns/op")
+}
+
+func BenchmarkGenerateThreestageSerial(b *testing.B) { benchGenerateThreestage(b, 1) }
+func BenchmarkGenerateThreestageParallel(b *testing.B) {
+	benchGenerateThreestage(b, runtime.NumCPU())
+}
+
+func benchGenerateLadder40(b *testing.B, parallelism int) {
+	const n = 40
+	c := circuits.RCLadder(n, 1e3, 1e-12)
+	cfg := core.Config{
+		InitFScale:    1 / c.MeanCapacitance(),
+		InitGScale:    1 / c.MeanConductance(),
+		MaxIterations: 300,
+		Parallelism:   parallelism,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := nodal.Build(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tf, err := sys.VoltageGain(c, "in", circuits.RCLadderOut(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Generate(tf.Den, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateLadder40Serial(b *testing.B) { benchGenerateLadder40(b, 1) }
+func BenchmarkGenerateLadder40Parallel(b *testing.B) {
+	benchGenerateLadder40(b, runtime.NumCPU())
+}

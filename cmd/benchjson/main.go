@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// snapshot, and can verify a fresh run against a committed baseline.
+//
+// Snapshot mode (writes JSON to stdout):
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_baseline.json
+//
+// Check mode (exit 1 when the run lost benchmarks present in the
+// baseline or any benchmark failed to report):
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -check BENCH_baseline.json
+//
+// The CI bench smoke job uses check mode: timings on shared runners are
+// noisy, so only the benchmark *set* is asserted — a missing benchmark
+// means a build regression, a panic, or an accidental deletion.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name string  `json:"name"`
+	N    int64   `json:"n"`
+	NsOp float64 `json:"ns_per_op"`
+	// Extra holds additional reported metrics (B/op, allocs/op,
+	// ReportMetric units) keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the JSON document.
+type Snapshot struct {
+	Note       string  `json:"note"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkDetSparseUA741-8   123   456789 ns/op   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r *bufio.Scanner) ([]Entry, error) {
+	var out []Entry
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], N: n, Extra: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				e.NsOp = v
+			} else {
+				e.Extra[unit] = v
+			}
+		}
+		if len(e.Extra) == 0 {
+			e.Extra = nil
+		}
+		out = append(out, e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func main() {
+	check := flag.String("check", "", "baseline JSON to verify the run against (set membership, not timings)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	entries, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *check == "" {
+		snap := Snapshot{
+			Note:       "benchmark set snapshot; timings are host-specific and not asserted by CI",
+			Benchmarks: entries,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	got := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		got[e.Name] = true
+	}
+	var missing []string
+	for _, b := range base.Benchmarks {
+		if !got[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from this run:\n", len(missing))
+		for _, n := range missing {
+			fmt.Fprintln(os.Stderr, "  -", n)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: ok — %d benchmarks ran, all %d baseline benchmarks present\n", len(entries), len(base.Benchmarks))
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/cmplx"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -43,6 +44,7 @@ func main() {
 		noReduce  = flag.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
 		verbose   = flag.Bool("v", false, "print the iteration trace")
 		showPoles = flag.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
+		parallel  = flag.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
 	)
 	flag.Parse()
 	if *netFile == "" {
@@ -65,7 +67,7 @@ func main() {
 
 	switch *method {
 	case "adaptive":
-		cfg := core.Config{SigDigits: *sigDigits, NoReduce: *noReduce}
+		cfg := core.Config{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel}
 		if spec.MNA() {
 			// MNA terms are not conductance-homogeneous: frequency-only.
 			cfg.SingleFactor = true
@@ -101,11 +103,11 @@ func main() {
 				gs = 1
 			}
 		}
-		printInterp("numerator", interp.FixedScale(tf.Num, fs, gs), *sigDigits)
-		printInterp("denominator", interp.FixedScale(tf.Den, fs, gs), *sigDigits)
+		printInterp("numerator", interp.RunWithParallelism(tf.Num, fs, gs, tf.Num.OrderBound+1, *parallel), *sigDigits)
+		printInterp("denominator", interp.RunWithParallelism(tf.Den, fs, gs, tf.Den.OrderBound+1, *parallel), *sigDigits)
 	case "unit":
-		printInterp("numerator", interp.UnitCircle(tf.Num), *sigDigits)
-		printInterp("denominator", interp.UnitCircle(tf.Den), *sigDigits)
+		printInterp("numerator", interp.RunWithParallelism(tf.Num, 1, 1, tf.Num.OrderBound+1, *parallel), *sigDigits)
+		printInterp("denominator", interp.RunWithParallelism(tf.Den, 1, 1, tf.Den.OrderBound+1, *parallel), *sigDigits)
 	default:
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
@@ -126,13 +128,14 @@ func printResult(r *core.Result, verbose bool) {
 	}
 	fmt.Println(tb)
 	if verbose {
-		it := tablefmt.New("iterations", "#", "purpose", "fscale", "gscale", "K", "region", "new")
+		it := tablefmt.New("iterations", "#", "purpose", "fscale", "gscale", "K", "region", "new", "solves", "eval")
 		for k, rec := range r.Iterations {
 			region := "-"
 			if rec.Lo <= rec.Hi {
 				region = fmt.Sprintf("s^%d..s^%d", rec.Lo, rec.Hi)
 			}
-			it.Rowf(k, rec.Purpose, fmt.Sprintf("%.4g", rec.FScale), fmt.Sprintf("%.4g", rec.GScale), rec.K, region, rec.NewValid)
+			it.Rowf(k, rec.Purpose, fmt.Sprintf("%.4g", rec.FScale), fmt.Sprintf("%.4g", rec.GScale), rec.K, region, rec.NewValid,
+				rec.Solves, rec.EvalElapsed.Round(time.Microsecond))
 		}
 		fmt.Println(it)
 		fmt.Println(r.CoverageMap())

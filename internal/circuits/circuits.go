@@ -253,6 +253,37 @@ func SallenKey(f0, q, r float64) *circuit.Circuit {
 	return c
 }
 
+// Biquad builds the gm-C two-integrator-loop biquad of the biquad
+// example (f0 = 10 MHz, Q = 2) including the parasitic output
+// conductances and capacitances a real design carries. Input "in",
+// lowpass output "lp" (see BiquadNodes).
+func Biquad() *circuit.Circuit {
+	f0 := 10e6
+	q := 2.0
+	w0 := 2 * math.Pi * f0
+	c1, c2 := 1e-12, 1e-12
+	gm1 := w0 * c1
+	gm2 := w0 * c2
+	gmq := math.Sqrt(gm1*gm2*c1/c2) / q
+	c := circuit.New("gm-C biquad")
+	c.AddG("gin", "in", "0", 1e-6)
+	// Bandpass node "bp": current gm1·(V_in − V_lp) injected into bp;
+	// gmq damps bp. Lowpass node "lp": integrator gm2 from bp.
+	c.AddVCCS("gm1a", "bp", "0", "lp", "in", gm1)
+	c.AddVCCS("gmq", "bp", "0", "bp", "0", gmq)
+	c.AddC("c1", "bp", "0", c1)
+	c.AddVCCS("gm2", "lp", "0", "0", "bp", gm2)
+	c.AddC("c2", "lp", "0", c2)
+	c.AddG("go1", "bp", "0", gm1/200)
+	c.AddG("go2", "lp", "0", gm2/200)
+	c.AddC("cp1", "bp", "0", c1/50)
+	c.AddC("cp2", "lp", "0", c2/50)
+	return c
+}
+
+// BiquadNodes returns the input and output node names of Biquad.
+func BiquadNodes() (in, out string) { return "in", "lp" }
+
 // RandomGCgm builds a connected random admittance-only circuit with the
 // given number of nodes: a conductance spanning chain with ground ties,
 // random capacitive couplings and transconductances. Deterministic for a

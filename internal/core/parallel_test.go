@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// steepProfile spans enough decades to force several adaptive frames.
+func steepProfile() interp.Evaluator {
+	logs := []float64{0, -8, -17, -27, -38, -50, -63, -77}
+	return interp.FromPoly("steep", profilePoly(logs, nil), len(logs)-1)
+}
+
+func TestGenerateParallelBitIdentical(t *testing.T) {
+	serial, err := Generate(steepProfile(), Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 8} {
+		got, err := Generate(steepProfile(), Config{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Coeffs) != len(serial.Coeffs) {
+			t.Fatalf("parallelism %d: coefficient counts differ", par)
+		}
+		for i := range got.Coeffs {
+			if got.Coeffs[i] != serial.Coeffs[i] {
+				t.Errorf("parallelism %d, s^%d: %+v vs %+v", par, i, got.Coeffs[i], serial.Coeffs[i])
+			}
+		}
+		if len(got.Iterations) != len(serial.Iterations) {
+			t.Fatalf("parallelism %d: iteration counts differ: %d vs %d", par, len(got.Iterations), len(serial.Iterations))
+		}
+	}
+}
+
+func TestSolveCountersPopulated(t *testing.T) {
+	res, err := Generate(steepProfile(), Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallelism != 1 {
+		t.Errorf("Parallelism = %d, want 1", res.Parallelism)
+	}
+	if res.TotalSolves == 0 {
+		t.Fatal("TotalSolves not populated")
+	}
+	sum := 0
+	for _, it := range res.Iterations {
+		if it.Solves == 0 {
+			t.Errorf("iteration %q has zero Solves", it.Purpose)
+		}
+		if it.Solves < it.K {
+			t.Errorf("iteration %q: Solves %d < K %d", it.Purpose, it.Solves, it.K)
+		}
+		sum += it.Solves
+	}
+	if sum != res.TotalSolves {
+		t.Errorf("TotalSolves %d != Σ iteration solves %d", res.TotalSolves, sum)
+	}
+	if res.EvalElapsed <= 0 {
+		t.Errorf("EvalElapsed = %v, want > 0", res.EvalElapsed)
+	}
+}
+
+func TestResultStringMentionsSolves(t *testing.T) {
+	res, err := Generate(steepProfile(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if res.TotalSolves > 0 && !containsSolves(s) {
+		t.Errorf("String() = %q lacks solve counters", s)
+	}
+}
+
+func containsSolves(s string) bool {
+	for i := 0; i+6 <= len(s); i++ {
+		if s[i:i+6] == "solves" {
+			return true
+		}
+	}
+	return false
+}

@@ -3,8 +3,10 @@ package exact
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 
 	"repro/internal/circuit"
+	"repro/internal/interp"
 	"repro/internal/poly"
 	"repro/internal/xmath"
 )
@@ -325,10 +327,14 @@ func HPVoltageGain(c *circuit.Circuit, in, out string, prec uint) (num, den poly
 	pts := unitCircleBC(k, prec)
 	numVals := make([]bigComplex, k)
 	denVals := make([]bigComplex, k)
-	for p, s := range pts {
+	// The per-point cofactors are independent dense LU eliminations in
+	// big.Float arithmetic, which is deterministic regardless of
+	// scheduling — safe to fan out unconditionally.
+	interp.ParallelFor(k, runtime.GOMAXPROCS(0), func(p int) {
+		s := pts[p]
 		numVals[p] = cofactorBC(scaled, n, s, i, o, prec)
 		denVals[p] = cofactorBC(scaled, n, s, i, i, prec)
-	}
+	})
 	m := n - 1 // homogeneity degree of the cofactors
 	num = flushNoise(idftBC(numVals, prec), prec).Denormalize(fs, gs, m)
 	den = flushNoise(idftBC(denVals, prec), prec).Denormalize(fs, gs, m)

@@ -19,6 +19,9 @@ package interp
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dft"
 	"repro/internal/poly"
@@ -42,6 +45,138 @@ type Evaluator struct {
 	OrderBound int
 	// Eval evaluates the polynomial at s with scaling (fscale, gscale).
 	Eval func(s complex128, fscale, gscale float64) xmath.XComplex
+	// EvalBatch, when non-nil, evaluates a whole frame of points at once
+	// with up to workers goroutines. Implementations must be
+	// deterministic: the returned values must be bit-identical to calling
+	// Eval on each point in order, regardless of workers. Evaluators that
+	// cannot guarantee this must leave EvalBatch nil, which makes
+	// EvalPoints fall back to the serial loop.
+	EvalBatch func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex
+}
+
+// Workers resolves a core.Config-style parallelism knob to a concrete
+// worker count: 0 (or negative) means GOMAXPROCS, anything else is taken
+// literally.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// EvalPoints evaluates the polynomial at every point of a frame. With
+// parallelism 1 — or when the evaluator has no batch implementation —
+// it runs the plain serial loop; otherwise it dispatches EvalBatch with
+// the resolved worker count. Both paths return bit-identical values.
+func (ev Evaluator) EvalPoints(points []complex128, fscale, gscale float64, parallelism int) []xmath.XComplex {
+	w := Workers(parallelism)
+	if w > 1 && ev.EvalBatch != nil {
+		return ev.EvalBatch(points, fscale, gscale, w)
+	}
+	values := make([]xmath.XComplex, len(points))
+	for i, s := range points {
+		values[i] = ev.Eval(s, fscale, gscale)
+	}
+	return values
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across up to workers
+// goroutines, pulling indices from a shared atomic counter. It returns
+// after every index has completed. With workers ≤ 1 (or n ≤ 1) it
+// degenerates to a plain loop on the calling goroutine.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunBatch is the shared skeleton for EvalBatch implementations whose
+// per-point work is independent given some shared read-only state that
+// the first evaluation establishes (in practice: a sparse pivot-order
+// plan primed by the first successful factorization).
+//
+// Points are evaluated serially until ready() reports the shared state
+// is established, so the priming point is always the same one the
+// serial path would prime with; the remaining points then fan out
+// across up to workers goroutines, each owning a point function from
+// newWorker (carrying per-worker scratch state). ready may be nil when
+// there is no priming phase.
+//
+// Because each point is a pure function of (point, shared state), the
+// output is bit-identical to evaluating every point serially.
+func RunBatch(points []complex128, workers int, ready func() bool, newWorker func() func(s complex128) xmath.XComplex) []xmath.XComplex {
+	values := make([]xmath.XComplex, len(points))
+	start := 0
+	var primer func(s complex128) xmath.XComplex
+	if ready != nil && !ready() {
+		primer = newWorker()
+		for start < len(points) && !ready() {
+			values[start] = primer(points[start])
+			start++
+		}
+	}
+	n := len(points) - start
+	if n <= 0 {
+		return values
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		eval := primer
+		if eval == nil {
+			eval = newWorker()
+		}
+		for i := start; i < len(points); i++ {
+			values[i] = eval(points[i])
+		}
+		return values
+	}
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		eval := primer // reuse the priming worker's scratch on goroutine 0
+		primer = nil
+		go func() {
+			defer wg.Done()
+			if eval == nil {
+				eval = newWorker()
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				values[i] = eval(points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return values
 }
 
 // FromPoly wraps an explicit polynomial as an Evaluator with homogeneity
@@ -54,6 +189,14 @@ func FromPoly(name string, p poly.XPoly, m int) Evaluator {
 		OrderBound: len(p) - 1,
 		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
 			return p.Normalize(fscale, gscale, m).Eval(xmath.FromComplex(s))
+		},
+		EvalBatch: func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+			norm := p.Normalize(fscale, gscale, m)
+			values := make([]xmath.XComplex, len(points))
+			ParallelFor(len(points), workers, func(i int) {
+				values[i] = norm.Eval(xmath.FromComplex(points[i]))
+			})
+			return values
 		},
 	}
 }
@@ -86,14 +229,18 @@ type Result struct {
 // factors using k points on the unit circle (k must exceed the polynomial
 // order; use ev.OrderBound+1 when in doubt).
 func Run(ev Evaluator, fscale, gscale float64, k int) Result {
+	return RunWithParallelism(ev, fscale, gscale, k, 1)
+}
+
+// RunWithParallelism is Run with an explicit parallelism knob (0 =
+// GOMAXPROCS, 1 = serial). The result is bit-identical across
+// parallelism settings; see Evaluator.EvalBatch.
+func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int) Result {
 	if k <= 0 {
 		panic("interp: point count must be positive")
 	}
 	pts := dft.UnitCirclePoints(k)
-	values := make([]xmath.XComplex, k)
-	for i, s := range pts {
-		values[i] = ev.Eval(s, fscale, gscale)
-	}
+	values := ev.EvalPoints(pts, fscale, gscale, parallelism)
 	raw := dft.Inverse(values)
 	normalized := make(poly.XPoly, k)
 	for i, c := range raw {

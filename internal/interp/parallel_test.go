@@ -1,0 +1,145 @@
+package interp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dft"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) = %d", w)
+	}
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Fatalf("Workers(-3) = %d", w)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 137
+		var hits [n]atomic.Int32
+		ParallelFor(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestRunBatchSerialUntilReady(t *testing.T) {
+	// The first three points fail to establish the shared state; RunBatch
+	// must evaluate them on the priming worker, strictly in order, before
+	// any fan-out.
+	pts := dft.UnitCirclePoints(16)
+	var mu sync.Mutex
+	var order []int
+	var readyAfter atomic.Int32
+	seen := 0
+	values := RunBatch(pts, 4,
+		func() bool { return readyAfter.Load() >= 3 },
+		func() func(complex128) xmath.XComplex {
+			return func(s complex128) xmath.XComplex {
+				mu.Lock()
+				order = append(order, seen)
+				seen++
+				mu.Unlock()
+				readyAfter.Add(1)
+				return xmath.FromComplex(s)
+			}
+		})
+	if len(values) != 16 {
+		t.Fatalf("got %d values", len(values))
+	}
+	for i, v := range values {
+		if v != xmath.FromComplex(pts[i]) {
+			t.Fatalf("value %d wrong: %v", i, v)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if order[i] != i {
+			t.Fatalf("priming phase out of order: %v", order[:3])
+		}
+	}
+}
+
+func TestRunBatchNilReady(t *testing.T) {
+	pts := dft.UnitCirclePoints(9)
+	values := RunBatch(pts, 3, nil, func() func(complex128) xmath.XComplex {
+		return func(s complex128) xmath.XComplex { return xmath.FromComplex(s * 2) }
+	})
+	for i, v := range values {
+		if v != xmath.FromComplex(pts[i]*2) {
+			t.Fatalf("value %d wrong", i)
+		}
+	}
+}
+
+func testPoly() poly.XPoly {
+	p := make(poly.XPoly, 9)
+	for i := range p {
+		p[i] = xmath.FromFloat(float64(i*i+1) * 1e-6)
+	}
+	return p
+}
+
+func TestEvalPointsBitIdenticalAcrossParallelism(t *testing.T) {
+	ev := FromPoly("p", testPoly(), 8)
+	pts := dft.UnitCirclePoints(32)
+	serial := ev.EvalPoints(pts, 2.5, 0.5, 1)
+	for _, par := range []int{0, 2, 4, 16} {
+		got := ev.EvalPoints(pts, 2.5, 0.5, par)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("parallelism %d: point %d differs: %v vs %v", par, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestEvalPointsNoBatchFallsBack(t *testing.T) {
+	calls := 0
+	ev := Evaluator{
+		Name: "plain", M: 1, OrderBound: 1,
+		Eval: func(s complex128, f, g float64) xmath.XComplex {
+			calls++
+			return xmath.FromComplex(s)
+		},
+	}
+	pts := dft.UnitCirclePoints(8)
+	ev.EvalPoints(pts, 1, 1, 0) // no EvalBatch: serial fallback, no data race on calls
+	if calls != 8 {
+		t.Fatalf("Eval called %d times, want 8", calls)
+	}
+}
+
+func TestRunWithParallelismMatchesRun(t *testing.T) {
+	ev := FromPoly("p", testPoly(), 8)
+	ref := Run(ev, 3, 0.25, 10)
+	for _, par := range []int{0, 1, 4} {
+		r := RunWithParallelism(ev, 3, 0.25, 10, par)
+		for i := range ref.Raw {
+			if r.Raw[i] != ref.Raw[i] {
+				t.Fatalf("parallelism %d: raw[%d] differs", par, i)
+			}
+			if r.Normalized[i] != ref.Normalized[i] {
+				t.Fatalf("parallelism %d: normalized[%d] differs", par, i)
+			}
+			if r.Denormalized[i] != ref.Denormalized[i] {
+				t.Fatalf("parallelism %d: denormalized[%d] differs", par, i)
+			}
+		}
+	}
+}

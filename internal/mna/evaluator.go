@@ -34,17 +34,89 @@ import (
 // structural entries untouched.
 func (sys *System) matrixScaled(s complex128, fscale, gscale float64) *sparse.Matrix {
 	m := sparse.New(sys.dim)
+	sys.assembleScaledInto(m, s, fscale, gscale)
+	return m
+}
+
+// assembleScaledInto re-assembles the scaled MNA matrix into dst in a
+// fixed stamp order, reusing dst's allocations (see Matrix.Reset).
+func (sys *System) assembleScaledInto(dst *sparse.Matrix, s complex128, fscale, gscale float64) {
+	dst.Reset()
 	for _, st := range sys.gDim {
-		m.Add(st.i, st.j, complex(st.v*gscale, 0))
+		dst.Add(st.i, st.j, complex(st.v*gscale, 0))
 	}
 	for _, st := range sys.structural {
-		m.Add(st.i, st.j, complex(st.v, 0))
+		dst.Add(st.i, st.j, complex(st.v, 0))
 	}
 	sc := s * complex(fscale, 0)
 	for _, st := range sys.sProp {
-		m.Add(st.i, st.j, sc*complex(st.v, 0))
+		dst.Add(st.i, st.j, sc*complex(st.v, 0))
 	}
-	return m
+}
+
+// factorAt assembles the scaled matrix into scratch and factors it under
+// the system's shared pivot-order plan (primed once per System by the
+// first successful factorization; replayed read-only afterwards — across
+// points, frames, and both the det and transfer evaluators, which share
+// the one MNA sparsity pattern). A plan miss re-assembles and runs a
+// private full factorization without touching the plan.
+func (sys *System) factorAt(scratch *sparse.Matrix, s complex128, fscale, gscale float64) (*sparse.LU, error) {
+	sys.assembleScaledInto(scratch, s, fscale, gscale)
+	lu, err := scratch.FactorSharedInPlace(&sys.detPlan)
+	if err == sparse.ErrPlanMiss {
+		sys.assembleScaledInto(scratch, s, fscale, gscale)
+		lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+	}
+	return lu, err
+}
+
+// detAt evaluates D(s) = det Y_MNA(s), zero when singular.
+func (sys *System) detAt(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
+	lu, err := sys.factorAt(scratch, s, fscale, gscale)
+	if err != nil {
+		return xmath.XComplex{}
+	}
+	return lu.Det()
+}
+
+// numAt evaluates N(s) = X_out(s)·det Y_MNA(s) per eqs. (8)–(10), with
+// one factorization serving both the determinant and the solve.
+func (sys *System) numAt(scratch *sparse.Matrix, idx int, s complex128, fscale, gscale float64) xmath.XComplex {
+	lu, err := sys.factorAt(scratch, s, fscale, gscale)
+	if err != nil {
+		return xmath.XComplex{} // structurally singular: N ≡ 0 here
+	}
+	b := make([]complex128, sys.dim)
+	for i, v := range sys.rhs {
+		b[i] = complex(v, 0)
+	}
+	x, err := lu.Solve(b)
+	if err != nil || cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
+		return xmath.XComplex{}
+	}
+	return lu.Det().MulComplex(x[idx])
+}
+
+// evaluator wraps a per-point function of (scratch, s, fscale, gscale)
+// as an interp.Evaluator whose EvalBatch fans out over per-worker
+// scratch matrices after serially priming the shared pivot plan.
+func (sys *System) evaluator(name string, bound int, at func(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex) interp.Evaluator {
+	return interp.Evaluator{
+		Name:       name,
+		M:          0,
+		OrderBound: bound,
+		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
+			return at(sparse.New(sys.dim), s, fscale, gscale)
+		},
+		EvalBatch: func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+			return interp.RunBatch(points, workers, sys.detPlan.Primed, func() func(complex128) xmath.XComplex {
+				scratch := sparse.New(sys.dim)
+				return func(s complex128) xmath.XComplex {
+					return at(scratch, s, fscale, gscale)
+				}
+			})
+		},
+	}
 }
 
 // OrderBound returns the a-priori bound on the polynomial order of the
@@ -65,14 +137,7 @@ func (sys *System) OrderBound() int {
 // reports M = 0 and expects the conductance scale to stay 1 (enforce
 // with core.Config.SingleFactor).
 func (sys *System) DetEvaluator() interp.Evaluator {
-	return interp.Evaluator{
-		Name:       "denominator",
-		M:          0,
-		OrderBound: sys.OrderBound(),
-		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
-			return sys.matrixScaled(s, fscale, gscale).Det()
-		},
-	}
+	return sys.evaluator("denominator", sys.OrderBound(), sys.detAt)
 }
 
 // TransferEvaluators returns the numerator and denominator evaluators of
@@ -98,38 +163,12 @@ func (sys *System) TransferEvaluators(out string) (*interp.TransferFunction, err
 		return nil, fmt.Errorf("mna: no independent source with nonzero AC value")
 	}
 	bound := sys.OrderBound()
-	den := interp.Evaluator{
-		Name:       "denominator",
-		M:          0,
-		OrderBound: bound,
-		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
-			return sys.matrixScaled(s, fscale, gscale).Det()
-		},
-	}
-	num := interp.Evaluator{
-		Name:       "numerator",
-		M:          0,
-		OrderBound: bound,
-		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
-			// One factorization serves both det and solve (eq. 8-10).
-			f, err := sys.matrixScaled(s, fscale, gscale).Factor(0.1)
-			if err != nil {
-				return xmath.XComplex{} // structurally singular: N ≡ 0 here
-			}
-			b := make([]complex128, sys.dim)
-			for i, v := range sys.rhs {
-				b[i] = complex(v, 0)
-			}
-			x, err := f.Solve(b)
-			if err != nil || cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
-				return xmath.XComplex{}
-			}
-			return f.Det().MulComplex(x[idx])
-		},
-	}
+	num := sys.evaluator("numerator", bound, func(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
+		return sys.numAt(scratch, idx, s, fscale, gscale)
+	})
 	return &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/source", out),
 		Num:  num,
-		Den:  den,
+		Den:  sys.evaluator("denominator", bound, sys.detAt),
 	}, nil
 }

@@ -44,6 +44,11 @@ type System struct {
 	rhs        []float64
 	branch     map[string]int // element name -> branch unknown index
 	names      []string       // unknown labels for diagnostics
+	// detPlan is the shared pivot-order plan for the one MNA sparsity
+	// pattern, primed by the first successful factorization of a
+	// generation run and replayed read-only at every later point (see
+	// sparse.SharedPlan).
+	detPlan sparse.SharedPlan
 }
 
 // Build assembles the MNA system. Every element kind in the circuit

@@ -1,0 +1,87 @@
+package mna
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dft"
+	"repro/internal/interp"
+)
+
+// mnaBatchCircuit exercises voltage-defined branches (V source, inductor)
+// so the batch layer runs on a genuine MNA pattern, not a pure nodal one.
+func mnaBatchCircuit() *circuit.Circuit {
+	c := circuit.New("mna-batch")
+	c.AddV("v1", "in", "0", 1)
+	c.AddR("r1", "in", "a", 50)
+	c.AddL("l1", "a", "b", 10e-6)
+	c.AddC("c1", "b", "out", 100e-12)
+	c.AddR("r2", "out", "0", 1e3)
+	c.AddC("c2", "out", "0", 20e-12)
+	return c
+}
+
+func TestMNABatchBitIdentical(t *testing.T) {
+	pts := dft.UnitCirclePoints(16)
+	mk := func(which int) interp.Evaluator {
+		sys, err := Build(mnaBatchCircuit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if which == 0 {
+			return sys.DetEvaluator()
+		}
+		tf, err := sys.TransferEvaluators("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if which == 1 {
+			return tf.Num
+		}
+		return tf.Den
+	}
+	for which, label := range []string{"det", "num", "den"} {
+		serial := mk(which).EvalPoints(pts, 1e7, 1, 1)
+		for _, workers := range []int{2, 4, 8} {
+			ev := mk(which)
+			if ev.EvalBatch == nil {
+				t.Fatalf("%s: no EvalBatch", label)
+			}
+			got := ev.EvalBatch(pts, 1e7, 1, workers)
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("%s workers=%d point %d: %v != %v", label, workers, i, got[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMNASharedPatternAcrossEvaluators(t *testing.T) {
+	// Det and transfer evaluators share the system's one pivot plan: a
+	// det evaluation must prime it for the numerator path and vice versa,
+	// with values unchanged versus fresh systems.
+	pts := dft.UnitCirclePoints(8)
+	fresh := func() (*System, *interp.TransferFunction) {
+		sys, err := Build(mnaBatchCircuit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := sys.TransferEvaluators("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, tf
+	}
+	sysA, tfA := fresh()
+	_ = sysA.DetEvaluator().EvalPoints(pts, 1e7, 1, 1) // primes the plan
+	numShared := tfA.Num.EvalPoints(pts, 1e7, 1, 1)
+
+	_, tfB := fresh()
+	numFresh := tfB.Num.EvalPoints(pts, 1e7, 1, 1)
+	for i := range numShared {
+		if numShared[i] != numFresh[i] {
+			t.Fatalf("point %d: primed-by-det %v != fresh %v", i, numShared[i], numFresh[i])
+		}
+	}
+}

@@ -14,6 +14,7 @@ package nodal
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/interp"
@@ -27,42 +28,183 @@ type stamp struct {
 	v    float64
 }
 
+// projection maps the full n×n stamp space onto a derived determinant's
+// matrix: each source row/column is sent to a target index (−1 = deleted;
+// two sources sent to the same target merge by accumulation), and sign
+// carries the cofactor sign of the derived determinant. It lets every
+// derived matrix — cofactors, shorted-node determinants, merged-row
+// cofactors — be assembled directly from the stamp lists in one fixed
+// order, without building the full matrix first.
+type projection struct {
+	dim  int
+	row  []int
+	col  []int
+	sign float64
+}
+
+func dropMap(n, d int) []int {
+	m := make([]int, n)
+	for i := range m {
+		switch {
+		case i == d:
+			m[i] = -1
+		case i > d:
+			m[i] = i - 1
+		default:
+			m[i] = i
+		}
+	}
+	return m
+}
+
+func mergeMap(n, a, b int) []int {
+	m := dropMap(n, b)
+	m[b] = m[a]
+	return m
+}
+
+func identityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// identityProjection is the full determinant det Y.
+func identityProjection(n int) projection {
+	return projection{dim: n, row: identityMap(n), col: identityMap(n), sign: 1}
+}
+
+// cofactorProjection is the signed first-order cofactor C_rc.
+func cofactorProjection(n, r, c int) projection {
+	return projection{dim: n - 1, row: dropMap(n, r), col: dropMap(n, c), sign: cofactorSign(r, c)}
+}
+
+// shortedProjection merges node b into node a (rows and columns summed):
+// the determinant of the circuit with the two nodes shorted.
+func shortedProjection(n, a, b int) projection {
+	return projection{dim: n - 1, row: mergeMap(n, a, b), col: mergeMap(n, a, b), sign: 1}
+}
+
+// mergedRowsProjection adds row b into row a, deletes row b and column
+// c: the single-determinant form of C_ac − C_bc, with sign (−1)^(b+c+1)
+// (see CofactorMergedRows).
+func mergedRowsProjection(n, a, b, c int) projection {
+	sign := 1.0
+	if (b+c+1)%2 != 0 {
+		sign = -1
+	}
+	return projection{dim: n - 1, row: mergeMap(n, a, b), col: dropMap(n, c), sign: sign}
+}
+
+// pattern pairs a projection with the shared pivot-order plan for its
+// sparsity pattern. The plan is primed by the first successful
+// factorization anywhere in a run and replayed read-only at every later
+// point — across all points of a frame and all frames of a Generate run.
+type pattern struct {
+	proj projection
+	plan sparse.SharedPlan
+}
+
+// assembleInto re-assembles the projected scaled matrix into dst,
+// reusing dst's allocations. Stamps are applied in a fixed order, so the
+// assembled values are identical on every call with the same arguments.
+func (sys *System) assembleInto(dst *sparse.Matrix, pr *projection, s complex128, fscale, gscale float64) {
+	dst.Reset()
+	for _, st := range sys.gStamps {
+		i, j := pr.row[st.i], pr.col[st.j]
+		if i >= 0 && j >= 0 {
+			dst.Add(i, j, complex(st.v*gscale, 0))
+		}
+	}
+	sc := s * complex(fscale, 0)
+	for _, st := range sys.cStamps {
+		i, j := pr.row[st.i], pr.col[st.j]
+		if i >= 0 && j >= 0 {
+			dst.Add(i, j, sc*complex(st.v, 0))
+		}
+	}
+}
+
+// detAt evaluates the pattern's signed determinant at one point, using
+// scratch for the assembly. On a plan miss (the recorded pivot order
+// does not fit this matrix's values) it re-assembles and runs a private
+// full factorization — the shared plan itself is never mutated, so the
+// value at a point never depends on which points were evaluated before
+// it (beyond the one-time priming).
+func (sys *System) detAt(pat *pattern, scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
+	sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
+	lu, err := scratch.FactorSharedInPlace(&pat.plan)
+	if err == sparse.ErrPlanMiss {
+		sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
+		lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+	}
+	if err != nil {
+		return xmath.XComplex{}
+	}
+	det := lu.Det()
+	if pat.proj.sign < 0 {
+		det = det.Neg()
+	}
+	return det
+}
+
 // System is the assembled grounded node-admittance structure: separate
 // conductance and capacitance stamp lists so the matrix can be evaluated
-// at any complex frequency with any pair of scale factors.
+// at any complex frequency with any pair of scale factors. Evaluation is
+// safe for concurrent use: the pattern cache is mutex-guarded and each
+// evaluation assembles into its own scratch matrix.
 type System struct {
 	n       int
 	gStamps []stamp
 	cStamps []stamp
 	numCaps int
-	// plans cache sparse pivot orders per deleted-row/column pair: the
-	// interpolation loop factors the same pattern at every point, so the
-	// Markowitz search runs once per pattern. Keys: {-1,-1} for the full
-	// determinant, {r,c} for first-order cofactors, and synthetic keys
-	// for merged/shorted variants. Not safe for concurrent use.
-	plans map[[2]int]*sparse.Plan
+	// patterns caches a projection plus shared pivot-order plan per
+	// derived determinant. Keys: {-1,-1} for the full determinant, {r,c}
+	// for first-order cofactors, and synthetic keys for merged/shorted
+	// variants.
+	mu       sync.Mutex
+	patterns map[[2]int]*pattern
 }
 
-func (sys *System) plan(key [2]int) *sparse.Plan {
-	if sys.plans == nil {
-		sys.plans = make(map[[2]int]*sparse.Plan)
+// pattern returns the cached pattern for key, creating it with mk on
+// first use.
+func (sys *System) pattern(key [2]int, mk func() projection) *pattern {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.patterns == nil {
+		sys.patterns = make(map[[2]int]*pattern)
 	}
-	p, ok := sys.plans[key]
+	p, ok := sys.patterns[key]
 	if !ok {
-		p = &sparse.Plan{}
-		sys.plans[key] = p
+		p = &pattern{proj: mk()}
+		sys.patterns[key] = p
 	}
 	return p
 }
 
-// planned factors m under the cached plan for key and returns the
-// determinant (zero when singular).
-func (sys *System) planned(key [2]int, m *sparse.Matrix) xmath.XComplex {
-	f, err := m.FactorPlanned(sys.plan(key))
-	if err != nil {
-		return xmath.XComplex{}
+// evaluator builds an interp.Evaluator over one cached pattern: the
+// serial Eval assembles into a fresh scratch matrix per call, while
+// EvalBatch fans the frame's points out over a worker pool with one
+// scratch matrix per worker, serially priming the shared pivot plan
+// first so serial and parallel runs are bit-identical.
+func (sys *System) evaluator(name string, m int, key [2]int, mk func() projection) interp.Evaluator {
+	pat := sys.pattern(key, mk)
+	return interp.Evaluator{
+		Name: name, M: m, OrderBound: sys.orderBound(m),
+		Eval: func(s complex128, f, g float64) xmath.XComplex {
+			return sys.detAt(pat, sparse.New(pat.proj.dim), s, f, g)
+		},
+		EvalBatch: func(points []complex128, f, g float64, workers int) []xmath.XComplex {
+			return interp.RunBatch(points, workers, pat.plan.Primed, func() func(complex128) xmath.XComplex {
+				scratch := sparse.New(pat.proj.dim)
+				return func(s complex128) xmath.XComplex {
+					return sys.detAt(pat, scratch, s, f, g)
+				}
+			})
+		},
 	}
-	return f.Det()
 }
 
 // Build assembles the system from a circuit. It returns an error if the
@@ -158,17 +300,22 @@ func cofactorSign(r, c int) float64 {
 // C_rc(s) = (−1)^(r+c)·det(Y(s) with row r and column c deleted)
 // of the scaled matrix.
 func (sys *System) Cofactor(r, c int, s complex128, fscale, gscale float64) xmath.XComplex {
-	m := sys.MatrixAt(s, fscale, gscale).Minor([]int{r}, []int{c})
-	det := sys.planned([2]int{r, c}, m)
-	if cofactorSign(r, c) < 0 {
-		det = det.Neg()
-	}
-	return det
+	pat := sys.cofactorPattern(r, c)
+	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+}
+
+func (sys *System) cofactorPattern(r, c int) *pattern {
+	return sys.pattern([2]int{r, c}, func() projection { return cofactorProjection(sys.n, r, c) })
 }
 
 // Det evaluates det Y(s) of the scaled matrix.
 func (sys *System) Det(s complex128, fscale, gscale float64) xmath.XComplex {
-	return sys.planned([2]int{-1, -1}, sys.MatrixAt(s, fscale, gscale))
+	pat := sys.detPattern()
+	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+}
+
+func (sys *System) detPattern() *pattern {
+	return sys.pattern([2]int{-1, -1}, func() projection { return identityProjection(sys.n) })
 }
 
 // DetShorted evaluates det of Y(s) with node b merged into node a (rows
@@ -177,70 +324,31 @@ func (sys *System) Det(s complex128, fscale, gscale float64) xmath.XComplex {
 // C_aa + C_bb − C_ab − C_ba, but without the ~6-digit cancellation the
 // explicit sum suffers on weakly-coupled input pairs.
 func (sys *System) DetShorted(a, b int, s complex128, fscale, gscale float64) xmath.XComplex {
-	m := sys.MatrixAt(s, fscale, gscale)
-	merged := sparse.New(sys.n - 1)
-	// Index map: drop b, everything after shifts down; b's row/col fold
-	// into a's.
-	idx := func(i int) int {
-		switch {
-		case i == b:
-			i = a
-		}
-		if i > b {
-			return i - 1
-		}
-		return i
-	}
-	for i := 0; i < sys.n; i++ {
-		for j := 0; j < sys.n; j++ {
-			if v := m.At(i, j); v != 0 {
-				merged.Add(idx(i), idx(j), v)
-			}
-		}
-	}
-	return sys.planned([2]int{-2 - a, -2 - b}, merged)
+	pat := sys.shortedPattern(a, b)
+	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+}
+
+func (sys *System) shortedPattern(a, b int) *pattern {
+	return sys.pattern([2]int{-2 - a, -2 - b}, func() projection { return shortedProjection(sys.n, a, b) })
 }
 
 // CofactorMergedRows evaluates the single-determinant form of
 // C_a,c − C_b,c: det of Y(s) with row b added into row a, row b and
 // column c removed, with the appropriate cofactor sign. Like DetShorted
 // it avoids the cancellation of the explicit difference.
+//
+// Multilinear expansion of the merged row gives
+// C_ac − C_bc = (−1)^(b+c+1)·det(reduced), with b the deleted row —
+// independent of whether a < b (the row move parity absorbs the
+// difference). Verified against the explicit cofactor difference in
+// the package tests.
 func (sys *System) CofactorMergedRows(a, b, c int, s complex128, fscale, gscale float64) xmath.XComplex {
-	m := sys.MatrixAt(s, fscale, gscale)
-	reduced := sparse.New(sys.n - 1)
-	rowIdx := func(i int) int {
-		if i == b {
-			i = a
-		}
-		if i > b {
-			return i - 1
-		}
-		return i
-	}
-	for i := 0; i < sys.n; i++ {
-		for j := 0; j < sys.n; j++ {
-			if j == c {
-				continue
-			}
-			jj := j
-			if j > c {
-				jj = j - 1
-			}
-			if v := m.At(i, j); v != 0 {
-				reduced.Add(rowIdx(i), jj, v)
-			}
-		}
-	}
-	det := sys.planned([2]int{-100 - a*sys.n - b, c}, reduced)
-	// Multilinear expansion of the merged row gives
-	// C_ac − C_bc = (−1)^(b+c+1)·det(reduced), with b the deleted row —
-	// independent of whether a < b (the row move parity absorbs the
-	// difference). Verified against the explicit cofactor difference in
-	// the package tests.
-	if (b+c+1)%2 != 0 {
-		det = det.Neg()
-	}
-	return det
+	pat := sys.mergedRowsPattern(a, b, c)
+	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+}
+
+func (sys *System) mergedRowsPattern(a, b, c int) *pattern {
+	return sys.pattern([2]int{-100 - a*sys.n - b, c}, func() projection { return mergedRowsProjection(sys.n, a, b, c) })
 }
 
 func (sys *System) orderBound(m int) int {
@@ -268,18 +376,10 @@ func (sys *System) VoltageGain(c *circuit.Circuit, in, out string) (*interp.Tran
 	m := sys.n - 1
 	return &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/V(%s)", out, in),
-		Num: interp.Evaluator{
-			Name: "numerator", M: m, OrderBound: sys.orderBound(m),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.Cofactor(i, o, s, f, g)
-			},
-		},
-		Den: interp.Evaluator{
-			Name: "denominator", M: m, OrderBound: sys.orderBound(m),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.Cofactor(i, i, s, f, g)
-			},
-		},
+		Num: sys.evaluator("numerator", m, [2]int{i, o},
+			func() projection { return cofactorProjection(sys.n, i, o) }),
+		Den: sys.evaluator("denominator", m, [2]int{i, i},
+			func() projection { return cofactorProjection(sys.n, i, i) }),
 	}, nil
 }
 
@@ -310,18 +410,10 @@ func (sys *System) DifferentialVoltageGain(c *circuit.Circuit, inp, inn, out str
 	m := sys.n - 1
 	return &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/(V(%s)-V(%s))", out, inp, inn),
-		Num: interp.Evaluator{
-			Name: "numerator", M: m, OrderBound: sys.orderBound(m),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.CofactorMergedRows(ip, in, o, s, f, g)
-			},
-		},
-		Den: interp.Evaluator{
-			Name: "denominator", M: m, OrderBound: sys.orderBound(m),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.DetShorted(ip, in, s, f, g)
-			},
-		},
+		Num: sys.evaluator("numerator", m, [2]int{-100 - ip*sys.n - in, o},
+			func() projection { return mergedRowsProjection(sys.n, ip, in, o) }),
+		Den: sys.evaluator("denominator", m, [2]int{-2 - ip, -2 - in},
+			func() projection { return shortedProjection(sys.n, ip, in) }),
 	}, nil
 }
 
@@ -338,18 +430,10 @@ func (sys *System) Transimpedance(c *circuit.Circuit, in, out string) (*interp.T
 	}
 	return &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/I(%s)", out, in),
-		Num: interp.Evaluator{
-			Name: "numerator", M: sys.n - 1, OrderBound: sys.orderBound(sys.n - 1),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.Cofactor(i, o, s, f, g)
-			},
-		},
-		Den: interp.Evaluator{
-			Name: "denominator", M: sys.n, OrderBound: sys.orderBound(sys.n),
-			Eval: func(s complex128, f, g float64) xmath.XComplex {
-				return sys.Det(s, f, g)
-			},
-		},
+		Num: sys.evaluator("numerator", sys.n-1, [2]int{i, o},
+			func() projection { return cofactorProjection(sys.n, i, o) }),
+		Den: sys.evaluator("denominator", sys.n, [2]int{-1, -1},
+			func() projection { return identityProjection(sys.n) }),
 	}, nil
 }
 

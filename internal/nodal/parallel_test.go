@@ -1,0 +1,142 @@
+package nodal
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dft"
+	"repro/internal/interp"
+)
+
+// batchCircuit builds a small multi-node admittance circuit exercising
+// all derived-determinant kinds.
+func batchCircuit() *circuit.Circuit {
+	c := circuit.New("batch")
+	c.AddG("g1", "a", "0", 1e-3)
+	c.AddG("g2", "a", "b", 2e-3)
+	c.AddG("g3", "b", "c", 5e-4)
+	c.AddG("g4", "c", "0", 1e-4)
+	c.AddC("c1", "a", "0", 1e-12)
+	c.AddC("c2", "b", "0", 2e-12)
+	c.AddC("c3", "c", "b", 5e-13)
+	c.AddVCCS("gm", "c", "0", "a", "b", 3e-3)
+	return c
+}
+
+// assertBatchMatchesSerial checks EvalBatch against the serial Eval loop
+// bit-for-bit at several worker counts, on fresh systems so the shared
+// plan priming sequence is identical.
+func assertBatchMatchesSerial(t *testing.T, mk func() interp.Evaluator, f, g float64) {
+	t.Helper()
+	pts := dft.UnitCirclePoints(24)
+	serialEv := mk()
+	serial := serialEv.EvalPoints(pts, f, g, 1)
+	for _, workers := range []int{2, 4, 8} {
+		ev := mk()
+		if ev.EvalBatch == nil {
+			t.Fatal("evaluator has no EvalBatch")
+		}
+		got := ev.EvalBatch(pts, f, g, workers)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d point %d: batch %v != serial %v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestVoltageGainBatchBitIdentical(t *testing.T) {
+	mkNum := func() interp.Evaluator {
+		c := batchCircuit()
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := sys.VoltageGain(c, "a", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tf.Num
+	}
+	mkDen := func() interp.Evaluator {
+		c := batchCircuit()
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := sys.VoltageGain(c, "a", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tf.Den
+	}
+	assertBatchMatchesSerial(t, mkNum, 1e9, 1e3)
+	assertBatchMatchesSerial(t, mkDen, 1e9, 1e3)
+}
+
+func TestDifferentialGainBatchBitIdentical(t *testing.T) {
+	mk := func(which int) func() interp.Evaluator {
+		return func() interp.Evaluator {
+			c := batchCircuit()
+			sys, err := Build(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tf, err := sys.DifferentialVoltageGain(c, "a", "b", "c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if which == 0 {
+				return tf.Num
+			}
+			return tf.Den
+		}
+	}
+	assertBatchMatchesSerial(t, mk(0), 5e8, 200)
+	assertBatchMatchesSerial(t, mk(1), 5e8, 200)
+}
+
+func TestTransimpedanceBatchBitIdentical(t *testing.T) {
+	mk := func() interp.Evaluator {
+		c := batchCircuit()
+		sys, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := sys.Transimpedance(c, "a", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tf.Den
+	}
+	assertBatchMatchesSerial(t, mk, 1e9, 1e3)
+}
+
+// TestProjectionMatchesLegacyForms cross-checks the stamp-projection
+// assembly against the reference construction through the full matrix
+// (MatrixAt + Minor), which the pre-batch implementation used.
+func TestProjectionMatchesLegacyForms(t *testing.T) {
+	c := batchCircuit()
+	sys, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(0.3, 0.7)
+	f, g := 2e9, 500.0
+	full := sys.MatrixAt(s, f, g)
+	for r := 0; r < sys.N(); r++ {
+		for cc := 0; cc < sys.N(); cc++ {
+			want := full.Minor([]int{r}, []int{cc}).Det()
+			if cofactorSign(r, cc) < 0 {
+				want = want.Neg()
+			}
+			got := sys.Cofactor(r, cc, s, f, g)
+			if !got.Real().ApproxEqual(want.Real(), 1e-12) || !got.Imag().ApproxEqual(want.Imag(), 1e-12) {
+				t.Fatalf("cofactor (%d,%d): %v vs %v", r, cc, got, want)
+			}
+		}
+	}
+	if got, want := sys.Det(s, f, g), full.Det(); !got.Real().ApproxEqual(want.Real(), 1e-12) {
+		t.Fatalf("det: %v vs %v", got, want)
+	}
+}

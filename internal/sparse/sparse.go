@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math/cmplx"
+	"sort"
+	"sync"
 
 	"repro/internal/xmath"
 )
@@ -22,6 +24,13 @@ import (
 // ErrSingular is returned when factorization meets an exactly singular
 // matrix.
 var ErrSingular = errors.New("sparse: matrix is singular")
+
+// ErrPlanMiss is returned by FactorSharedInPlace when the recorded pivot
+// order could not be replayed (a pivot vanished structurally or went
+// numerically bad). The receiver's contents are destroyed by the failed
+// replay; the caller must re-assemble the matrix before retrying with
+// FactorInPlace.
+var ErrPlanMiss = errors.New("sparse: planned pivot order failed on this matrix")
 
 // DefaultThreshold is the relative pivot magnitude threshold u: a pivot
 // candidate must satisfy |a| ≥ u·max|column|. 0.1 is the customary
@@ -82,6 +91,15 @@ func (m *Matrix) NNZ() int {
 		t += len(r)
 	}
 	return t
+}
+
+// Reset zeroes every entry while keeping the allocated row maps, so a
+// scratch matrix can be re-assembled once per evaluation point without
+// re-allocating its pattern storage.
+func (m *Matrix) Reset() {
+	for _, r := range m.rows {
+		clear(r)
+	}
 }
 
 // Clone returns a deep copy.
@@ -157,19 +175,41 @@ func (m *Matrix) String() string {
 // P·A·Q = L·U, recorded as the per-step pivot positions, the eliminated
 // pivot rows (the rows of U in original column indices) and the
 // elimination multipliers.
+//
+// The U rows are stored as column-sorted slices so that back-substitution
+// accumulates in a fixed order: repeated factorizations of the same
+// matrix yield bit-identical Solve results, which the parallel batched
+// evaluation layer relies on.
 type LU struct {
 	n       int
-	pivRow  []int                // row chosen at step k
-	pivCol  []int                // column chosen at step k
-	pivVal  []complex128         // pivot value at step k
-	urows   []map[int]complex128 // pivot row contents at elimination time (incl. pivot)
-	mults   [][]multEntry        // multipliers applied at step k
+	pivRow  []int         // row chosen at step k
+	pivCol  []int         // column chosen at step k
+	pivVal  []complex128  // pivot value at step k
+	urows   [][]urowEntry // pivot row contents at elimination time (incl. pivot), sorted by column
+	mults   [][]multEntry // multipliers applied at step k
 	detSign int
 }
 
 type multEntry struct {
 	row  int
 	mult complex128
+}
+
+type urowEntry struct {
+	col int
+	val complex128
+}
+
+// sortedURow snapshots the active entries of a pivot row in column order.
+func sortedURow(row map[int]complex128, colActive []bool) []urowEntry {
+	u := make([]urowEntry, 0, len(row))
+	for j, v := range row {
+		if colActive[j] {
+			u = append(u, urowEntry{col: j, val: v})
+		}
+	}
+	sort.Slice(u, func(a, b int) bool { return u[a].col < u[b].col })
+	return u
 }
 
 // Det computes the determinant by Markowitz-pivoted elimination with the
@@ -195,16 +235,24 @@ func (m *Matrix) Solve(b []complex128) ([]complex128, error) {
 // Factor runs Markowitz-pivoted Gaussian elimination. At each step the
 // pivot with minimal Markowitz count (r−1)(c−1) is chosen among entries
 // passing |a| ≥ threshold·max|column|; ties break toward larger
-// magnitude. The receiver is not modified.
+// magnitude, then toward the smallest (row, column) pair, so the chosen
+// pivot sequence — and with it every rounded intermediate — is a pure
+// function of the matrix values. The receiver is not modified.
 func (m *Matrix) Factor(threshold float64) (*LU, error) {
-	w := m.Clone()
+	return m.Clone().FactorInPlace(threshold)
+}
+
+// FactorInPlace is Factor without the defensive copy: it consumes the
+// receiver's contents (which are undefined afterwards). Use it on scratch
+// matrices that are re-assembled before every factorization.
+func (w *Matrix) FactorInPlace(threshold float64) (*LU, error) {
 	n := w.n
 	f := &LU{
 		n:       n,
 		pivRow:  make([]int, 0, n),
 		pivCol:  make([]int, 0, n),
 		pivVal:  make([]complex128, 0, n),
-		urows:   make([]map[int]complex128, 0, n),
+		urows:   make([][]urowEntry, 0, n),
 		mults:   make([][]multEntry, 0, n),
 		detSign: 1,
 	}
@@ -259,7 +307,10 @@ func (m *Matrix) Factor(threshold float64) (*LU, error) {
 					continue
 				}
 				cost := (rc - 1) * (colCount[j] - 1)
-				if cost < bestCost || (cost == bestCost && a > bestAbs) {
+				better := cost < bestCost ||
+					(cost == bestCost && (a > bestAbs ||
+						(a == bestAbs && (bi < 0 || i < bi || (i == bi && j < bj)))))
+				if better {
 					bestCost, bestAbs, bi, bj = cost, a, i, j
 				}
 			}
@@ -268,12 +319,7 @@ func (m *Matrix) Factor(threshold float64) (*LU, error) {
 			return nil, ErrSingular
 		}
 		piv := w.rows[bi][bj]
-		urow := make(map[int]complex128, len(w.rows[bi]))
-		for j, v := range w.rows[bi] {
-			if colActive[j] {
-				urow[j] = v
-			}
-		}
+		urow := sortedURow(w.rows[bi], colActive)
 		f.pivRow = append(f.pivRow, bi)
 		f.pivCol = append(f.pivCol, bj)
 		f.pivVal = append(f.pivVal, piv)
@@ -355,11 +401,11 @@ func (f *LU) Solve(b []complex128) ([]complex128, error) {
 	x := make([]complex128, f.n)
 	for k := f.n - 1; k >= 0; k-- {
 		sum := y[f.pivRow[k]]
-		for j, v := range f.urows[k] {
-			if j == f.pivCol[k] {
+		for _, e := range f.urows[k] {
+			if e.col == f.pivCol[k] {
 				continue
 			}
-			sum -= v * x[j]
+			sum -= e.val * x[e.col]
 		}
 		x[f.pivCol[k]] = sum / f.pivVal[k]
 	}
@@ -411,14 +457,19 @@ func (m *Matrix) factorAndPlan(plan *Plan) (*LU, error) {
 // tryPlanned eliminates in the recorded order; ok is false when a pivot
 // is missing or numerically unsafe.
 func (m *Matrix) tryPlanned(plan *Plan) (*LU, bool) {
-	w := m.Clone()
+	return m.Clone().tryPlannedInPlace(plan)
+}
+
+// tryPlannedInPlace is tryPlanned on a disposable matrix: it consumes the
+// receiver's contents whether or not the replay succeeds.
+func (w *Matrix) tryPlannedInPlace(plan *Plan) (*LU, bool) {
 	n := w.n
 	f := &LU{
 		n:       n,
 		pivRow:  plan.pivRow,
 		pivCol:  plan.pivCol,
 		pivVal:  make([]complex128, 0, n),
-		urows:   make([]map[int]complex128, 0, n),
+		urows:   make([][]urowEntry, 0, n),
 		mults:   make([][]multEntry, 0, n),
 		detSign: 1,
 	}
@@ -447,12 +498,7 @@ func (m *Matrix) tryPlanned(plan *Plan) (*LU, bool) {
 		if cmplx.Abs(piv) < guardRatio*rowMax {
 			return nil, false
 		}
-		urow := make(map[int]complex128, len(w.rows[bi]))
-		for j, v := range w.rows[bi] {
-			if colActive[j] {
-				urow[j] = v
-			}
-		}
+		urow := sortedURow(w.rows[bi], colActive)
 		f.pivVal = append(f.pivVal, piv)
 		f.urows = append(f.urows, urow)
 		rowActive[bi] = false
@@ -487,6 +533,106 @@ func (m *Matrix) tryPlanned(plan *Plan) (*LU, bool) {
 		f.detSign = -1
 	}
 	return f, true
+}
+
+// SharedPlan is a concurrency-safe pivot-order cache for repeated
+// factorizations of matrices sharing one sparsity pattern — the batched
+// point-evaluation layer factors the same circuit pattern at every
+// interpolation point of every frame of a generation run.
+//
+// Unlike Plan it is primed exactly once, by the first successful full
+// factorization, and never refreshed afterwards: later factorizations
+// replay the recorded order read-only and fall back to a private full
+// Markowitz factorization when a planned pivot is structurally absent or
+// numerically unsafe. Because the recorded order is immutable after
+// priming, the result for a given matrix is a pure function of the
+// matrix and the plan — independent of evaluation order and goroutine
+// scheduling — which is what makes serial and parallel batched runs
+// bit-identical.
+type SharedPlan struct {
+	mu     sync.Mutex
+	primed bool
+	plan   Plan
+}
+
+// Primed reports whether a pivot order has been recorded. Batch runners
+// use it to keep evaluating serially until the plan exists, so that the
+// point that primes the plan is the same in serial and parallel runs.
+func (sp *SharedPlan) Primed() bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.primed
+}
+
+// snapshot returns the recorded plan, if any. The returned slices are
+// shared read-only: replay never mutates them and priming happens once.
+func (sp *SharedPlan) snapshot() (Plan, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.plan, sp.primed
+}
+
+// prime records the pivot order of f unless one is already recorded.
+func (sp *SharedPlan) prime(f *LU) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.primed {
+		return
+	}
+	sp.plan.pivRow = append([]int(nil), f.pivRow...)
+	sp.plan.pivCol = append([]int(nil), f.pivCol...)
+	sp.primed = true
+}
+
+// FactorShared factors the matrix under the shared plan: replay the
+// recorded order when primed (falling back to a full Markowitz
+// factorization for this matrix only when the replay fails), otherwise
+// full-factor and prime. The receiver is not modified. A nil plan means
+// a plain Factor.
+func (m *Matrix) FactorShared(sp *SharedPlan) (*LU, error) {
+	if sp == nil {
+		return m.Factor(DefaultThreshold)
+	}
+	if plan, ok := sp.snapshot(); ok {
+		if len(plan.pivRow) == m.n {
+			if f, ok2 := m.tryPlanned(&plan); ok2 {
+				return f, nil
+			}
+		}
+		return m.Factor(DefaultThreshold)
+	}
+	f, err := m.Factor(DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	sp.prime(f)
+	return f, nil
+}
+
+// FactorSharedInPlace is FactorShared for a disposable scratch matrix: it
+// consumes the receiver's contents without cloning. When the planned
+// replay fails the original values are already destroyed, so it returns
+// ErrPlanMiss; the caller must re-assemble the matrix and retry with
+// FactorInPlace.
+func (m *Matrix) FactorSharedInPlace(sp *SharedPlan) (*LU, error) {
+	if sp == nil {
+		return m.FactorInPlace(DefaultThreshold)
+	}
+	if plan, ok := sp.snapshot(); ok {
+		if len(plan.pivRow) != m.n {
+			return m.FactorInPlace(DefaultThreshold)
+		}
+		if f, ok2 := m.tryPlannedInPlace(&plan); ok2 {
+			return f, nil
+		}
+		return nil, ErrPlanMiss
+	}
+	f, err := m.FactorInPlace(DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	sp.prime(f)
+	return f, nil
 }
 
 // parity returns the sign (+1/−1) of the permutation given as a sequence

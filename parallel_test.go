@@ -1,0 +1,167 @@
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netlist"
+	"repro/internal/nodal"
+)
+
+// These tests pin the tentpole guarantee of the batched evaluation
+// layer: a Generate run with Parallelism = NumCPU produces bit-identical
+// Result coefficients to the serial run (Parallelism = 1) on the
+// benchmark fixtures. Each run builds a fresh nodal system so both paths
+// prime the shared factorization plans at the same point.
+
+type fixture struct {
+	name string
+	// build returns a fresh circuit plus the transfer-function node
+	// names; diff selects DifferentialVoltageGain.
+	build    func(t *testing.T) *circuit.Circuit
+	in, inn  string
+	out      string
+	diff     bool
+	maxIters int
+}
+
+func loadNetlist(t *testing.T, path string) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.ParseFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return c
+}
+
+func fixtures() []fixture {
+	return []fixture{
+		{
+			name:  "biquad",
+			build: func(t *testing.T) *circuit.Circuit { return circuits.Biquad() },
+			in:    "in", out: "lp",
+		},
+		{
+			name:  "opamp",
+			build: func(t *testing.T) *circuit.Circuit { return loadNetlist(t, "testdata/opamp.sp") },
+			in:    "inp", inn: "inn", out: "out", diff: true,
+		},
+		{
+			name:  "threestage",
+			build: func(t *testing.T) *circuit.Circuit { return loadNetlist(t, "testdata/threestage.sp") },
+			in:    "inp", out: "out", maxIters: 200,
+		},
+	}
+}
+
+// runFixture generates both polynomials of the fixture's transfer
+// function at the given parallelism, on a completely fresh system.
+func runFixture(t *testing.T, fx fixture, parallelism int) (num, den *core.Result) {
+	t.Helper()
+	c := fx.build(t)
+	sys, err := nodal.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf *interp.TransferFunction
+	if fx.diff {
+		tf, err = sys.DifferentialVoltageGain(c, fx.in, fx.inn, fx.out)
+	} else {
+		tf, err = sys.VoltageGain(c, fx.in, fx.out)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Parallelism: parallelism, MaxIterations: fx.maxIters}
+	num, den, err = core.GenerateTransferFunction(c, tf, cfg)
+	if err != nil {
+		t.Fatalf("%s (parallelism %d): %v", fx.name, parallelism, err)
+	}
+	return num, den
+}
+
+func assertResultsIdentical(t *testing.T, label string, serial, parallel *core.Result) {
+	t.Helper()
+	if len(serial.Coeffs) != len(parallel.Coeffs) {
+		t.Fatalf("%s: coefficient counts differ: %d vs %d", label, len(serial.Coeffs), len(parallel.Coeffs))
+	}
+	for i := range serial.Coeffs {
+		s, p := serial.Coeffs[i], parallel.Coeffs[i]
+		if s.Status != p.Status {
+			t.Errorf("%s s^%d: status %v vs %v", label, i, s.Status, p.Status)
+			continue
+		}
+		// XFloat is a comparable (mant, exp) struct: == is bit identity.
+		if s.Value != p.Value {
+			t.Errorf("%s s^%d: value %v vs %v", label, i, s.Value, p.Value)
+		}
+		if s.Bound != p.Bound {
+			t.Errorf("%s s^%d: bound %v vs %v", label, i, s.Bound, p.Bound)
+		}
+		if s.Quality != p.Quality {
+			t.Errorf("%s s^%d: quality %v vs %v", label, i, s.Quality, p.Quality)
+		}
+		if s.Iteration != p.Iteration {
+			t.Errorf("%s s^%d: iteration %d vs %d", label, i, s.Iteration, p.Iteration)
+		}
+	}
+	if len(serial.Iterations) != len(parallel.Iterations) {
+		t.Fatalf("%s: iteration counts differ: %d vs %d", label, len(serial.Iterations), len(parallel.Iterations))
+	}
+	for i := range serial.Iterations {
+		s, p := serial.Iterations[i], parallel.Iterations[i]
+		if s.Purpose != p.Purpose || s.FScale != p.FScale || s.GScale != p.GScale ||
+			s.K != p.K || s.Offset != p.Offset || s.Lo != p.Lo || s.Hi != p.Hi {
+			t.Errorf("%s iteration %d: trace diverged: %+v vs %+v", label, i,
+				struct {
+					Purpose        string
+					F, G           float64
+					K, Off, Lo, Hi int
+				}{s.Purpose, s.FScale, s.GScale, s.K, s.Offset, s.Lo, s.Hi},
+				struct {
+					Purpose        string
+					F, G           float64
+					K, Off, Lo, Hi int
+				}{p.Purpose, p.FScale, p.GScale, p.K, p.Offset, p.Lo, p.Hi})
+		}
+	}
+	if serial.Disagreements != parallel.Disagreements {
+		t.Errorf("%s: disagreements %d vs %d", label, serial.Disagreements, parallel.Disagreements)
+	}
+}
+
+func TestSerialParallelBitIdentical(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4 // still exercises the pool; determinism must hold regardless
+	}
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			serialNum, serialDen := runFixture(t, fx, 1)
+			parNum, parDen := runFixture(t, fx, workers)
+			assertResultsIdentical(t, fx.name+"/num", serialNum, parNum)
+			assertResultsIdentical(t, fx.name+"/den", serialDen, parDen)
+			if parNum.Parallelism != workers {
+				t.Errorf("parallel run reports %d workers, want %d", parNum.Parallelism, workers)
+			}
+			if serialNum.TotalSolves == 0 || serialNum.TotalSolves != parNum.TotalSolves {
+				t.Errorf("solve counters differ: %d vs %d", serialNum.TotalSolves, parNum.TotalSolves)
+			}
+		})
+	}
+}
+
+// TestDefaultParallelismMatchesSerial pins the Parallelism: 0 (GOMAXPROCS)
+// default against the serial path on the smallest fixture.
+func TestDefaultParallelismMatchesSerial(t *testing.T) {
+	fx := fixtures()[0]
+	serialNum, serialDen := runFixture(t, fx, 1)
+	defNum, defDen := runFixture(t, fx, 0)
+	assertResultsIdentical(t, "biquad/num", serialNum, defNum)
+	assertResultsIdentical(t, "biquad/den", serialDen, defDen)
+}
