@@ -1,0 +1,150 @@
+// Command checkrun is the differential fuzzing harness: it generates
+// randomized G/C/gm circuits, runs the full reference-generation
+// pipeline on each, and validates every result against the invariant
+// checker (internal/check), the exact Bareiss oracle (tractable sizes)
+// and an independent MNA AC solve (all sizes). It exits nonzero when any
+// invariant is violated, which makes it directly usable as a CI gate:
+//
+//	checkrun -n 50 -seed 1
+//
+// The sweep is fully deterministic for a given -seed, so a reported
+// failure reproduces with the same flags.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/nodal"
+)
+
+type options struct {
+	trials   int
+	seed     int64
+	minNodes int
+	maxNodes int
+	exactMax int
+	verbose  bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("checkrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.IntVar(&o.trials, "n", 25, "number of random circuits to sweep")
+	fs.Int64Var(&o.seed, "seed", 1, "RNG seed (the sweep is deterministic per seed)")
+	fs.IntVar(&o.minNodes, "nodes-min", 3, "smallest circuit size in nodes")
+	fs.IntVar(&o.maxNodes, "nodes-max", 10, "largest circuit size in nodes")
+	fs.IntVar(&o.exactMax, "exact-max", 9, "largest size cross-checked against the exact Bareiss oracle")
+	fs.BoolVar(&o.verbose, "v", false, "report every trial, not only failures")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() != 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.trials < 1 {
+		return o, fmt.Errorf("-n must be at least 1, got %d", o.trials)
+	}
+	if o.minNodes < 2 || o.maxNodes < o.minNodes {
+		return o, fmt.Errorf("invalid node range %d..%d", o.minNodes, o.maxNodes)
+	}
+	return o, nil
+}
+
+// trial generates one random circuit and runs every applicable check,
+// merging the outcome into rep. It returns the circuit size.
+func trial(rng *rand.Rand, o options, rep *check.Report) (nodes int, err error) {
+	nodes = o.minNodes + rng.Intn(o.maxNodes-o.minNodes+1)
+	c := circuits.RandomGCgm(rng, nodes)
+	in := "n0"
+	out := fmt.Sprintf("n%d", nodes-1)
+
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nodes, fmt.Errorf("nodal build: %w", err)
+	}
+	tf, err := sys.VoltageGain(c, in, out)
+	if err != nil {
+		return nodes, fmt.Errorf("voltage gain setup: %w", err)
+	}
+
+	// Serial and parallel generation must agree bit-for-bit; the serial
+	// result is the reference for everything downstream.
+	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{Parallelism: 1})
+	if err != nil {
+		return nodes, fmt.Errorf("generate (serial): %w", err)
+	}
+	pnum, pden, perr := core.GenerateTransferFunction(c, tf, core.Config{})
+	if perr != nil {
+		return nodes, fmt.Errorf("generate (parallel): %w", perr)
+	}
+	check.ParityResults(num, pnum, rep)
+	check.ParityResults(den, pden, rep)
+
+	// Structural invariants on both polynomials.
+	rep.Merge(check.Result(num, tf.Num.M, check.Options{}))
+	rep.Merge(check.Result(den, tf.Den.M, check.Options{}))
+
+	// Oracle cross-check where tractable, Bode-vs-AC everywhere.
+	if nodes <= o.exactMax {
+		exNum, exDen, err := exact.VoltageGain(c, in, out)
+		if err != nil {
+			return nodes, fmt.Errorf("exact oracle: %w", err)
+		}
+		check.VsPoly(num, exNum.ToXPoly(), 1e-4, 4, rep)
+		check.VsPoly(den, exDen.ToXPoly(), 1e-4, 4, rep)
+		check.VsRatio(num, den, exNum.ToXPoly(), exDen.ToXPoly(), 1e-4, rep)
+	}
+	check.BodeVsAC(c, "vgain", in, "", out, num, den, 0, 0, rep)
+	return nodes, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintln(stderr, "checkrun:", err)
+		return 2
+	}
+
+	rng := rand.New(rand.NewSource(o.seed))
+	total := &check.Report{}
+	failures := 0
+	for i := 0; i < o.trials; i++ {
+		rep := &check.Report{}
+		nodes, err := trial(rng, o, rep)
+		if err != nil {
+			fmt.Fprintf(stderr, "trial %d (%d nodes): ERROR: %v\n", i, nodes, err)
+			failures++
+			continue
+		}
+		if !rep.Ok() {
+			fmt.Fprintf(stderr, "trial %d (%d nodes): %s\n", i, nodes, rep)
+			failures++
+		} else if o.verbose {
+			fmt.Fprintf(stdout, "trial %d (%d nodes): %s\n", i, nodes, rep)
+		}
+		total.Merge(rep)
+	}
+	fmt.Fprintf(stdout, "checkrun: %d trials, %d assertions, %d violations, %d failing trials (seed %d)\n",
+		o.trials, total.Checks, len(total.Violations), failures, o.seed)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero trials", []string{"-n", "0"}},
+		{"inverted node range", []string{"-nodes-min", "8", "-nodes-max", "3"}},
+		{"tiny min", []string{"-nodes-min", "1"}},
+		{"positional junk", []string{"extra"}},
+		{"undefined flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+		})
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "3", "-seed", "2", "-nodes-max", "5", "-v"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Errorf("summary missing from stdout:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "trial ") != 3 {
+		t.Errorf("-v should report every trial:\n%s", out.String())
+	}
+}

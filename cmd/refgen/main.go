@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/cmplx"
 	"os"
@@ -31,39 +33,59 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes the
+// requested generation and writes the report to stdout. The return
+// value is the process exit code (2 for usage errors, 1 for runtime
+// failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("refgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netFile   = flag.String("netlist", "", "netlist file (required)")
-		tfKind    = flag.String("tf", "vgain", "transfer function: vgain, diffgain, transz or mna")
-		inNode    = flag.String("in", "in", "input node (positive input for diffgain)")
-		innNode   = flag.String("inn", "", "negative input node (diffgain)")
-		outNode   = flag.String("out", "out", "output node")
-		method    = flag.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
-		fscale    = flag.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
-		gscale    = flag.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
-		sigDigits = flag.Int("sigdigits", 6, "required significant digits σ")
-		noReduce  = flag.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
-		verbose   = flag.Bool("v", false, "print the iteration trace")
-		showPoles = flag.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
-		parallel  = flag.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
+		netFile   = fs.String("netlist", "", "netlist file (required)")
+		tfKind    = fs.String("tf", "vgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode    = fs.String("in", "in", "input node (positive input for diffgain)")
+		innNode   = fs.String("inn", "", "negative input node (diffgain)")
+		outNode   = fs.String("out", "out", "output node")
+		method    = fs.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
+		fscale    = fs.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
+		gscale    = fs.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
+		sigDigits = fs.Int("sigdigits", 6, "required significant digits σ")
+		noReduce  = fs.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
+		verbose   = fs.Bool("v", false, "print the iteration trace")
+		showPoles = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
+		parallel  = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
 	)
-	flag.Parse()
-	if *netFile == "" {
-		fmt.Fprintln(os.Stderr, "refgen: -netlist is required")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
+	if *netFile == "" {
+		fmt.Fprintln(stderr, "refgen: -netlist is required")
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "refgen:", err)
+		return 1
+	}
+
 	ckt, err := netlist.ParseFile(*netFile)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Println(ckt.Stats())
+	fmt.Fprintln(stdout, ckt.Stats())
 
 	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
 	_, tf, err := spec.Resolve(ckt)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("transfer function: %s (order bound %d)\n\n", tf.Name, tf.Den.OrderBound)
+	fmt.Fprintf(stdout, "transfer function: %s (order bound %d)\n\n", tf.Name, tf.Den.OrderBound)
 
 	switch *method {
 	case "adaptive":
@@ -75,46 +97,47 @@ func main() {
 		}
 		num, den, err := core.GenerateTransferFunction(ckt, tf, cfg)
 		if num != nil {
-			printResult(num, *verbose)
+			printResult(stdout, num, *verbose)
 		}
 		if den != nil {
-			printResult(den, *verbose)
+			printResult(stdout, den, *verbose)
 		}
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *showPoles {
-			printRoots("zeros", num.Poly())
-			printRoots("poles", den.Poly())
+			printRoots(stdout, "zeros", num.Poly())
+			printRoots(stdout, "poles", den.Poly())
 		}
 	case "fixed":
-		fs, gs := *fscale, *gscale
-		if fs == 0 {
+		fsc, gsc := *fscale, *gscale
+		if fsc == 0 {
 			if mc := ckt.MeanCapacitance(); mc > 0 {
-				fs = 1 / mc
+				fsc = 1 / mc
 			} else {
-				fs = 1
+				fsc = 1
 			}
 		}
-		if gs == 0 {
+		if gsc == 0 {
 			if mg := ckt.MeanConductance(); mg > 0 {
-				gs = 1 / mg
+				gsc = 1 / mg
 			} else {
-				gs = 1
+				gsc = 1
 			}
 		}
-		printInterp("numerator", interp.RunWithParallelism(tf.Num, fs, gs, tf.Num.OrderBound+1, *parallel), *sigDigits)
-		printInterp("denominator", interp.RunWithParallelism(tf.Den, fs, gs, tf.Den.OrderBound+1, *parallel), *sigDigits)
+		printInterp(stdout, "numerator", interp.RunWithParallelism(tf.Num, fsc, gsc, tf.Num.OrderBound+1, *parallel), *sigDigits)
+		printInterp(stdout, "denominator", interp.RunWithParallelism(tf.Den, fsc, gsc, tf.Den.OrderBound+1, *parallel), *sigDigits)
 	case "unit":
-		printInterp("numerator", interp.RunWithParallelism(tf.Num, 1, 1, tf.Num.OrderBound+1, *parallel), *sigDigits)
-		printInterp("denominator", interp.RunWithParallelism(tf.Den, 1, 1, tf.Den.OrderBound+1, *parallel), *sigDigits)
+		printInterp(stdout, "numerator", interp.RunWithParallelism(tf.Num, 1, 1, tf.Num.OrderBound+1, *parallel), *sigDigits)
+		printInterp(stdout, "denominator", interp.RunWithParallelism(tf.Den, 1, 1, tf.Den.OrderBound+1, *parallel), *sigDigits)
 	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+		return fail(fmt.Errorf("unknown method %q", *method))
 	}
+	return 0
 }
 
-func printResult(r *core.Result, verbose bool) {
-	fmt.Println(r)
+func printResult(w io.Writer, r *core.Result, verbose bool) {
+	fmt.Fprintln(w, r)
 	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits")
 	for i, c := range r.Coeffs {
 		switch c.Status {
@@ -126,7 +149,7 @@ func printResult(r *core.Result, verbose bool) {
 			tb.Rowf(fmt.Sprintf("s^%d", i), "UNRESOLVED", "", "")
 		}
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(w, tb)
 	if verbose {
 		it := tablefmt.New("iterations", "#", "purpose", "fscale", "gscale", "K", "region", "new", "solves", "eval")
 		for k, rec := range r.Iterations {
@@ -137,14 +160,14 @@ func printResult(r *core.Result, verbose bool) {
 			it.Rowf(k, rec.Purpose, fmt.Sprintf("%.4g", rec.FScale), fmt.Sprintf("%.4g", rec.GScale), rec.K, region, rec.NewValid,
 				rec.Solves, rec.EvalElapsed.Round(time.Microsecond))
 		}
-		fmt.Println(it)
-		fmt.Println(r.CoverageMap())
+		fmt.Fprintln(w, it)
+		fmt.Fprintln(w, r.CoverageMap())
 	}
 }
 
-func printInterp(name string, res interp.Result, sigDigits int) {
+func printInterp(w io.Writer, name string, res interp.Result, sigDigits int) {
 	lo, hi, ok := interp.ValidRegion(res.Normalized, sigDigits)
-	fmt.Printf("%s: %s\n", name, res)
+	fmt.Fprintf(w, "%s: %s\n", name, res)
 	tb := tablefmt.New("", "s^i", "normalized", "denormalized", "valid")
 	for i := range res.Normalized {
 		valid := ""
@@ -153,13 +176,13 @@ func printInterp(name string, res interp.Result, sigDigits int) {
 		}
 		tb.Rowf(fmt.Sprintf("s^%d", i), res.Raw[i], res.Denormalized[i], valid)
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(w, tb)
 }
 
-func printRoots(label string, p poly.XPoly) {
+func printRoots(w io.Writer, label string, p poly.XPoly) {
 	r, err := roots.Find(p, roots.Config{})
 	if err != nil {
-		fmt.Printf("%s: %v\n", label, err)
+		fmt.Fprintf(w, "%s: %v\n", label, err)
 		return
 	}
 	tb := tablefmt.New(label, "#", "real (rad/s)", "imag (rad/s)", "|s|/2π (Hz)")
@@ -169,10 +192,5 @@ func printRoots(label string, p poly.XPoly) {
 			fmt.Sprintf("%.6g", imag(z)),
 			fmt.Sprintf("%.6g", cmplx.Abs(z)/(2*math.Pi)))
 	}
-	fmt.Println(tb)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "refgen:", err)
-	os.Exit(1)
+	fmt.Fprintln(w, tb)
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeNetlist drops a small admittance-only RC divider into a temp dir
+// so the nodal methods have a fast fixture.
+func writeNetlist(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rc.sp")
+	src := "rc divider\nR1 in out 1k\nC1 in out 1p\nR2 out 0 2k\nC2 out 0 2p\n.end\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"missing netlist", nil, "-netlist is required"},
+		{"undefined flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+func TestRunRuntimeErrors(t *testing.T) {
+	rc := writeNetlist(t)
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"missing file", []string{"-netlist", filepath.Join(t.TempDir(), "nope.sp")}, "refgen:"},
+		{"unknown method", []string{"-netlist", rc, "-method", "bogus"}, `unknown method "bogus"`},
+		{"unknown transfer kind", []string{"-netlist", rc, "-tf", "bogus"}, "refgen:"},
+		{"missing node", []string{"-netlist", rc, "-in", "ghost"}, "refgen:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+func TestRunMethods(t *testing.T) {
+	rc := writeNetlist(t)
+	for _, method := range []string{"adaptive", "fixed", "unit"} {
+		t.Run(method, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-netlist", rc, "-method", method, "-parallel", "1"}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+			}
+			for _, want := range []string{"transfer function:", "numerator", "denominator"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout does not mention %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunAdaptiveVerboseWithPoles(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-netlist", rc, "-v", "-poles", "-parallel", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"iterations", "poles", "zeros"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout does not mention %q", want)
+		}
+	}
+}
+
+func TestRunMNAPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-netlist", "../../testdata/rlc.sp", "-tf", "mna", "-out", "out", "-parallel", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "denominator") {
+		t.Errorf("stdout missing denominator table:\n%s", out.String())
+	}
+}

@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,44 +28,80 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code
+// (2 for usage errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table  = flag.String("table", "", "table id: 1a, 1b, 2a, 2b or 3")
-		fig    = flag.String("fig", "", "figure id: 2")
-		timing = flag.Bool("timing", false, "per-iteration timing (§3.3)")
-		all    = flag.Bool("all", false, "regenerate everything")
+		table  = fs.String("table", "", "table id: 1a, 1b, 2a, 2b or 3")
+		fig    = fs.String("fig", "", "figure id: 2")
+		timing = fs.Bool("timing", false, "per-iteration timing (§3.3)")
+		all    = fs.Bool("all", false, "regenerate everything")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	switch *table {
+	case "", "1a", "1b", "2a", "2b", "3":
+	default:
+		fmt.Fprintf(stderr, "tables: unknown table %q (want 1a, 1b, 2a, 2b or 3)\n", *table)
+		return 2
+	}
+	switch *fig {
+	case "", "2":
+	default:
+		fmt.Fprintf(stderr, "tables: unknown figure %q (want 2)\n", *fig)
+		return 2
+	}
 	if *table == "" && *fig == "" && !*timing {
 		*all = true
 	}
-	run := func(id string) bool { return *all || *table == id }
+	want := func(id string) bool { return *all || *table == id }
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tables:", err)
+		return 1
+	}
 
 	var t1 *paper.Table1
-	if run("1a") || run("1b") {
+	if want("1a") || want("1b") {
 		var err error
 		t1, err = paper.OTATable1()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
-	if run("1a") {
-		table1a(t1)
+	if want("1a") {
+		table1a(stdout, t1)
 	}
-	if run("1b") {
-		table1b(t1)
+	if want("1b") {
+		table1b(stdout, t1)
 	}
-	if run("2a") || run("2b") || run("3") {
-		tables23(run("2a"), run("2b"), run("3"))
+	if want("2a") || want("2b") || want("3") {
+		if err := tables23(stdout, want("2a"), want("2b"), want("3")); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *fig == "2" {
-		fig2()
+		if err := fig2(stdout); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *timing {
-		timingTable()
+		if err := timingTable(stdout); err != nil {
+			return fail(err)
+		}
 	}
+	return 0
 }
 
-func table1a(t1 *paper.Table1) {
+func table1a(w io.Writer, t1 *paper.Table1) {
 	tb := tablefmt.New(
 		"Table 1a — OTA differential gain, interpolation on the unit circle\n"+
 			"(imaginary residue ~ the real parts: round-off has destroyed the high-order coefficients)",
@@ -71,10 +109,10 @@ func table1a(t1 *paper.Table1) {
 	for i := range t1.UnitNum.Raw {
 		tb.Rowf(fmt.Sprintf("s%d", i), t1.UnitNum.Raw[i], t1.UnitDen.Raw[i])
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(w, tb)
 }
 
-func table1b(t1 *paper.Table1) {
+func table1b(w io.Writer, t1 *paper.Table1) {
 	tb := tablefmt.New(
 		fmt.Sprintf("Table 1b — OTA normalized coefficients, fixed scales f=%.3g g=%.3g\n"+
 			"(* marks the valid region: ≥ 6 significant digits)", t1.FScale, t1.GScale),
@@ -90,17 +128,17 @@ func table1b(t1 *paper.Table1) {
 			t1.FixedNum.Normalized[i], mark(i, t1.NumLo, t1.NumHi),
 			t1.FixedDen.Normalized[i], mark(i, t1.DenLo, t1.DenHi))
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(w, tb)
 }
 
-func tables23(want2a, want2b, want3 bool) {
+func tables23(w io.Writer, want2a, want2b, want3 bool) error {
 	den, m, err := paper.UA741Denominator(false)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	printIteration := func(idx int, title string) {
 		if idx >= len(den.Iterations) {
-			fmt.Printf("%s: (algorithm converged in %d iterations)\n\n", title, len(den.Iterations))
+			fmt.Fprintf(w, "%s: (algorithm converged in %d iterations)\n\n", title, len(den.Iterations))
 			return
 		}
 		it := den.Iterations[idx]
@@ -116,7 +154,7 @@ func tables23(want2a, want2b, want3 bool) {
 			}
 			tb.Rowf(fmt.Sprintf("s%d", i), it.Normalized[i], den2[i], mark)
 		}
-		fmt.Println(tb)
+		fmt.Fprintln(w, tb)
 	}
 	if want2a {
 		printIteration(0, "Table 2a — µA741 denominator, first interpolation")
@@ -129,14 +167,15 @@ func tables23(want2a, want2b, want3 bool) {
 			printIteration(k, fmt.Sprintf("Table 3 — µA741 denominator, interpolation %d", k+1))
 		}
 	}
-	fmt.Println(den)
-	fmt.Println()
+	fmt.Fprintln(w, den)
+	fmt.Fprintln(w)
+	return nil
 }
 
-func fig2() {
+func fig2(w io.Writer) error {
 	d, err := paper.Fig2(33)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	tb := tablefmt.New(
 		"Fig. 2 — µA741 voltage gain: interpolated coefficients vs electrical simulator",
@@ -146,12 +185,13 @@ func fig2() {
 			fmt.Sprintf("%.4f", d.Interp[i].MagDB), fmt.Sprintf("%.2f", d.Interp[i].PhaseDeg),
 			fmt.Sprintf("%.4f", d.Direct[i].MagDB), fmt.Sprintf("%.2f", d.Direct[i].PhaseDeg))
 	}
-	fmt.Println(tb)
-	fmt.Printf("max deviation: %.3g dB, %.3g°  (paper: \"perfect matching can be observed\")\n\n",
+	fmt.Fprintln(w, tb)
+	fmt.Fprintf(w, "max deviation: %.3g dB, %.3g°  (paper: \"perfect matching can be observed\")\n\n",
 		d.MagErrDB, d.PhsErr)
+	return nil
 }
 
-func timingTable() {
+func timingTable(w io.Writer) error {
 	tb := tablefmt.New(
 		"§3.3 — per-iteration cost of the µA741 denominator\n"+
 			"(the paper: 3.9 s per iteration without reduction; 3.9/2.3/0.9 s with —\n"+
@@ -159,11 +199,11 @@ func timingTable() {
 		"iteration", "K (points)", "time, reduction ON", "K (points)", "time, reduction OFF")
 	withRed, _, err := paper.UA741Denominator(false)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	withoutRed, _, err := paper.UA741Denominator(true)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	n := len(withRed.Iterations)
 	if m := len(withoutRed.Iterations); m > n {
@@ -181,10 +221,6 @@ func timingTable() {
 		k2, t2 := cell(withoutRed, i)
 		tb.Rowf(i+1, k1, t1, k2, t2)
 	}
-	fmt.Println(tb)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tables:", err)
-	os.Exit(1)
+	fmt.Fprintln(w, tb)
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"unknown table", []string{"-table", "9z"}, `unknown table "9z"`},
+		{"unknown figure", []string{"-fig", "3"}, `unknown figure "3"`},
+		{"undefined flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the OTA fixture")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-table", "1a"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 1a") {
+		t.Errorf("stdout missing the table header:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-table", "1b"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 1b") {
+		t.Errorf("stdout missing the table header:\n%s", out.String())
+	}
+}

@@ -1,0 +1,22 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// BenchmarkResultInvariants measures the pure checker overhead on a
+// pre-generated result — the cost every differential-sweep trial pays
+// on top of generation itself.
+func BenchmarkResultInvariants(b *testing.B) {
+	_, num, den, m := generateBiquad(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := check.Result(num, m, check.Options{})
+		rep.Merge(check.Result(den, m, check.Options{}))
+		if !rep.Ok() {
+			b.Fatal(rep)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package check
+
+import (
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// VsPoly compares a generated result against a reference polynomial
+// (normally the exact Bareiss oracle's, converted with ToXPoly): Valid
+// coefficients must agree to rel relative tolerance, Negligible
+// coefficients' proven bounds must dominate the reference magnitude
+// (with boundSlack headroom for the float64 evaluation error the bound
+// models), and a Valid nonzero where the reference is exactly zero is a
+// fabricated coefficient.
+func VsPoly(res *core.Result, want poly.XPoly, rel, boundSlack float64, rep *Report) {
+	for i, c := range res.Coeffs {
+		var w xmath.XFloat
+		if i < len(want) {
+			w = want[i]
+		}
+		switch c.Status {
+		case core.Valid:
+			if w.Zero() {
+				rep.assert(c.Value.Zero(), "oracle",
+					"%s s^%d: valid %v where the oracle has an exact zero", res.Name, i, c.Value)
+				continue
+			}
+			rep.assert(c.Value.ApproxEqual(w, rel), "oracle",
+				"%s s^%d: got %v, oracle %v (rel tol %.1g)", res.Name, i, c.Value, w, rel)
+		case core.Negligible:
+			if w.Zero() {
+				continue
+			}
+			rep.assert(!c.Bound.Zero() && w.Abs().CmpAbs(c.Bound.MulFloat(boundSlack)) <= 0,
+				"oracle-bound", "%s s^%d: oracle coefficient %v exceeds the negligibility bound %v (slack %g)",
+				res.Name, i, w, c.Bound, boundSlack)
+		}
+	}
+	// Coefficients beyond the generated order bound would be silently
+	// dropped: the oracle's degree must fit.
+	rep.assert(want.Degree() < len(res.Coeffs), "oracle",
+		"%s: oracle degree %d exceeds the generated order bound %d",
+		res.Name, want.Degree(), len(res.Coeffs)-1)
+}
+
+// VsRatio cross-checks H = num/den against an exact rational function up
+// to a common scalar factor, comparing cross products coefficient-wise
+// (exact.RatioEqual). This is the right form when the two formulations
+// may normalize differently.
+func VsRatio(num, den *core.Result, exNum, exDen poly.XPoly, tol float64, rep *Report) {
+	rep.assert(exact.RatioEqual(num.Poly(), den.Poly(), exNum, exDen, tol), "oracle-ratio",
+		"%s/%s: generated transfer function disagrees with the oracle beyond rel tol %.1g",
+		num.Name, den.Name, tol)
+}

@@ -1,0 +1,86 @@
+package check
+
+import (
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/xmath"
+)
+
+// bitEqual reports exact representation equality of two extended-range
+// scalars (not merely numerical closeness).
+func bitEqual(a, b xmath.XFloat) bool {
+	return a.Mant() == b.Mant() && a.Exp() == b.Exp()
+}
+
+// ParityResults asserts that two generator runs produced bit-identical
+// results — the contract that makes the parallel fast path safe to
+// enable by default. Every coefficient, bound, quality, and iteration
+// record must match exactly; "close enough" is a parity failure.
+func ParityResults(a, b *core.Result, rep *Report) {
+	rep.assert(len(a.Coeffs) == len(b.Coeffs), "parity",
+		"%s: coefficient counts differ: %d vs %d", a.Name, len(a.Coeffs), len(b.Coeffs))
+	rep.assert(len(a.Iterations) == len(b.Iterations), "parity",
+		"%s: iteration counts differ: %d vs %d", a.Name, len(a.Iterations), len(b.Iterations))
+	rep.assert(a.Disagreements == b.Disagreements, "parity",
+		"%s: disagreement counters differ: %d vs %d", a.Name, a.Disagreements, b.Disagreements)
+	for i := range a.Coeffs {
+		if i >= len(b.Coeffs) {
+			break
+		}
+		ca, cb := a.Coeffs[i], b.Coeffs[i]
+		rep.assert(ca.Status == cb.Status, "parity",
+			"%s s^%d: status %v vs %v", a.Name, i, ca.Status, cb.Status)
+		rep.assert(bitEqual(ca.Value, cb.Value), "parity",
+			"%s s^%d: value %v vs %v (not bit-identical)", a.Name, i, ca.Value, cb.Value)
+		rep.assert(bitEqual(ca.Bound, cb.Bound), "parity",
+			"%s s^%d: bound %v vs %v (not bit-identical)", a.Name, i, ca.Bound, cb.Bound)
+		rep.assert(ca.Quality == cb.Quality, "parity",
+			"%s s^%d: quality %v vs %v", a.Name, i, ca.Quality, cb.Quality)
+		rep.assert(ca.Iteration == cb.Iteration, "parity",
+			"%s s^%d: resolving iteration %d vs %d", a.Name, i, ca.Iteration, cb.Iteration)
+	}
+	for k := range a.Iterations {
+		if k >= len(b.Iterations) {
+			break
+		}
+		ia, ib := a.Iterations[k], b.Iterations[k]
+		rep.assert(ia.Purpose == ib.Purpose && ia.FScale == ib.FScale && ia.GScale == ib.GScale,
+			"parity", "%s it%d: (%s f=%v g=%v) vs (%s f=%v g=%v)",
+			a.Name, k, ia.Purpose, ia.FScale, ia.GScale, ib.Purpose, ib.FScale, ib.GScale)
+		rep.assert(ia.K == ib.K && ia.Offset == ib.Offset && ia.Lo == ib.Lo && ia.Hi == ib.Hi,
+			"parity", "%s it%d: window/region differ: K=%d off=%d s^%d..s^%d vs K=%d off=%d s^%d..s^%d",
+			a.Name, k, ia.K, ia.Offset, ia.Lo, ia.Hi, ib.K, ib.Offset, ib.Lo, ib.Hi)
+		same := len(ia.Normalized) == len(ib.Normalized)
+		if same {
+			for i := range ia.Normalized {
+				if !bitEqual(ia.Normalized[i], ib.Normalized[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		rep.assert(same, "parity", "%s it%d: normalized windows not bit-identical", a.Name, k)
+	}
+}
+
+// Parity runs the evaluator once serially and once with the given worker
+// count (0 = GOMAXPROCS) and cross-checks the two results bit-for-bit.
+// Generator errors must agree too: an error on one path only is itself a
+// parity violation.
+func Parity(ev interp.Evaluator, cfg core.Config, workers int) *Report {
+	rep := &Report{}
+	scfg := cfg
+	scfg.Parallelism = 1
+	pcfg := cfg
+	pcfg.Parallelism = workers
+	serial, serr := core.Generate(ev, scfg)
+	par, perr := core.Generate(ev, pcfg)
+	rep.assert((serr == nil) == (perr == nil), "parity",
+		"%s: serial err=%v, parallel err=%v", ev.Name, serr, perr)
+	if serr != nil && perr != nil {
+		rep.assert(serr.Error() == perr.Error(), "parity",
+			"%s: error texts differ: %q vs %q", ev.Name, serr, perr)
+	}
+	ParityResults(serial, par, rep)
+	return rep
+}

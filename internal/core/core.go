@@ -144,6 +144,10 @@ type Iteration struct {
 	// Lo, Hi delimit the valid region in absolute indices; Lo > Hi means
 	// no region was found (all-zero window).
 	Lo, Hi int
+	// Subtracted marks absolute indices deflated out of this
+	// interpolation per eq. (17): their Normalized slots hold subtraction
+	// residue, not signal. Nil when the full point set was used.
+	Subtracted []bool
 	// NewValid counts coefficients first resolved by this iteration.
 	NewValid int
 	// Elapsed is the wall-clock cost of the interpolation.
@@ -615,6 +619,7 @@ func (g *generator) interpolate(f, gsc float64, purpose string) frame {
 		Normalized:  normalized,
 		Lo:          1,
 		Hi:          0,
+		Subtracted:  subtracted,
 		Solves:      kUse,
 		EvalElapsed: evalElapsed,
 	}

@@ -1,0 +1,99 @@
+package dft
+
+import (
+	"encoding/binary"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/xmath"
+)
+
+// decodeValues interprets raw fuzz bytes as a slice of complex sample
+// values (two little-endian float64s each), rejecting inputs that
+// contain non-finite or extreme magnitudes the O(K²) reference sum
+// cannot bound.
+func decodeValues(data []byte) ([]complex128, bool) {
+	n := len(data) / 16
+	if n == 0 {
+		return nil, false
+	}
+	if n > 64 {
+		n = 64
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return nil, false
+		}
+		if math.Abs(re) > 1e150 || math.Abs(im) > 1e150 {
+			return nil, false
+		}
+		out[i] = complex(re, im)
+	}
+	return out, true
+}
+
+// FuzzIDFT checks the transform pair on arbitrary point sets:
+// InverseComplex inverts Forward to within the conditioning of the sum,
+// and the extended-range Inverse agrees with the plain complex128 path
+// wherever the latter does not overflow. Both the radix-2 FFT (power of
+// two lengths) and the direct O(K²) sum are exercised, since the length
+// comes from the fuzzer.
+func FuzzIDFT(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1, 0, 0, 1, -1, 0, 0, -1))             // K=4: radix-2 path
+	f.Add(seed(1e10, 0, 2, 3, -5e-10, 4, 0, 0, 7, 1)) // K=5: direct path
+	f.Add(seed(0, 0, 0, 0))                           // K=2: all-zero block
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, ok := decodeValues(data)
+		if !ok {
+			t.Skip("undecodable sample block")
+		}
+		k := len(x)
+
+		// Magnitude scale of the block, for relative tolerances.
+		scale := 0.0
+		for _, v := range x {
+			scale = math.Max(scale, cmplx.Abs(v))
+		}
+
+		fwd := Forward(x)
+		back := InverseComplex(fwd)
+		if len(back) != k {
+			t.Fatalf("round trip changed length: %d -> %d", k, len(back))
+		}
+		// Forward multiplies magnitudes by up to K; allow the matching
+		// error amplification on the way back. The floor keeps the
+		// tolerance meaningful for subnormal inputs, where the relative
+		// term itself underflows to zero.
+		tol := math.Max(1e-9*scale*float64(k), 1e-300)
+		for i := range x {
+			if d := cmplx.Abs(back[i] - x[i]); d > tol {
+				t.Fatalf("InverseComplex(Forward(x))[%d] = %v, want %v (|Δ|=%g > %g)", i, back[i], x[i], d, tol)
+			}
+		}
+
+		// The extended-range inverse must agree with the complex128 one
+		// on inputs both can represent.
+		xv := make([]xmath.XComplex, k)
+		for i, v := range fwd {
+			xv[i] = xmath.FromComplex(v)
+		}
+		xinv := Inverse(xv)
+		for i := range xinv {
+			got := xinv[i].Complex128()
+			if d := cmplx.Abs(got - back[i]); d > tol {
+				t.Fatalf("Inverse[%d] = %v, InverseComplex = %v (|Δ|=%g > %g)", i, got, back[i], d, tol)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// roundTrippable reports whether every element of c survives the lossy
+// Format path: non-finite values render as unparsable tokens, and the
+// two-terminal passive cards (plus the conductance-as-resistor
+// rewrite) only accept strictly positive values.
+func roundTrippable(c *circuit.Circuit) bool {
+	for _, e := range c.Elements() {
+		v := e.Value
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		switch e.Kind {
+		case circuit.Resistor, circuit.Conductance, circuit.Capacitor, circuit.Inductor:
+			if v <= 0 || math.IsInf(1/v, 0) {
+				return false
+			}
+		default:
+			if v == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzParse feeds arbitrary netlist text to the parser. The parser must
+// never panic, and every circuit it accepts must survive a
+// Format→Parse round trip with the same element count (values are
+// rendered with %.6g so they are compared only structurally).
+func FuzzParse(f *testing.F) {
+	f.Add("biquad\nR1 1 0 1k\nC1 1 2 1p\nG1 2 0 1 0 1m\n.end\n")
+	f.Add("* comment\nRload out 0 50\n+ \nC2 out 0 2.2u\n.end\n")
+	f.Add(".subckt stage a b\nRs a b 1k\n.ends\nX1 1 2 stage\n.end\n")
+	f.Add(".model qq NPN BETA=100\nQ1 c b e qq\n.end\n")
+	f.Add("V1 in 0 ac 1\nL1 in out 1m\nE1 out 0 in 0 2\n.end\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		// ".include" and ".lib" read files: keep the fuzz hermetic.
+		lower := strings.ToLower(src)
+		if strings.Contains(lower, ".include") || strings.Contains(lower, ".lib") {
+			t.Skip("file-reading directive")
+		}
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		if !roundTrippable(c) {
+			return
+		}
+		text, err := FormatString(c)
+		if err != nil {
+			t.Fatalf("accepted circuit cannot be formatted: %v", err)
+		}
+		c2, err := Parse(strings.NewReader(text), "fuzz-roundtrip")
+		if err != nil {
+			t.Fatalf("formatted netlist does not re-parse: %v\n%s", err, text)
+		}
+		if got, want := len(c2.Elements()), len(c.Elements()); got != want {
+			t.Fatalf("round trip changed element count: %d -> %d\n%s", want, got, text)
+		}
+	})
+}

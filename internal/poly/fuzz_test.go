@@ -1,0 +1,66 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPolyScaleDeflate checks the scaling algebra the adaptive
+// interpolation relies on: Normalize/Denormalize with the paper's
+// f^i·g^(M−i) factors are inverse bijections for any positive scale
+// pair, and subtraction deflation is exact (p − p vanishes to the zero
+// polynomial, not to noise).
+func FuzzPolyScaleDeflate(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 0.5, -1.5, 0.25, 1e6, 1e-3, 4)
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0)
+	f.Add(-2e10, 3e-10, 0.0, 7.0, 1e5, -1e-5, 2.5e11, 4e-12, 7)
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4, c5, fs, gs float64, m int) {
+		coeffs := []float64{c0, c1, c2, c3, c4, c5}
+		for _, c := range coeffs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Skip("non-finite coefficient")
+			}
+		}
+		// Scale factors are positive by construction in the generator;
+		// map whatever the fuzzer supplies into a legal, representable
+		// pair (extreme factors raised to m would overflow float64 inside
+		// the scale products the XPoly path is built to avoid — the
+		// XFloat coefficients themselves have no such limit).
+		fs, gs = math.Abs(fs), math.Abs(gs)
+		if fs == 0 || gs == 0 || math.IsNaN(fs) || math.IsInf(fs, 0) || math.IsNaN(gs) || math.IsInf(gs, 0) {
+			t.Skip("degenerate scale factor")
+		}
+		if fs < 1e-30 || fs > 1e30 || gs < 1e-30 || gs > 1e30 {
+			t.Skip("scale factor outside the supported decade range")
+		}
+		if m < 0 {
+			m = -m
+		}
+		m %= 16
+
+		p := NewX(coeffs...)
+
+		// Normalize and Denormalize must invert each other, both ways.
+		if got := p.Normalize(fs, gs, m).Denormalize(fs, gs, m); !got.ApproxEqual(p, 1e-12) {
+			t.Fatalf("Denormalize(Normalize(p)) = %v, want %v (f=%g g=%g m=%d)", got, p, fs, gs, m)
+		}
+		if got := p.Denormalize(fs, gs, m).Normalize(fs, gs, m); !got.ApproxEqual(p, 1e-12) {
+			t.Fatalf("Normalize(Denormalize(p)) = %v, want %v (f=%g g=%g m=%d)", got, p, fs, gs, m)
+		}
+
+		// Deflation is exact in extended-range arithmetic: subtracting a
+		// polynomial from itself leaves the identically-zero polynomial.
+		if d := p.Sub(p); d.Degree() != -1 {
+			t.Fatalf("p - p has degree %d, want -1 (coeffs %v)", d.Degree(), d)
+		}
+
+		// Trim is idempotent and never changes the polynomial's value.
+		trimmed := p.Trim()
+		if tt := trimmed.Trim(); len(tt) != len(trimmed) {
+			t.Fatalf("Trim not idempotent: %d -> %d", len(trimmed), len(tt))
+		}
+		if !trimmed.ApproxEqual(p, 0) {
+			t.Fatalf("Trim changed the polynomial: %v vs %v", trimmed, p)
+		}
+	})
+}
