@@ -25,7 +25,7 @@ func benchGenerateThreestage(b *testing.B, parallelism int) {
 	}
 	cfg := core.Config{MaxIterations: 200, Parallelism: parallelism}
 	b.ResetTimer()
-	var solves int
+	var solves, factorizations int
 	var evalNS int64
 	for i := 0; i < b.N; i++ {
 		sys, err := nodal.Build(c)
@@ -41,9 +41,11 @@ func benchGenerateThreestage(b *testing.B, parallelism int) {
 			b.Fatal(err)
 		}
 		solves = num.TotalSolves + den.TotalSolves
+		factorizations = solves - num.CacheHits - den.CacheHits
 		evalNS = (num.EvalElapsed + den.EvalElapsed).Nanoseconds()
 	}
 	b.ReportMetric(float64(solves), "solves/op")
+	b.ReportMetric(float64(factorizations), "factorizations/op")
 	b.ReportMetric(float64(evalNS), "eval-ns/op")
 }
 
@@ -62,6 +64,7 @@ func benchGenerateLadder40(b *testing.B, parallelism int) {
 		Parallelism:   parallelism,
 	}
 	b.ResetTimer()
+	var solves, factorizations int
 	for i := 0; i < b.N; i++ {
 		sys, err := nodal.Build(c)
 		if err != nil {
@@ -71,10 +74,15 @@ func benchGenerateLadder40(b *testing.B, parallelism int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := core.Generate(tf.Den, cfg); err != nil {
+		num, den, err := core.GenerateTransferFunction(c, tf, cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		solves = num.TotalSolves + den.TotalSolves
+		factorizations = solves - num.CacheHits - den.CacheHits
 	}
+	b.ReportMetric(float64(solves), "solves/op")
+	b.ReportMetric(float64(factorizations), "factorizations/op")
 }
 
 func BenchmarkGenerateLadder40Serial(b *testing.B) { benchGenerateLadder40(b, 1) }

@@ -10,9 +10,17 @@
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -check BENCH_baseline.json
 //
-// The CI bench smoke job uses check mode: timings on shared runners are
-// noisy, so only the benchmark *set* is asserted — a missing benchmark
-// means a build regression, a panic, or an accidental deletion.
+// Compare mode (exit 1 when a deterministic counter regressed):
+//
+//	benchjson -compare BENCH_baseline.json fresh.json
+//
+// Compare diffs only the deterministic work counters (solves/op,
+// factorizations/op, cache hit/miss counts, interpolations/op) between
+// two snapshots: those are exact properties of the algorithm, identical
+// on every host, so any increase is a real regression. Timings (ns/op
+// and friends) stay advisory — shared CI runners are too noisy to gate
+// on. The CI bench smoke job runs check mode for set membership and
+// compare mode for the counters.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -41,6 +50,17 @@ type Entry struct {
 type Snapshot struct {
 	Note       string  `json:"note"`
 	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// deterministicUnits lists the ReportMetric units that are exact
+// work counters rather than measurements: equal on every host for the
+// same code, and therefore safe to gate CI on.
+var deterministicUnits = map[string]bool{
+	"solves/op":         true,
+	"factorizations/op": true,
+	"cache-hits/op":     true,
+	"cache-misses/op":   true,
+	"interpolations/op": true,
 }
 
 // benchLine matches e.g.
@@ -85,20 +105,106 @@ func parse(r *bufio.Scanner) ([]Entry, error) {
 	return out, nil
 }
 
-func main() {
-	check := flag.String("check", "", "baseline JSON to verify the run against (set membership, not timings)")
-	flag.Parse()
+func readSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+// compare diffs the deterministic counters of two snapshots. It returns
+// the number of regressions (new counter above old) after writing a
+// per-counter report to stdout.
+func compare(old, fresh Snapshot, stdout io.Writer) int {
+	oldBy := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	regressions, improvements, compared := 0, 0, 0
+	for _, e := range fresh.Benchmarks {
+		base, ok := oldBy[e.Name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(e.Extra))
+		for unit := range e.Extra {
+			if deterministicUnits[unit] {
+				if _, has := base.Extra[unit]; has {
+					units = append(units, unit)
+				}
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := base.Extra[unit], e.Extra[unit]
+			compared++
+			switch {
+			case nv > ov:
+				regressions++
+				fmt.Fprintf(stdout, "REGRESSION %s %s: %g -> %g (+%.1f%%)\n", e.Name, unit, ov, nv, 100*(nv-ov)/ov)
+			case nv < ov:
+				improvements++
+				fmt.Fprintf(stdout, "improved   %s %s: %g -> %g (-%.1f%%)\n", e.Name, unit, ov, nv, 100*(ov-nv)/ov)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "benchjson: compared %d deterministic counters: %d regressed, %d improved\n",
+		compared, regressions, improvements)
+	return regressions
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.String("check", "", "baseline JSON to verify the run against (set membership, not timings)")
+	doCompare := fs.Bool("compare", false, "compare deterministic counters of two snapshots: benchjson -compare old.json new.json")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *doCompare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare needs exactly two snapshot paths: old.json new.json")
+			return 2
+		}
+		old, err := readSnapshot(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		fresh, err := readSnapshot(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if compare(old, fresh, stdout) > 0 {
+			return 1
+		}
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	entries, err := parse(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	if len(entries) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 1
 	}
 
 	if *check == "" {
@@ -106,24 +212,19 @@ func main() {
 			Note:       "benchmark set snapshot; timings are host-specific and not asserted by CI",
 			Benchmarks: entries,
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snap); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	raw, err := os.ReadFile(*check)
+	base, err := readSnapshot(*check)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	var base Snapshot
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	got := make(map[string]bool, len(entries))
 	for _, e := range entries {
@@ -136,11 +237,16 @@ func main() {
 		}
 	}
 	if len(missing) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from this run:\n", len(missing))
+		fmt.Fprintf(stderr, "benchjson: %d baseline benchmark(s) missing from this run:\n", len(missing))
 		for _, n := range missing {
-			fmt.Fprintln(os.Stderr, "  -", n)
+			fmt.Fprintln(stderr, "  -", n)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchjson: ok — %d benchmarks ran, all %d baseline benchmarks present\n", len(entries), len(base.Benchmarks))
+	fmt.Fprintf(stdout, "benchjson: ok — %d benchmarks ran, all %d baseline benchmarks present\n", len(entries), len(base.Benchmarks))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+BenchmarkGenerateThreestageSerial-8   	       5	 226000 ns/op	        14.00 solves/op	        10.00 factorizations/op	  51000 eval-ns/op
+BenchmarkGenerateLadder40Serial-8     	       2	9100000 ns/op	       120.0 solves/op	        90.00 factorizations/op
+BenchmarkIDFTDirect49-8               	   10000	    7300 ns/op
+PASS
+`
+
+func parseSample(t *testing.T, text string) []Entry {
+	t.Helper()
+	entries, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestParseExtractsCounters(t *testing.T) {
+	entries := parseSample(t, sampleBench)
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	ts := byName["BenchmarkGenerateThreestageSerial"]
+	if ts.Extra["solves/op"] != 14 || ts.Extra["factorizations/op"] != 10 {
+		t.Errorf("threestage counters wrong: %+v", ts.Extra)
+	}
+	if ts.NsOp != 226000 {
+		t.Errorf("threestage ns/op = %v", ts.NsOp)
+	}
+}
+
+func writeSnapshot(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(Snapshot{Note: "test", Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsCounterRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkA", N: 1, NsOp: 100, Extra: map[string]float64{"solves/op": 14, "eval-ns/op": 5000}},
+		{Name: "BenchmarkB", N: 1, NsOp: 100, Extra: map[string]float64{"factorizations/op": 90}},
+	})
+
+	// Regressed solves/op must fail, even with a much better timing.
+	worse := writeSnapshot(t, dir, "worse.json", []Entry{
+		{Name: "BenchmarkA", N: 1, NsOp: 1, Extra: map[string]float64{"solves/op": 20, "eval-ns/op": 1}},
+		{Name: "BenchmarkB", N: 1, NsOp: 1, Extra: map[string]float64{"factorizations/op": 90}},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", old, worse}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1 (stdout %q, stderr %q)", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkA solves/op") {
+		t.Errorf("missing regression line in %q", out.String())
+	}
+
+	// Improved and equal counters pass; noisy timings are ignored.
+	better := writeSnapshot(t, dir, "better.json", []Entry{
+		{Name: "BenchmarkA", N: 1, NsOp: 9e9, Extra: map[string]float64{"solves/op": 8, "eval-ns/op": 9e9}},
+		{Name: "BenchmarkB", N: 1, NsOp: 9e9, Extra: map[string]float64{"factorizations/op": 90}},
+	})
+	out.Reset()
+	if code := run([]string{"-compare", old, better}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("improved compare exited %d, want 0 (stdout %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Errorf("missing improvement line in %q", out.String())
+	}
+
+	// Benchmarks absent from either side are simply not compared.
+	partial := writeSnapshot(t, dir, "partial.json", []Entry{
+		{Name: "BenchmarkC", N: 1, NsOp: 1, Extra: map[string]float64{"solves/op": 999}},
+	})
+	if code := run([]string{"-compare", old, partial}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("disjoint compare exited %d, want 0", code)
+	}
+}
+
+func TestCompareArgumentValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("one-arg compare exited %d, want 2", code)
+	}
+	if code := run([]string{"-compare", "nope1.json", "nope2.json"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Errorf("missing-file compare exited %d, want 1", code)
+	}
+}
+
+func TestSnapshotAndCheckModes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader(sampleBench), &out, &errOut); code != 0 {
+		t.Fatalf("snapshot mode exited %d (stderr %q)", code, errOut.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot output is not JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("snapshot has %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-check", base}, strings.NewReader(sampleBench), &out, &errOut); code != 0 {
+		t.Fatalf("check mode exited %d (stderr %q)", code, errOut.String())
+	}
+
+	// A run that lost a benchmark fails check mode.
+	lost := strings.Replace(sampleBench, "BenchmarkIDFTDirect49-8               \t   10000\t    7300 ns/op\n", "", 1)
+	errOut.Reset()
+	if code := run([]string{"-check", base}, strings.NewReader(lost), &out, &errOut); code != 1 {
+		t.Fatalf("lossy check exited %d, want 1 (stderr %q)", code, errOut.String())
+	}
+}

@@ -90,6 +90,15 @@ func trial(rng *rand.Rand, o options, rep *check.Report) (nodes int, err error) 
 	check.ParityResults(num, pnum, rep)
 	check.ParityResults(den, pden, rep)
 
+	// The joint path (shared EvalBoth cache, the default above) must
+	// reproduce a fully independent two-pass generation within the same
+	// tolerance the Bareiss oracle is held to.
+	inum, iden, ierr := core.GenerateTransferFunction(c, tf, core.Config{Parallelism: 1, NoJoint: true})
+	if ierr != nil {
+		return nodes, fmt.Errorf("generate (independent): %w", ierr)
+	}
+	check.JointVsIndependent(num, den, inum, iden, 1e-4, rep)
+
 	// Structural invariants on both polynomials.
 	rep.Merge(check.Result(num, tf.Num.M, check.Options{}))
 	rep.Merge(check.Result(den, tf.Den.M, check.Options{}))

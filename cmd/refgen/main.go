@@ -21,6 +21,8 @@ import (
 	"math"
 	"math/cmplx"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -44,19 +46,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("refgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		netFile   = fs.String("netlist", "", "netlist file (required)")
-		tfKind    = fs.String("tf", "vgain", "transfer function: vgain, diffgain, transz or mna")
-		inNode    = fs.String("in", "in", "input node (positive input for diffgain)")
-		innNode   = fs.String("inn", "", "negative input node (diffgain)")
-		outNode   = fs.String("out", "out", "output node")
-		method    = fs.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
-		fscale    = fs.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
-		gscale    = fs.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
-		sigDigits = fs.Int("sigdigits", 6, "required significant digits σ")
-		noReduce  = fs.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
-		verbose   = fs.Bool("v", false, "print the iteration trace")
-		showPoles = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
-		parallel  = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
+		netFile    = fs.String("netlist", "", "netlist file (required)")
+		tfKind     = fs.String("tf", "vgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode     = fs.String("in", "in", "input node (positive input for diffgain)")
+		innNode    = fs.String("inn", "", "negative input node (diffgain)")
+		outNode    = fs.String("out", "out", "output node")
+		method     = fs.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
+		fscale     = fs.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
+		gscale     = fs.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
+		sigDigits  = fs.Int("sigdigits", 6, "required significant digits σ")
+		noReduce   = fs.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
+		verbose    = fs.Bool("v", false, "print the iteration trace")
+		showPoles  = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
+		parallel   = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,6 +76,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "refgen:", err)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		// Written on the way out so the profile covers the generation.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "refgen: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	ckt, err := netlist.ParseFile(*netFile)
@@ -138,6 +168,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func printResult(w io.Writer, r *core.Result, verbose bool) {
 	fmt.Fprintln(w, r)
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(w, "warning: %s\n", d)
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(w, "joint cache: %d hits, %d misses — %d effective factorizations for %d solves\n",
+			r.CacheHits, r.CacheMisses, r.TotalSolves-r.CacheHits, r.TotalSolves)
+	}
 	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits")
 	for i, c := range r.Coeffs {
 		switch c.Status {

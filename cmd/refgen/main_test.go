@@ -99,6 +99,65 @@ func TestRunAdaptiveVerboseWithPoles(t *testing.T) {
 	}
 }
 
+func TestRunProfileFlags(t *testing.T) {
+	rc := writeNetlist(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	code := run([]string{"-netlist", rc, "-cpuprofile", cpu, "-memprofile", mem, "-parallel", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunProfileFlagBadPath(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "missing-dir", "cpu.pprof")
+	if code := run([]string{"-netlist", rc, "-cpuprofile", bad}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+func TestRunPrintsJointCacheCounters(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", rc, "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "joint cache:") {
+		t.Errorf("stdout missing joint cache counter line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "effective factorizations") {
+		t.Errorf("stdout missing effective factorizations:\n%s", out.String())
+	}
+}
+
+func TestRunPrintsScaleFallbackWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ronly.sp")
+	src := "resistive divider\nR1 in out 1k\nR2 out 0 2k\n.end\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", path, "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "warning: no capacitors") {
+		t.Errorf("stdout missing fallback warning:\n%s", out.String())
+	}
+}
+
 func TestRunMNAPath(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-netlist", "../../testdata/rlc.sp", "-tf", "mna", "-out", "out", "-parallel", "1"}, &out, &errb)

@@ -23,6 +23,13 @@ func ParityResults(a, b *core.Result, rep *Report) {
 		"%s: iteration counts differ: %d vs %d", a.Name, len(a.Iterations), len(b.Iterations))
 	rep.assert(a.Disagreements == b.Disagreements, "parity",
 		"%s: disagreement counters differ: %d vs %d", a.Name, a.Disagreements, b.Disagreements)
+	// The work counters are deterministic by design (solves are fixed by
+	// the iteration trajectory; joint-cache misses count distinct keys),
+	// so they are part of the parity contract too.
+	rep.assert(a.TotalSolves == b.TotalSolves, "parity",
+		"%s: solve counters differ: %d vs %d", a.Name, a.TotalSolves, b.TotalSolves)
+	rep.assert(a.CacheHits == b.CacheHits && a.CacheMisses == b.CacheMisses, "parity",
+		"%s: cache counters differ: %d/%d vs %d/%d", a.Name, a.CacheHits, a.CacheMisses, b.CacheHits, b.CacheMisses)
 	for i := range a.Coeffs {
 		if i >= len(b.Coeffs) {
 			break

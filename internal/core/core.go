@@ -67,6 +67,14 @@ type Config struct {
 	// pure function of the point and the (serially primed) shared
 	// factorization plan, so parallelism affects wall clock only.
 	Parallelism int
+	// NoMirror disables the Hermitian half-circle scheme: every
+	// interpolation then evaluates all K points instead of the ⌊K/2⌋+1
+	// non-redundant ones. For ablation benchmarks and measurements.
+	NoMirror bool
+	// NoJoint disables the shared numerator/denominator evaluation cache
+	// in GenerateTransferFunction even when the transfer function
+	// provides EvalBoth. For ablation benchmarks and differential checks.
+	NoJoint bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -153,7 +161,9 @@ type Iteration struct {
 	// Elapsed is the wall-clock cost of the interpolation.
 	Elapsed time.Duration
 	// Solves is the number of evaluation-point solves this iteration
-	// dispatched (window size plus guard points).
+	// dispatched: the non-redundant half of the window plus guard points
+	// under the Hermitian mirroring scheme, the full window with
+	// Config.NoMirror.
 	Solves int
 	// EvalElapsed is the wall-clock cost of the point evaluations alone —
 	// the part the Parallelism knob accelerates.
@@ -173,12 +183,22 @@ type Result struct {
 	Disagreements int
 	// TotalSolves is the total number of evaluation-point solves across
 	// all iterations — the unit of work the batch layer parallelizes.
+	// With the joint cache active, CacheHits of them were served without
+	// a factorization, so the matrix work is TotalSolves − CacheHits.
 	TotalSolves int
+	// CacheHits and CacheMisses count joint-cache outcomes attributed to
+	// this polynomial's pass (GenerateTransferFunction only; both zero
+	// when the cache is off). A hit reuses a factorization already paid
+	// for; a miss is a distinct (s, fscale, gscale) evaluation.
+	CacheHits, CacheMisses int
 	// EvalElapsed is the total wall-clock time spent in point
 	// evaluations across all iterations.
 	EvalElapsed time.Duration
 	// Parallelism is the resolved worker count the run used (≥ 1).
 	Parallelism int
+	// Diagnostics carries non-fatal warnings from generation (e.g. an
+	// initial-scale heuristic that had to fall back to 1.0).
+	Diagnostics []string
 }
 
 // Poly returns the coefficients as an extended-range polynomial
@@ -558,14 +578,25 @@ func (g *generator) interpolate(f, gsc float64, purpose string) frame {
 			slotErr[slot] = slotErr[slot].Add(delta)
 		}
 	}
-	// The point solves are the hot path; dispatch them as one batch
-	// (serial loop at Parallelism 1 or without an EvalBatch, worker pool
-	// otherwise — bit-identical either way).
+	// The point solves are the hot path. Two savings apply: the
+	// polynomial has real coefficients, so P(conj s) = conj P(s) and only
+	// the upper half-circle needs solving (the rest is mirrored by
+	// conjugation in dft.HermitianInverse); and the points are dispatched
+	// as one batch (serial loop at Parallelism 1 or without an EvalBatch,
+	// worker pool otherwise — bit-identical either way).
+	half := kUse
+	if !g.cfg.NoMirror {
+		half = dft.HermitianHalf(kUse)
+	}
 	evalStart := time.Now()
-	values := g.ev.EvalPoints(pts, f, gsc, g.cfg.Parallelism)
+	values := g.ev.EvalPoints(pts[:half], f, gsc, g.cfg.Parallelism)
 	evalElapsed := time.Since(evalStart)
 	if reduce {
-		for i, u := range pts {
+		// Eq. (17) deflation runs on the computed half only: the known
+		// coefficients are real, so deflation commutes with conjugation
+		// and the mirrored points inherit it exactly.
+		for i := range values {
+			u := pts[i]
 			// P'(u) = (P(u) − Σ_known p'_j·u^j) / u^k0   (eq. 17)
 			v := values[i]
 			uPow := xmath.FromComplex(1)
@@ -579,7 +610,12 @@ func (g *generator) interpolate(f, gsc float64, purpose string) frame {
 			values[i] = v.Div(xmath.FromComplex(u).PowInt(k0))
 		}
 	}
-	raw := dft.Inverse(values)
+	var raw []xmath.XComplex
+	if half < kUse {
+		raw = dft.HermitianInverse(values, kUse)
+	} else {
+		raw = dft.Inverse(values)
+	}
 	normalized := make(poly.XPoly, g.n+1)
 	var measured xmath.XFloat
 	for i, c := range raw {
@@ -620,10 +656,10 @@ func (g *generator) interpolate(f, gsc float64, purpose string) frame {
 		Lo:          1,
 		Hi:          0,
 		Subtracted:  subtracted,
-		Solves:      kUse,
+		Solves:      half,
 		EvalElapsed: evalElapsed,
 	}
-	g.res.TotalSolves += kUse
+	g.res.TotalSolves += half
 	g.res.EvalElapsed += evalElapsed
 	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
 	// Round-off noise floor: relative to the largest magnitude the
@@ -744,22 +780,56 @@ func (g *generator) accept(fr *frame) int {
 // GenerateTransferFunction generates references for both polynomials of a
 // transfer function, seeding the first interpolation with the paper's
 // heuristic: frequency scale = 1/mean(C), conductance scale = 1/mean(G).
+// A circuit with no capacitors (or no conductances) has no mean to
+// invert; the factor falls back to 1.0 and the fallback is recorded in
+// both results' Diagnostics.
+//
+// When the transfer function provides EvalBoth (and cfg.NoJoint is
+// unset), both polynomials are driven through a shared evaluation cache
+// keyed by (s, fscale, gscale): the denominator pass reuses every
+// factorization the numerator pass already performed at a coinciding
+// triple. Hit/miss counts are attributed per pass in the results.
 func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, cfg Config) (num, den *Result, err error) {
+	var diags []string
 	if cfg.InitFScale == 0 {
 		if mc := c.MeanCapacitance(); mc > 0 {
 			cfg.InitFScale = 1 / mc
+		} else {
+			cfg.InitFScale = 1
+			diags = append(diags, "no capacitors: frequency-scale heuristic 1/mean(C) undefined, using InitFScale=1")
 		}
 	}
 	if cfg.InitGScale == 0 {
 		if mg := c.MeanConductance(); mg > 0 {
 			cfg.InitGScale = 1 / mg
+		} else {
+			cfg.InitGScale = 1
+			diags = append(diags, "no conductances: conductance-scale heuristic 1/mean(G) undefined, using InitGScale=1")
 		}
 	}
-	num, err = Generate(tf.Num, cfg)
+	numEv, denEv := tf.Num, tf.Den
+	var jc *jointCache
+	if !cfg.NoJoint && tf.EvalBoth != nil {
+		jc = newJointCache(tf)
+		numEv = jc.evaluator(tf.Num, func(n, _ xmath.XComplex) xmath.XComplex { return n })
+		denEv = jc.evaluator(tf.Den, func(_, d xmath.XComplex) xmath.XComplex { return d })
+	}
+	var numHits, numMisses int
+	num, err = Generate(numEv, cfg)
+	num.Diagnostics = append(num.Diagnostics, diags...)
+	if jc != nil {
+		numHits, numMisses = jc.counters()
+		num.CacheHits, num.CacheMisses = numHits, numMisses
+	}
 	if err != nil {
 		return num, nil, fmt.Errorf("core: numerator of %s: %w", tf.Name, err)
 	}
-	den, err = Generate(tf.Den, cfg)
+	den, err = Generate(denEv, cfg)
+	den.Diagnostics = append(den.Diagnostics, diags...)
+	if jc != nil {
+		h, m := jc.counters()
+		den.CacheHits, den.CacheMisses = h-numHits, m-numMisses
+	}
 	if err != nil {
 		return num, den, fmt.Errorf("core: denominator of %s: %w", tf.Name, err)
 	}

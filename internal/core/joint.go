@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/interp"
+	"repro/internal/xmath"
+)
+
+// jointKey identifies one joint evaluation: the interpolation point and
+// the scale pair it was evaluated under.
+type jointKey struct {
+	s    complex128
+	f, g float64
+}
+
+// jointEntry is one memoized EvalBoth result. The sync.Once latch makes
+// the computation happen exactly once per key no matter how many workers
+// race on it, which also keeps the miss counter deterministic: misses =
+// distinct keys, independent of scheduling.
+type jointEntry struct {
+	once     sync.Once
+	num, den xmath.XComplex
+}
+
+// jointCache memoizes TransferFunction.EvalBoth results across the
+// numerator and denominator passes of GenerateTransferFunction. Both
+// passes interpolate at unit-circle points under evolving scale factors;
+// wherever the two trajectories touch the same (s, fscale, gscale)
+// triple — always on the shared initial scales, and again whenever the
+// adaptive walks coincide — the second polynomial's value comes out of
+// the one factorization already paid for.
+type jointCache struct {
+	tf      *interp.TransferFunction
+	mu      sync.Mutex
+	entries map[jointKey]*jointEntry
+	total   atomic.Int64 // lookups
+	misses  atomic.Int64 // distinct keys actually computed
+}
+
+func newJointCache(tf *interp.TransferFunction) *jointCache {
+	return &jointCache{tf: tf, entries: make(map[jointKey]*jointEntry)}
+}
+
+// at returns (N(s), D(s)) for the triple, computing via EvalBoth on
+// first sight and serving the memo afterwards.
+func (jc *jointCache) at(s complex128, fscale, gscale float64) (num, den xmath.XComplex) {
+	jc.total.Add(1)
+	key := jointKey{s: s, f: fscale, g: gscale}
+	jc.mu.Lock()
+	e := jc.entries[key]
+	if e == nil {
+		e = &jointEntry{}
+		jc.entries[key] = e
+	}
+	jc.mu.Unlock()
+	e.once.Do(func() {
+		jc.misses.Add(1)
+		e.num, e.den = jc.tf.EvalBoth(s, fscale, gscale)
+	})
+	return e.num, e.den
+}
+
+// counters returns the cumulative (hits, misses) so far. Both are
+// deterministic for a given generation run: total lookups are fixed by
+// the iteration trajectory and misses count distinct keys.
+func (jc *jointCache) counters() (hits, misses int) {
+	t, m := jc.total.Load(), jc.misses.Load()
+	return int(t - m), int(m)
+}
+
+// evaluator wraps one polynomial's evaluator so every point evaluation
+// is served from the shared cache; pick selects this polynomial's half
+// of the joint result. The batch path reuses interp.RunBatch with the
+// transfer function's BothReady as the priming gate, so the serial and
+// parallel runs evaluate the priming point on the same goroutine and
+// stay bit-identical — the same contract the plain evaluators honor.
+func (jc *jointCache) evaluator(base interp.Evaluator, pick func(num, den xmath.XComplex) xmath.XComplex) interp.Evaluator {
+	ev := base
+	ev.Eval = func(s complex128, fscale, gscale float64) xmath.XComplex {
+		return pick(jc.at(s, fscale, gscale))
+	}
+	ev.EvalBatch = func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+		return interp.RunBatch(points, workers, jc.tf.BothReady, func() func(complex128) xmath.XComplex {
+			return func(s complex128) xmath.XComplex {
+				return pick(jc.at(s, fscale, gscale))
+			}
+		})
+	}
+	return ev
+}

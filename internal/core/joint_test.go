@@ -1,0 +1,234 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/interp"
+	"repro/internal/nodal"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// TestNoMirrorMatchesMirrored checks the Hermitian half-circle scheme
+// against the full sweep: IEEE arithmetic commutes with conjugation
+// bitwise, so mirroring the computed half must reproduce the full
+// evaluation exactly, coefficient for coefficient.
+func TestNoMirrorMatchesMirrored(t *testing.T) {
+	mirrored, err := Generate(steepProfile(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Generate(steepProfile(), Config{NoMirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Coeffs) != len(mirrored.Coeffs) {
+		t.Fatalf("coefficient counts differ: %d vs %d", len(full.Coeffs), len(mirrored.Coeffs))
+	}
+	for i := range full.Coeffs {
+		if full.Coeffs[i] != mirrored.Coeffs[i] {
+			t.Errorf("s^%d: mirrored %+v vs full %+v", i, mirrored.Coeffs[i], full.Coeffs[i])
+		}
+	}
+	if full.TotalSolves <= mirrored.TotalSolves {
+		t.Errorf("full sweep solves %d not above mirrored %d", full.TotalSolves, mirrored.TotalSolves)
+	}
+}
+
+// synthTF builds a transfer function from two explicit polynomials with
+// an EvalBoth that simply evaluates both — bit-identical to the
+// independent evaluators by construction, as the contract demands.
+func synthTF(np, dp poly.XPoly, m int) *interp.TransferFunction {
+	tf := &interp.TransferFunction{
+		Name: "synth",
+		Num:  interp.FromPoly("numerator", np, m),
+		Den:  interp.FromPoly("denominator", dp, m),
+	}
+	tf.EvalBoth = func(s complex128, fscale, gscale float64) (num, den xmath.XComplex) {
+		return tf.Num.Eval(s, fscale, gscale), tf.Den.Eval(s, fscale, gscale)
+	}
+	return tf
+}
+
+func TestJointCacheMatchesIndependent(t *testing.T) {
+	numLogs := []float64{0, -9, -19, -30, -42, -55}
+	denLogs := []float64{-1, -8, -20, -29, -43, -54}
+	mk := func() *interp.TransferFunction {
+		return synthTF(profilePoly(numLogs, nil), profilePoly(denLogs, nil), len(numLogs)-1)
+	}
+	dummy := circuit.New("dummy")
+	cfg := Config{InitFScale: 1, InitGScale: 1}
+
+	indCfg := cfg
+	indCfg.NoJoint = true
+	inum, iden, err := GenerateTransferFunction(dummy, mk(), indCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inum.CacheHits != 0 || inum.CacheMisses != 0 || iden.CacheHits != 0 || iden.CacheMisses != 0 {
+		t.Errorf("NoJoint run reported cache traffic: num %d/%d den %d/%d",
+			inum.CacheHits, inum.CacheMisses, iden.CacheHits, iden.CacheMisses)
+	}
+
+	jnum, jden, err := GenerateTransferFunction(dummy, mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EvalBoth is bit-identical to the independent evaluators here, so
+	// the generated coefficients must match exactly.
+	for i := range jnum.Coeffs {
+		if jnum.Coeffs[i] != inum.Coeffs[i] {
+			t.Errorf("numerator s^%d: joint %+v vs independent %+v", i, jnum.Coeffs[i], inum.Coeffs[i])
+		}
+	}
+	for i := range jden.Coeffs {
+		if jden.Coeffs[i] != iden.Coeffs[i] {
+			t.Errorf("denominator s^%d: joint %+v vs independent %+v", i, jden.Coeffs[i], iden.Coeffs[i])
+		}
+	}
+	// Every numerator evaluation is a fresh key; the denominator's
+	// initial iteration shares (s, 1, 1) with the numerator's and must
+	// hit the cache.
+	if jnum.CacheMisses == 0 {
+		t.Error("numerator pass recorded no cache misses")
+	}
+	if jden.CacheHits == 0 {
+		t.Error("denominator pass recorded no cache hits")
+	}
+	if jnum.CacheHits+jnum.CacheMisses != jnum.TotalSolves {
+		t.Errorf("numerator cache traffic %d+%d != TotalSolves %d",
+			jnum.CacheHits, jnum.CacheMisses, jnum.TotalSolves)
+	}
+	if jden.CacheHits+jden.CacheMisses != jden.TotalSolves {
+		t.Errorf("denominator cache traffic %d+%d != TotalSolves %d",
+			jden.CacheHits, jden.CacheMisses, jden.TotalSolves)
+	}
+}
+
+// TestJointCacheIdenticalPolys is the degenerate best case: when both
+// polynomials are the same, the denominator pass repeats the numerator's
+// trajectory exactly and every single solve is a hit.
+func TestJointCacheIdenticalPolys(t *testing.T) {
+	logs := []float64{0, -9, -19, -30}
+	tf := synthTF(profilePoly(logs, nil), profilePoly(logs, nil), len(logs)-1)
+	_, den, err := GenerateTransferFunction(circuit.New("dummy"), tf, Config{InitFScale: 1, InitGScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if den.CacheMisses != 0 {
+		t.Errorf("denominator pass missed %d times, want 0 (identical trajectory)", den.CacheMisses)
+	}
+	if den.CacheHits != den.TotalSolves {
+		t.Errorf("denominator hits %d != TotalSolves %d", den.CacheHits, den.TotalSolves)
+	}
+}
+
+// TestJointCacheParallelBitIdentical checks the serial-priming contract
+// of the cached batch path: results are bit-identical across worker
+// counts, and so are the deterministic cache counters.
+func TestJointCacheParallelBitIdentical(t *testing.T) {
+	numLogs := []float64{0, -9, -19, -30, -42, -55}
+	denLogs := []float64{-1, -8, -20, -29, -43, -54}
+	mk := func() *interp.TransferFunction {
+		return synthTF(profilePoly(numLogs, nil), profilePoly(denLogs, nil), len(numLogs)-1)
+	}
+	dummy := circuit.New("dummy")
+	snum, sden, err := GenerateTransferFunction(dummy, mk(), Config{InitFScale: 1, InitGScale: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 8} {
+		pnum, pden, err := GenerateTransferFunction(dummy, mk(), Config{InitFScale: 1, InitGScale: 1, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pnum.Coeffs {
+			if pnum.Coeffs[i] != snum.Coeffs[i] {
+				t.Errorf("parallelism %d: numerator s^%d differs", par, i)
+			}
+		}
+		for i := range pden.Coeffs {
+			if pden.Coeffs[i] != sden.Coeffs[i] {
+				t.Errorf("parallelism %d: denominator s^%d differs", par, i)
+			}
+		}
+		if pnum.CacheHits != snum.CacheHits || pnum.CacheMisses != snum.CacheMisses ||
+			pden.CacheHits != sden.CacheHits || pden.CacheMisses != sden.CacheMisses {
+			t.Errorf("parallelism %d: cache counters differ: num %d/%d vs %d/%d, den %d/%d vs %d/%d",
+				par, pnum.CacheHits, pnum.CacheMisses, snum.CacheHits, snum.CacheMisses,
+				pden.CacheHits, pden.CacheMisses, sden.CacheHits, sden.CacheMisses)
+		}
+	}
+}
+
+// TestInitScaleFallbackWarnings covers the small fix: circuits where the
+// mean-capacitance or mean-conductance heuristic is undefined fall back
+// to scale 1.0 and say so in Diagnostics instead of silently relying on
+// withDefaults.
+func TestInitScaleFallbackWarnings(t *testing.T) {
+	hasDiag := func(diags []string, substr string) bool {
+		for _, d := range diags {
+			if strings.Contains(d, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// R-only divider: H = 1/2, no capacitors.
+	rc := circuit.New("rdiv")
+	rc.AddG("g1", "in", "out", 1e-3).AddG("g2", "out", "0", 1e-3)
+	sys, err := nodal.Build(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.VoltageGain(rc, "in", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den, err := GenerateTransferFunction(rc, tf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{num, den} {
+		if !hasDiag(r.Diagnostics, "InitFScale=1") {
+			t.Errorf("%s: no InitFScale fallback warning in %q", r.Name, r.Diagnostics)
+		}
+		if hasDiag(r.Diagnostics, "InitGScale=1") {
+			t.Errorf("%s: unexpected InitGScale warning in %q", r.Name, r.Diagnostics)
+		}
+	}
+	if got := den.Poly(); len(got) == 0 || got[0].Zero() {
+		t.Error("R-only denominator came out zero")
+	}
+
+	// C-only divider: H = 1/2 again, no conductances.
+	cc := circuit.New("cdiv")
+	cc.AddC("c1", "in", "out", 1e-12).AddC("c2", "out", "0", 1e-12)
+	csys, err := nodal.Build(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctf, err := csys.VoltageGain(cc, "in", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnum, _, err := GenerateTransferFunction(cc, ctf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDiag(cnum.Diagnostics, "InitGScale=1") {
+		t.Errorf("C-only: no InitGScale fallback warning in %q", cnum.Diagnostics)
+	}
+
+	// Explicit scales suppress both warnings.
+	enum, _, err := GenerateTransferFunction(rc, tf, Config{InitFScale: 1, InitGScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enum.Diagnostics) != 0 {
+		t.Errorf("explicit scales: unexpected diagnostics %q", enum.Diagnostics)
+	}
+}

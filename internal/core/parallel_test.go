@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/dft"
 	"repro/internal/interp"
 )
 
@@ -52,8 +53,10 @@ func TestSolveCountersPopulated(t *testing.T) {
 		if it.Solves == 0 {
 			t.Errorf("iteration %q has zero Solves", it.Purpose)
 		}
-		if it.Solves < it.K {
-			t.Errorf("iteration %q: Solves %d < K %d", it.Purpose, it.Solves, it.K)
+		// Each iteration evaluates K window points plus 3 guard points,
+		// but only the non-redundant Hermitian half is solved.
+		if want := dft.HermitianHalf(it.K + 3); it.Solves != want {
+			t.Errorf("iteration %q: Solves %d, want HermitianHalf(%d+3) = %d", it.Purpose, it.Solves, it.K, want)
 		}
 		sum += it.Solves
 	}

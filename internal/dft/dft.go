@@ -18,21 +18,28 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/xmath"
 )
 
 // UnitCirclePoints returns the K-th roots of unity e^(2πjk/K),
 // k = 0..K−1 — the interpolation points recommended by Vlach/Singhal for
-// numerical stability.
+// numerical stability. The lower half-circle points are produced as
+// exact bitwise conjugates of the upper half (s_{K−k} = conj(s_k)), so
+// the Hermitian mirroring scheme (HermitianInverse) evaluates at exactly
+// the same point set a full sweep would.
 func UnitCirclePoints(k int) []complex128 {
 	if k <= 0 {
 		panic("dft: point count must be positive")
 	}
 	pts := make([]complex128, k)
-	for i := range pts {
+	for i := 0; i <= k/2; i++ {
 		angle := 2 * math.Pi * float64(i) / float64(k)
 		pts[i] = cmplx.Rect(1, angle)
+	}
+	for i := k/2 + 1; i < k; i++ {
+		pts[i] = cmplx.Conj(pts[k-i])
 	}
 	// Snap the exactly-representable points so that e.g. s_0 is exactly 1
 	// and, for even K, s_{K/2} is exactly −1.
@@ -41,6 +48,47 @@ func UnitCirclePoints(k int) []complex128 {
 		pts[k/2] = -1
 	}
 	return pts
+}
+
+// HermitianHalf returns the number of non-redundant unit-circle samples
+// of a length-K spectrum with Hermitian symmetry: ⌊K/2⌋+1 (capped at K).
+// A polynomial with real coefficients satisfies P(conj s) = conj P(s),
+// so the values at points ⌊K/2⌋+1..K−1 are the conjugates of values
+// 1..⌈K/2⌉−1 and need not be computed.
+func HermitianHalf(k int) int {
+	if k <= 0 {
+		panic("dft: point count must be positive")
+	}
+	h := k/2 + 1
+	if h > k {
+		h = k
+	}
+	return h
+}
+
+// MirrorHermitian expands a half-spectrum (the first HermitianHalf(k)
+// values of a length-k Hermitian spectrum) to the full k values by
+// conjugation: out[k−i] = conj(half[i]).
+func MirrorHermitian(half []xmath.XComplex, k int) []xmath.XComplex {
+	if len(half) != HermitianHalf(k) {
+		panic("dft: half-spectrum length does not match point count")
+	}
+	full := make([]xmath.XComplex, k)
+	copy(full, half)
+	for i := len(half); i < k; i++ {
+		full[i] = half[k-i].Conj()
+	}
+	return full
+}
+
+// HermitianInverse computes the length-k inverse DFT of a spectrum given
+// by its non-redundant half (see HermitianHalf): the missing values are
+// mirrored by conjugation before the transform runs. The outputs are the
+// coefficients of the interpolated real-coefficient polynomial; their
+// imaginary parts measure the transform's own round-off, exactly as with
+// Inverse on a fully computed spectrum.
+func HermitianInverse(half []xmath.XComplex, k int) []xmath.XComplex {
+	return Inverse(MirrorHermitian(half, k))
 }
 
 // ScaledPoints returns f·e^(2πjk/K): the unit-circle set dilated by the
@@ -113,14 +161,101 @@ func Forward(values []complex128) []complex128 {
 	return transform(values, +1)
 }
 
-// transform dispatches between the radix-2 FFT (power-of-two lengths) and
-// the direct O(K²) sum. sign (+1 or −1) selects the twiddle exponent sign;
-// no 1/K factor is applied.
+// bluesteinMin is the smallest non-power-of-two length routed through
+// the chirp-z transform. Below it the direct O(K²) sum wins: Bluestein
+// pays three power-of-two FFTs of length ≥ 2K−1 plus chirp setup, which
+// only amortizes once K² outgrows that.
+const bluesteinMin = 32
+
+// transform dispatches between the radix-2 FFT (power-of-two lengths),
+// the Bluestein chirp-z transform (longer non-power-of-two lengths, e.g.
+// the ubiquitous K = 49 frames) and the direct O(K²) sum (short odd
+// lengths). sign (+1 or −1) selects the twiddle exponent sign; no 1/K
+// factor is applied.
 func transform(values []complex128, sign float64) []complex128 {
-	if len(values)&(len(values)-1) == 0 {
+	n := len(values)
+	if n&(n-1) == 0 {
 		return fftRadix2(values, sign)
 	}
+	if n >= bluesteinMin {
+		return bluestein(values, sign)
+	}
 	return direct(values, sign)
+}
+
+// bluesteinTables holds the input-independent part of a chirp-z
+// transform of one (length, sign) pair: the chirp sequence and the FFT
+// of the conjugate-chirp convolution kernel. Both are read-only after
+// construction and shared across calls — the interpolation loop runs the
+// same K for dozens of frames, so this removes one of the three FFTs and
+// all twiddle setup from the steady state.
+type bluesteinTables struct {
+	m     int
+	chirp []complex128 // c_k = e^(sign·πj·k²/n), k = 0..n−1
+	fb    []complex128 // FFT_+ of the kernel b, b_{±k mod m} = conj(c_k)
+}
+
+var bluesteinCache sync.Map // key int: +n for sign>0, −n for sign<0
+
+func bluesteinPlan(n int, sign float64) *bluesteinTables {
+	key := n
+	if sign < 0 {
+		key = -n
+	}
+	if v, ok := bluesteinCache.Load(key); ok {
+		return v.(*bluesteinTables)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	tb := &bluesteinTables{m: m, chirp: make([]complex128, n)}
+	for k := range tb.chirp {
+		// Reduce k² mod 2n before forming the angle, so twiddle accuracy
+		// does not degrade with n.
+		q := (int64(k) * int64(k)) % int64(2*n)
+		tb.chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(q)/float64(n))
+	}
+	// b holds conj(c_k) at both k and −k (mod m): the chirp is even in k.
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(tb.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(tb.chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	tb.fb = fftRadix2(b, +1)
+	// First store wins, so concurrent builders agree on one table set.
+	actual, _ := bluesteinCache.LoadOrStore(key, tb)
+	return actual.(*bluesteinTables)
+}
+
+// bluestein computes the length-n DFT for arbitrary n in O(n log n) via
+// the chirp-z identity ij = (i² + j² − (i−j)²)/2 (Bluestein 1970):
+//
+//	out_i = c_i · Σ_j (x_j·c_j)·conj(c_{i−j}),  c_k = e^(sign·πj·k²/n)
+//
+// i.e. a linear convolution with the conjugate chirp, done as a circular
+// convolution of power-of-two length m ≥ 2n−1 through radix-2 FFTs (two
+// per call; the kernel FFT is cached in bluesteinPlan).
+func bluestein(x []complex128, sign float64) []complex128 {
+	n := len(x)
+	tb := bluesteinPlan(n, sign)
+	a := make([]complex128, tb.m)
+	for k, v := range x {
+		a[k] = v * tb.chirp[k]
+	}
+	fa := fftRadix2(a, +1)
+	for i := range fa {
+		fa[i] *= tb.fb[i]
+	}
+	conv := fftRadix2(fa, -1)
+	out := make([]complex128, n)
+	invM := complex(1/float64(tb.m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = conv[k] * invM * tb.chirp[k]
+	}
+	return out
 }
 
 // direct is the O(K²) transform.

@@ -194,3 +194,176 @@ func TestQuickInterpolationExact(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUnitCirclePointsConjugateSymmetric(t *testing.T) {
+	for _, k := range []int{2, 3, 8, 9, 49, 64} {
+		pts := UnitCirclePoints(k)
+		for i := 1; i < k; i++ {
+			if got, want := pts[k-i], cmplx.Conj(pts[i]); got != want {
+				t.Errorf("K=%d: s_%d = %v, want exact conj(s_%d) = %v", k, k-i, got, i, want)
+			}
+		}
+	}
+}
+
+func TestHermitianHalf(t *testing.T) {
+	for _, tc := range []struct{ k, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {49, 25}, {64, 33},
+	} {
+		if got := HermitianHalf(tc.k); got != tc.want {
+			t.Errorf("HermitianHalf(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestHermitianHalfPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for K=0")
+		}
+	}()
+	HermitianHalf(0)
+}
+
+func TestMirrorHermitianLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong half length")
+		}
+	}()
+	MirrorHermitian(make([]xmath.XComplex, 2), 5)
+}
+
+// TestHermitianInverseRecoversRealPolynomial checks the half-spectrum
+// path end to end: evaluating a real-coefficient polynomial only at the
+// non-redundant points and mirroring recovers the same coefficients a
+// full evaluation sweep does.
+func TestHermitianInverseRecoversRealPolynomial(t *testing.T) {
+	for _, k := range []int{4, 5, 8, 9, 49} {
+		p := poly.New(1, -2, 3, 0.5)
+		pts := UnitCirclePoints(k)
+		half := make([]xmath.XComplex, HermitianHalf(k))
+		for i := range half {
+			half[i] = xmath.FromComplex(p.Eval(pts[i]))
+		}
+		out := HermitianInverse(half, k)
+		if len(out) != k {
+			t.Fatalf("K=%d: got %d outputs", k, len(out))
+		}
+		for i := 0; i < k; i++ {
+			want := 0.0
+			if i < len(p) {
+				want = p[i]
+			}
+			if math.Abs(out[i].Real().Float64()-want) > 1e-12 || out[i].Imag().Abs().Float64() > 1e-12 {
+				t.Errorf("K=%d: coeff %d = %v, want %g", k, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestHermitianInverseMatchesMirroredInverse pins the definition:
+// HermitianInverse(half, k) is exactly Inverse of the mirrored spectrum.
+func TestHermitianInverseMatchesMirroredInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{3, 4, 7, 12} {
+		half := make([]xmath.XComplex, HermitianHalf(k))
+		for i := range half {
+			half[i] = xmath.FromComplex(complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		full := MirrorHermitian(half, k)
+		want := Inverse(full)
+		got := HermitianInverse(half, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("K=%d: output %d = %v, want bit-identical %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBluesteinMatchesDirect cross-checks the chirp-z path against the
+// O(K²) reference sum on lengths spanning the dispatch threshold and
+// both twiddle signs.
+func TestBluesteinMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{33, 49, 63, 100, 129} {
+		in := make([]complex128, k)
+		scale := 0.0
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			scale = math.Max(scale, cmplx.Abs(in[i]))
+		}
+		for _, sign := range []float64{-1, 1} {
+			blu := bluestein(in, sign)
+			dir := direct(in, sign)
+			tol := 1e-11 * scale * float64(k)
+			for i := range in {
+				if cmplx.Abs(blu[i]-dir[i]) > tol {
+					t.Errorf("K=%d sign %g: bluestein[%d] = %v, direct = %v", k, sign, i, blu[i], dir[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTransformDispatch pins the routing: power-of-two lengths use the
+// radix-2 FFT, short non-power-of-two lengths the direct sum, and longer
+// ones Bluestein — all agreeing with the reference sum.
+func TestTransformDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{5, 31, 32, 33, 49, 64} {
+		in := make([]complex128, k)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := transform(in, -1)
+		want := direct(in, -1)
+		for i := range in {
+			if cmplx.Abs(got[i]-want[i]) > 1e-10*float64(k) {
+				t.Errorf("K=%d: transform[%d] = %v, direct = %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// benchSpectrum builds a deterministic complex input block.
+func benchSpectrum(k int) []complex128 {
+	in := make([]complex128, k)
+	for i := range in {
+		in[i] = complex(float64(i+1), float64(k-i))
+	}
+	return in
+}
+
+func BenchmarkTransformDirect49(b *testing.B) {
+	in := benchSpectrum(49)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		direct(in, -1)
+	}
+}
+
+func BenchmarkTransformBluestein49(b *testing.B) {
+	in := benchSpectrum(49)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bluestein(in, -1)
+	}
+}
+
+func BenchmarkTransformDirect201(b *testing.B) {
+	in := benchSpectrum(201)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		direct(in, -1)
+	}
+}
+
+func BenchmarkTransformBluestein201(b *testing.B) {
+	in := benchSpectrum(201)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bluestein(in, -1)
+	}
+}

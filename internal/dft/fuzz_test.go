@@ -53,6 +53,13 @@ func FuzzIDFT(f *testing.F) {
 	f.Add(seed(1, 0, 0, 1, -1, 0, 0, -1))             // K=4: radix-2 path
 	f.Add(seed(1e10, 0, 2, 3, -5e-10, 4, 0, 0, 7, 1)) // K=5: direct path
 	f.Add(seed(0, 0, 0, 0))                           // K=2: all-zero block
+	// K=49: odd length above bluesteinMin, so the round trip runs the
+	// chirp-z path in both directions.
+	odd := make([]float64, 2*49)
+	for i := range odd {
+		odd[i] = float64(i%7) - 3
+	}
+	f.Add(seed(odd...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		x, ok := decodeValues(data)
 		if !ok {

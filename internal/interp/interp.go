@@ -33,6 +33,13 @@ import (
 // by gscale and capacitances by fscale, plus the structural facts the
 // scaling law needs. internal/nodal builds evaluators from circuits;
 // tests build them from explicit polynomials.
+//
+// Every evaluator represents a polynomial with real coefficients — the
+// premise of the whole interpolation scheme (the inverse DFT's real
+// parts are the coefficients) — so P(conj s) = conj P(s) and only the
+// upper half-circle points carry information. Run exploits this by
+// evaluating the dft.HermitianHalf non-redundant points of a frame and
+// mirroring the rest by conjugation (dft.HermitianInverse).
 type Evaluator struct {
 	// Name labels the polynomial in diagnostics ("numerator", ...).
 	Name string
@@ -202,10 +209,29 @@ func FromPoly(name string, p poly.XPoly, m int) Evaluator {
 }
 
 // TransferFunction bundles the two polynomials of H(s) = N(s)/D(s).
+//
+// EvalBoth, when non-nil, evaluates numerator and denominator at one
+// point from a single matrix factorization — the joint mode
+// core.GenerateTransferFunction drives through its shared evaluation
+// cache. Implementations must be deterministic and must return values
+// bit-identical to Num.Eval/Den.Eval at the same (s, fscale, gscale);
+// producers that cannot guarantee that (e.g. evaluators whose numerator
+// uses a structurally different matrix) leave it nil and the generator
+// falls back to the two independent passes.
+//
+// BothReady, when non-nil, reports whether the shared read-only state
+// behind EvalBoth (in practice a sparse pivot-order plan) is already
+// primed; it plays the role of RunBatch's ready() so the cached joint
+// path keeps the serial-priming determinism contract.
 type TransferFunction struct {
 	Name string
 	Num  Evaluator
 	Den  Evaluator
+
+	// EvalBoth returns (N(s), D(s)) from one factorization. Optional.
+	EvalBoth func(s complex128, fscale, gscale float64) (num, den xmath.XComplex)
+	// BothReady reports whether EvalBoth's shared state is primed. Optional.
+	BothReady func() bool
 }
 
 // Result is the outcome of a single interpolation run.
@@ -223,6 +249,9 @@ type Result struct {
 	Normalized poly.XPoly
 	// Denormalized holds p_i = p'_i/(f^i·g^(M−i)) in extended range.
 	Denormalized poly.XPoly
+	// Solves counts the evaluator calls actually dispatched — with the
+	// Hermitian mirroring scheme only ⌊K/2⌋+1 of the K points.
+	Solves int
 }
 
 // Run interpolates the evaluator's polynomial with the given scale
@@ -239,9 +268,13 @@ func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int
 	if k <= 0 {
 		panic("interp: point count must be positive")
 	}
+	// Real coefficients ⇒ P(conj s) = conj P(s): evaluate only the upper
+	// half-circle and mirror the rest by conjugation. Serial and parallel
+	// runs both use the mirrored scheme, so they stay bit-identical.
+	half := dft.HermitianHalf(k)
 	pts := dft.UnitCirclePoints(k)
-	values := ev.EvalPoints(pts, fscale, gscale, parallelism)
-	raw := dft.Inverse(values)
+	values := ev.EvalPoints(pts[:half], fscale, gscale, parallelism)
+	raw := dft.HermitianInverse(values, k)
 	normalized := make(poly.XPoly, k)
 	for i, c := range raw {
 		normalized[i] = c.Real()
@@ -253,6 +286,7 @@ func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int
 		Raw:          raw,
 		Normalized:   normalized,
 		Denormalized: normalized.Denormalize(fscale, gscale, ev.M),
+		Solves:       half,
 	}
 }
 
@@ -323,6 +357,7 @@ func RunRealPoints(ev Evaluator, fscale, gscale float64, k int) Result {
 		Raw:          raw,
 		Normalized:   normalized,
 		Denormalized: normalized.Denormalize(fscale, gscale, ev.M),
+		Solves:       k,
 	}
 }
 

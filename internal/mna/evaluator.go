@@ -166,9 +166,31 @@ func (sys *System) TransferEvaluators(out string) (*interp.TransferFunction, err
 	num := sys.evaluator("numerator", bound, func(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
 		return sys.numAt(scratch, idx, s, fscale, gscale)
 	})
-	return &interp.TransferFunction{
+	tf := &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/source", out),
 		Num:  num,
 		Den:  sys.evaluator("denominator", bound, sys.detAt),
-	}, nil
+	}
+	// Joint mode: eqs. (8)–(10) already obtain N from the same
+	// factorization that gives D = det Y_MNA, so EvalBoth is the numAt
+	// computation with the determinant reported alongside.
+	tf.EvalBoth = func(s complex128, fscale, gscale float64) (n, d xmath.XComplex) {
+		scratch := sparse.New(sys.dim)
+		lu, err := sys.factorAt(scratch, s, fscale, gscale)
+		if err != nil {
+			return xmath.XComplex{}, xmath.XComplex{}
+		}
+		det := lu.Det()
+		b := make([]complex128, sys.dim)
+		for i, v := range sys.rhs {
+			b[i] = complex(v, 0)
+		}
+		x, err := lu.Solve(b)
+		if err != nil || cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
+			return xmath.XComplex{}, det
+		}
+		return det.MulComplex(x[idx]), det
+	}
+	tf.BothReady = sys.detPlan.Primed
+	return tf, nil
 }

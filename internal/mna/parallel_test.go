@@ -85,3 +85,35 @@ func TestMNASharedPatternAcrossEvaluators(t *testing.T) {
 		}
 	}
 }
+
+// TestMNAEvalBothBitIdentical: the MNA joint mode runs the very same
+// factorization the independent evaluators run (eqs. 8–10 already share
+// it within numAt), so its values must match them bit for bit.
+func TestMNAEvalBothBitIdentical(t *testing.T) {
+	sys, err := Build(mnaBatchCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := sys.TransferEvaluators("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.EvalBoth == nil || tf.BothReady == nil {
+		t.Fatal("MNA transfer function lacks EvalBoth/BothReady")
+	}
+	if tf.BothReady() {
+		t.Error("BothReady true before any evaluation")
+	}
+	for _, s := range dft.UnitCirclePoints(11) {
+		n, d := tf.EvalBoth(s, 1e7, 1)
+		if want := tf.Num.Eval(s, 1e7, 1); n != want {
+			t.Errorf("numerator at s=%v: joint %v != independent %v", s, n, want)
+		}
+		if want := tf.Den.Eval(s, 1e7, 1); d != want {
+			t.Errorf("denominator at s=%v: joint %v != independent %v", s, d, want)
+		}
+	}
+	if !tf.BothReady() {
+		t.Error("BothReady still false after evaluations")
+	}
+}

@@ -14,6 +14,7 @@ package nodal
 
 import (
 	"fmt"
+	"math/cmplx"
 	"sync"
 
 	"repro/internal/circuit"
@@ -207,6 +208,51 @@ func (sys *System) evaluator(name string, m int, key [2]int, mk func() projectio
 	}
 }
 
+// jointCramer builds a TransferFunction.EvalBoth implementation (plus
+// its BothReady gate) from the adjugate identity adj(Y) = det Y·Y⁻¹,
+// whose entries are the signed cofactors adj(Y)_{j,i} = C_ij: one LU of
+// the full matrix plus one solve of Y·x = e_in yields every C_in,j as
+// det·x[j], so both polynomials of a cofactor-ratio network function
+// come out of a single factorization. pick maps (det, x) to the
+// (numerator, denominator) pair of the particular function.
+//
+// The joint values equal the independent cofactor determinants
+// mathematically but not bitwise (different elimination orderings), so
+// callers that need bit-reproducibility must stick to one mode — which
+// core.GenerateTransferFunction's cache does.
+func (sys *System) jointCramer(in int, pick func(det xmath.XComplex, x []complex128) (num, den xmath.XComplex)) (func(s complex128, fscale, gscale float64) (num, den xmath.XComplex), func() bool) {
+	pat := sys.detPattern()
+	evalBoth := func(s complex128, fscale, gscale float64) (num, den xmath.XComplex) {
+		scratch := sparse.New(pat.proj.dim)
+		sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
+		lu, err := scratch.FactorSharedInPlace(&pat.plan)
+		if err == sparse.ErrPlanMiss {
+			sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
+			lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+		}
+		if err != nil {
+			return xmath.XComplex{}, xmath.XComplex{}
+		}
+		b := make([]complex128, pat.proj.dim)
+		b[in] = 1
+		x, err := lu.Solve(b)
+		if err != nil {
+			return xmath.XComplex{}, xmath.XComplex{}
+		}
+		return pick(lu.Det(), x)
+	}
+	return evalBoth, pat.plan.Primed
+}
+
+// cramerValue returns det·x[j] = C_in,j, zero when the solve produced a
+// non-finite entry (structurally singular point).
+func cramerValue(det xmath.XComplex, x []complex128, j int) xmath.XComplex {
+	if cmplx.IsNaN(x[j]) || cmplx.IsInf(x[j]) {
+		return xmath.XComplex{}
+	}
+	return det.MulComplex(x[j])
+}
+
 // Build assembles the system from a circuit. It returns an error if the
 // circuit contains elements outside the admittance subset or fails
 // validation.
@@ -374,13 +420,17 @@ func (sys *System) VoltageGain(c *circuit.Circuit, in, out string) (*interp.Tran
 		return nil, err
 	}
 	m := sys.n - 1
-	return &interp.TransferFunction{
+	tf := &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/V(%s)", out, in),
 		Num: sys.evaluator("numerator", m, [2]int{i, o},
 			func() projection { return cofactorProjection(sys.n, i, o) }),
 		Den: sys.evaluator("denominator", m, [2]int{i, i},
 			func() projection { return cofactorProjection(sys.n, i, i) }),
-	}, nil
+	}
+	tf.EvalBoth, tf.BothReady = sys.jointCramer(i, func(det xmath.XComplex, x []complex128) (num, den xmath.XComplex) {
+		return cramerValue(det, x, o), cramerValue(det, x, i)
+	})
+	return tf, nil
 }
 
 // DifferentialVoltageGain returns H(s) = V(out)/(V(inp)−V(inn)) for an
@@ -408,6 +458,11 @@ func (sys *System) DifferentialVoltageGain(c *circuit.Circuit, inp, inn, out str
 		return nil, fmt.Errorf("nodal: output node must differ from the input pair")
 	}
 	m := sys.n - 1
+	// No EvalBoth here: the joint Cramer form would reconstruct the
+	// numerator as det·(x_out from e_ip) − det·(x_out from e_in) — the
+	// explicit cofactor difference whose ~6-digit cancellation on
+	// weakly-coupled input pairs is exactly what the merged-row and
+	// shorted single-determinant forms exist to avoid.
 	return &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/(V(%s)-V(%s))", out, inp, inn),
 		Num: sys.evaluator("numerator", m, [2]int{-100 - ip*sys.n - in, o},
@@ -428,13 +483,17 @@ func (sys *System) Transimpedance(c *circuit.Circuit, in, out string) (*interp.T
 	if err != nil {
 		return nil, err
 	}
-	return &interp.TransferFunction{
+	tf := &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/I(%s)", out, in),
 		Num: sys.evaluator("numerator", sys.n-1, [2]int{i, o},
 			func() projection { return cofactorProjection(sys.n, i, o) }),
 		Den: sys.evaluator("denominator", sys.n, [2]int{-1, -1},
 			func() projection { return identityProjection(sys.n) }),
-	}, nil
+	}
+	tf.EvalBoth, tf.BothReady = sys.jointCramer(i, func(det xmath.XComplex, x []complex128) (num, den xmath.XComplex) {
+		return cramerValue(det, x, o), det
+	})
+	return tf, nil
 }
 
 func nodeIndex(c *circuit.Circuit, name string) (int, error) {
