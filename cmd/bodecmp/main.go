@@ -12,36 +12,51 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
 
 	"repro/internal/bode"
-	"repro/internal/circuit"
 	"repro/internal/circuits"
-	"repro/internal/core"
-	"repro/internal/mna"
-	"repro/internal/netlist"
 	"repro/internal/tablefmt"
-	"repro/internal/tfspec"
+	"repro/pkg/engine"
 )
 
 func main() {
-	var (
-		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
-		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
-		tfKind  = flag.String("tf", "diffgain", "transfer function: vgain, diffgain or transz")
-		inNode  = flag.String("in", "inp", "input node")
-		innNode = flag.String("inn", "inn", "negative input node (diffgain)")
-		outNode = flag.String("out", "out", "output node")
-		fMin    = flag.Float64("fmin", 1, "sweep start (Hz)")
-		fMax    = flag.Float64("fmax", 1e8, "sweep end (Hz)")
-		points  = flag.Int("n", 41, "number of frequency points")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var ckt *circuit.Circuit
+// run is the testable entry point; it returns the process exit code
+// (2 for usage errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bodecmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		builtin = fs.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = fs.String("netlist", "", "netlist file (alternative to -circuit)")
+		tfKind  = fs.String("tf", "diffgain", "transfer function: vgain, diffgain or transz")
+		inNode  = fs.String("in", "inp", "input node")
+		innNode = fs.String("inn", "inn", "negative input node (diffgain)")
+		outNode = fs.String("out", "out", "output node")
+		fMin    = fs.Float64("fmin", 1, "sweep start (Hz)")
+		fMax    = fs.Float64("fmax", 1e8, "sweep end (Hz)")
+		points  = fs.Int("n", 41, "number of frequency points")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "bodecmp:", err)
+		return 1
+	}
+
+	var ckt *engine.Circuit
 	switch {
 	case *builtin == "ua741":
 		ckt = circuits.UA741()
@@ -49,59 +64,41 @@ func main() {
 		ckt = circuits.OTA()
 	case *netFile != "":
 		var perr error
-		ckt, perr = netlist.ParseFile(*netFile)
+		ckt, perr = engine.LoadNetlist(*netFile)
 		if perr != nil {
-			fail(perr)
+			return fail(perr)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "bodecmp: need -circuit or -netlist")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "bodecmp: need -circuit or -netlist")
+		fs.Usage()
+		return 2
 	}
-	fmt.Println(ckt.Stats())
+	fmt.Fprintln(stdout, ckt.Stats())
 
-	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
-	_, tf, err := spec.Resolve(ckt)
+	ctx := context.Background()
+	eng, err := engine.New(engine.Config{})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	num, den, err := core.GenerateTransferFunction(ckt, tf, core.Config{})
+	spec := engine.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
+	resp, err := eng.Generate(ctx, engine.Request{Circuit: ckt, Spec: spec})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Println(num)
-	fmt.Println(den)
+	num, den := resp.Num, resp.Den
+	fmt.Fprintln(stdout, num)
+	fmt.Fprintln(stdout, den)
 
 	freqs := bode.LogSpace(*fMin, *fMax, *points)
 	fromCoeffs, err := bode.FromPolys(num.Poly(), den.Poly(), freqs)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
-	// Direct AC path: clone the circuit and add the driving source.
-	direct := ckt.Clone("+source")
-	switch spec.Kind {
-	case "vgain":
-		direct.AddV("vdrive", spec.In, "0", 1)
-	case "diffgain":
-		direct.AddV("vdrive", spec.In, spec.Inn, 1)
-	case "transz":
-		direct.AddI("idrive", "0", spec.In, 1)
-	}
-	msys, err := mna.Build(direct)
+	// Direct AC path: independent MNA solve per frequency point.
+	h, err := eng.ACResponse(ctx, ckt, spec, freqs)
 	if err != nil {
-		fail(err)
-	}
-	h := make([]complex128, len(freqs))
-	for i, f := range freqs {
-		x, err := msys.Solve(complex(0, 2*math.Pi*f))
-		if err != nil {
-			fail(fmt.Errorf("AC analysis at %g Hz: %w", f, err))
-		}
-		h[i], err = msys.VoltageAt(x, spec.Out)
-		if err != nil {
-			fail(err)
-		}
+		return fail(err)
 	}
 	fromAC := bode.FromComplexResponse(freqs, h)
 
@@ -115,16 +112,12 @@ func main() {
 			fmt.Sprintf("%.3f", fromAC[i].PhaseDeg),
 		)
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(stdout, tb)
 
 	magErr, phErr, err := bode.Compare(fromCoeffs, fromAC)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("max deviation: %.3g dB, %.3g°\n", magErr, phErr)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "bodecmp:", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "max deviation: %.3g dB, %.3g°\n", magErr, phErr)
+	return 0
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no circuit", nil},
+		{"undefined flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknownCircuitFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", "no-such-file.sp"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+func TestRunOTASmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-circuit", "ota", "-n", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Bode comparison", "max deviation:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout does not mention %q:\n%s", want, out.String())
+		}
+	}
+}

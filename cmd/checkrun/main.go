@@ -12,18 +12,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/circuits"
-	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/nodal"
+	"repro/pkg/engine"
 )
 
 type options struct {
@@ -32,6 +32,7 @@ type options struct {
 	minNodes int
 	maxNodes int
 	exactMax int
+	timeout  time.Duration
 	verbose  bool
 }
 
@@ -44,6 +45,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.minNodes, "nodes-min", 3, "smallest circuit size in nodes")
 	fs.IntVar(&o.maxNodes, "nodes-max", 10, "largest circuit size in nodes")
 	fs.IntVar(&o.exactMax, "exact-max", 9, "largest size cross-checked against the exact Bareiss oracle")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the whole sweep after this long (0 = no limit)")
 	fs.BoolVar(&o.verbose, "v", false, "report every trial, not only failures")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -60,44 +62,68 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	return o, nil
 }
 
+// harness bundles the engines the sweep drives: the production pipeline
+// and the exact-arithmetic oracle backend.
+type harness struct {
+	eng   *engine.Engine
+	exact *engine.Engine
+}
+
+func newHarness() (*harness, error) {
+	eng, err := engine.New(engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := engine.New(engine.Config{Backend: "exact"})
+	if err != nil {
+		return nil, err
+	}
+	return &harness{eng: eng, exact: ex}, nil
+}
+
 // trial generates one random circuit and runs every applicable check,
 // merging the outcome into rep. It returns the circuit size.
-func trial(rng *rand.Rand, o options, rep *check.Report) (nodes int, err error) {
+func (h *harness) trial(ctx context.Context, rng *rand.Rand, o options, rep *check.Report) (nodes int, err error) {
 	nodes = o.minNodes + rng.Intn(o.maxNodes-o.minNodes+1)
 	c := circuits.RandomGCgm(rng, nodes)
 	in := "n0"
 	out := fmt.Sprintf("n%d", nodes-1)
+	spec := engine.Spec{Kind: "vgain", In: in, Out: out}
 
-	sys, err := nodal.Build(c)
-	if err != nil {
-		return nodes, fmt.Errorf("nodal build: %w", err)
-	}
-	tf, err := sys.VoltageGain(c, in, out)
+	form, err := h.eng.Formulate(c, spec)
 	if err != nil {
 		return nodes, fmt.Errorf("voltage gain setup: %w", err)
 	}
+	tf := form.TF
 
 	// Serial and parallel generation must agree bit-for-bit; the serial
 	// result is the reference for everything downstream.
-	num, den, err := core.GenerateTransferFunction(c, tf, core.Config{Parallelism: 1})
+	serial, err := h.eng.Generate(ctx, engine.Request{
+		Circuit: c, Spec: spec, Formulation: form,
+		Options: &engine.Options{Parallelism: 1},
+	})
 	if err != nil {
 		return nodes, fmt.Errorf("generate (serial): %w", err)
 	}
-	pnum, pden, perr := core.GenerateTransferFunction(c, tf, core.Config{})
+	num, den := serial.Num, serial.Den
+	par, perr := h.eng.Generate(ctx, engine.Request{Circuit: c, Spec: spec, Formulation: form})
 	if perr != nil {
 		return nodes, fmt.Errorf("generate (parallel): %w", perr)
 	}
-	check.ParityResults(num, pnum, rep)
-	check.ParityResults(den, pden, rep)
+	check.ParityResults(num, par.Num, rep)
+	check.ParityResults(den, par.Den, rep)
 
 	// The joint path (shared EvalBoth cache, the default above) must
 	// reproduce a fully independent two-pass generation within the same
 	// tolerance the Bareiss oracle is held to.
-	inum, iden, ierr := core.GenerateTransferFunction(c, tf, core.Config{Parallelism: 1, NoJoint: true})
+	indep, ierr := h.eng.Generate(ctx, engine.Request{
+		Circuit: c, Spec: spec, Formulation: form,
+		Options: &engine.Options{Parallelism: 1, NoJoint: true},
+	})
 	if ierr != nil {
 		return nodes, fmt.Errorf("generate (independent): %w", ierr)
 	}
-	check.JointVsIndependent(num, den, inum, iden, 1e-4, rep)
+	check.JointVsIndependent(num, den, indep.Num, indep.Den, 1e-4, rep)
 
 	// Structural invariants on both polynomials.
 	rep.Merge(check.Result(num, tf.Num.M, check.Options{}))
@@ -105,13 +131,13 @@ func trial(rng *rand.Rand, o options, rep *check.Report) (nodes int, err error) 
 
 	// Oracle cross-check where tractable, Bode-vs-AC everywhere.
 	if nodes <= o.exactMax {
-		exNum, exDen, err := exact.VoltageGain(c, in, out)
+		oracle, err := h.exact.Formulate(c, spec)
 		if err != nil {
 			return nodes, fmt.Errorf("exact oracle: %w", err)
 		}
-		check.VsPoly(num, exNum.ToXPoly(), 1e-4, 4, rep)
-		check.VsPoly(den, exDen.ToXPoly(), 1e-4, 4, rep)
-		check.VsRatio(num, den, exNum.ToXPoly(), exDen.ToXPoly(), 1e-4, rep)
+		check.VsPoly(num, oracle.ExactNum, 1e-4, 4, rep)
+		check.VsPoly(den, oracle.ExactDen, 1e-4, 4, rep)
+		check.VsRatio(num, den, oracle.ExactNum, oracle.ExactDen, 1e-4, rep)
 	}
 	check.BodeVsAC(c, "vgain", in, "", out, num, den, 0, 0, rep)
 	return nodes, nil
@@ -127,12 +153,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	h, err := newHarness()
+	if err != nil {
+		fmt.Fprintln(stderr, "checkrun:", err)
+		return 1
+	}
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
 	rng := rand.New(rand.NewSource(o.seed))
 	total := &check.Report{}
 	failures := 0
 	for i := 0; i < o.trials; i++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "checkrun: aborted after %d of %d trials: %v\n", i, o.trials, ctx.Err())
+			failures++
+			break
+		}
 		rep := &check.Report{}
-		nodes, err := trial(rng, o, rep)
+		nodes, err := h.trial(ctx, rng, o, rep)
 		if err != nil {
 			fmt.Fprintf(stderr, "trial %d (%d nodes): ERROR: %v\n", i, nodes, err)
 			failures++

@@ -40,3 +40,29 @@ func TestSweepSmoke(t *testing.T) {
 		t.Errorf("-v should report every trial:\n%s", out.String())
 	}
 }
+
+func TestSweepTimeoutExpired(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "2", "-seed", "2", "-nodes-max", "4", "-timeout", "1ns"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deadline") {
+		t.Errorf("stderr does not mention the deadline: %s", errb.String())
+	}
+	// The summary line must still be printed for the trials that ran.
+	if !strings.Contains(out.String(), "checkrun: 2 trials") {
+		t.Errorf("summary missing from stdout:\n%s", out.String())
+	}
+}
+
+func TestSweepTimeoutGenerous(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "2", "-seed", "2", "-nodes-max", "4", "-timeout", "5m"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Errorf("summary missing from stdout:\n%s", out.String())
+	}
+}

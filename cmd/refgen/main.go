@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,13 +26,9 @@ import (
 	"runtime/pprof"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/netlist"
-	"repro/internal/poly"
 	"repro/internal/roots"
 	"repro/internal/tablefmt"
-	"repro/internal/tfspec"
+	"repro/pkg/engine"
 )
 
 func main() {
@@ -51,14 +48,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inNode     = fs.String("in", "in", "input node (positive input for diffgain)")
 		innNode    = fs.String("inn", "", "negative input node (diffgain)")
 		outNode    = fs.String("out", "out", "output node")
+		backend    = fs.String("backend", "", "formulation backend (default: auto from -tf); registered: nodal, mna, exact")
 		method     = fs.String("method", "adaptive", "interpolation method: adaptive, fixed or unit")
 		fscale     = fs.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
 		gscale     = fs.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
 		sigDigits  = fs.Int("sigdigits", 6, "required significant digits σ")
 		noReduce   = fs.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
 		verbose    = fs.Bool("v", false, "print the iteration trace")
+		progress   = fs.Bool("progress", false, "stream one line per iteration to stderr as it completes")
 		showPoles  = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
 		parallel   = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
+		timeout    = fs.Duration("timeout", 0, "abort generation after this long (0 = no limit); partial results are printed")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	)
@@ -104,69 +104,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	ckt, err := netlist.ParseFile(*netFile)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	eng, err := engine.New(engine.Config{
+		Backend: *backend,
+		Options: engine.Options{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel},
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	ckt, err := engine.LoadNetlist(*netFile)
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Fprintln(stdout, ckt.Stats())
 
-	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
-	_, tf, err := spec.Resolve(ckt)
+	spec := engine.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
+	form, err := eng.Formulate(ckt, spec)
 	if err != nil {
 		return fail(err)
 	}
+	tf := form.TF
 	fmt.Fprintf(stdout, "transfer function: %s (order bound %d)\n\n", tf.Name, tf.Den.OrderBound)
 
 	switch *method {
 	case "adaptive":
-		cfg := core.Config{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel}
-		if spec.MNA() {
-			// MNA terms are not conductance-homogeneous: frequency-only.
-			cfg.SingleFactor = true
-			cfg.InitGScale = 1
+		req := engine.Request{Circuit: ckt, Spec: spec, Formulation: form}
+		if *progress {
+			req.Observer = func(it engine.Iteration) {
+				fmt.Fprintf(stderr, "refgen: iteration %-7s fscale=%.4g gscale=%.4g K=%d new=%d\n",
+					it.Purpose, it.FScale, it.GScale, it.K, it.NewValid)
+			}
 		}
-		num, den, err := core.GenerateTransferFunction(ckt, tf, cfg)
-		if num != nil {
-			printResult(stdout, num, *verbose)
-		}
-		if den != nil {
-			printResult(stdout, den, *verbose)
+		resp, err := eng.Generate(ctx, req)
+		if resp != nil {
+			if resp.Num != nil {
+				printResult(stdout, resp.Num, *verbose)
+			}
+			if resp.Den != nil {
+				printResult(stdout, resp.Den, *verbose)
+			}
 		}
 		if err != nil {
 			return fail(err)
 		}
 		if *showPoles {
-			printRoots(stdout, "zeros", num.Poly())
-			printRoots(stdout, "poles", den.Poly())
+			printRoots(stdout, "zeros", resp.Num.Poly())
+			printRoots(stdout, "poles", resp.Den.Poly())
 		}
 	case "fixed":
-		fsc, gsc := *fscale, *gscale
-		if fsc == 0 {
-			if mc := ckt.MeanCapacitance(); mc > 0 {
-				fsc = 1 / mc
-			} else {
-				fsc = 1
-			}
+		fsc, gsc := engine.DefaultScales(ckt)
+		if *fscale != 0 {
+			fsc = *fscale
 		}
-		if gsc == 0 {
-			if mg := ckt.MeanConductance(); mg > 0 {
-				gsc = 1 / mg
-			} else {
-				gsc = 1
-			}
+		if *gscale != 0 {
+			gsc = *gscale
 		}
-		printInterp(stdout, "numerator", interp.RunWithParallelism(tf.Num, fsc, gsc, tf.Num.OrderBound+1, *parallel), *sigDigits)
-		printInterp(stdout, "denominator", interp.RunWithParallelism(tf.Den, fsc, gsc, tf.Den.OrderBound+1, *parallel), *sigDigits)
+		num, den, err := eng.Interpolate(ctx, form, fsc, gsc)
+		if err != nil {
+			return fail(err)
+		}
+		printInterp(stdout, "numerator", num, *sigDigits)
+		printInterp(stdout, "denominator", den, *sigDigits)
 	case "unit":
-		printInterp(stdout, "numerator", interp.RunWithParallelism(tf.Num, 1, 1, tf.Num.OrderBound+1, *parallel), *sigDigits)
-		printInterp(stdout, "denominator", interp.RunWithParallelism(tf.Den, 1, 1, tf.Den.OrderBound+1, *parallel), *sigDigits)
+		num, den, err := eng.Interpolate(ctx, form, 1, 1)
+		if err != nil {
+			return fail(err)
+		}
+		printInterp(stdout, "numerator", num, *sigDigits)
+		printInterp(stdout, "denominator", den, *sigDigits)
 	default:
 		return fail(fmt.Errorf("unknown method %q", *method))
 	}
 	return 0
 }
 
-func printResult(w io.Writer, r *core.Result, verbose bool) {
+func printResult(w io.Writer, r *engine.Result, verbose bool) {
 	fmt.Fprintln(w, r)
 	for _, d := range r.Diagnostics {
 		fmt.Fprintf(w, "warning: %s\n", d)
@@ -178,9 +197,9 @@ func printResult(w io.Writer, r *core.Result, verbose bool) {
 	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits")
 	for i, c := range r.Coeffs {
 		switch c.Status {
-		case core.Valid:
+		case engine.Valid:
 			tb.Rowf(fmt.Sprintf("s^%d", i), "valid", c.Value, fmt.Sprintf("%.1f", float64(6)+c.Quality))
-		case core.Negligible:
+		case engine.Negligible:
 			tb.Rowf(fmt.Sprintf("s^%d", i), "negligible", fmt.Sprintf("|p| < %v", c.Bound), "")
 		default:
 			tb.Rowf(fmt.Sprintf("s^%d", i), "UNRESOLVED", "", "")
@@ -202,8 +221,8 @@ func printResult(w io.Writer, r *core.Result, verbose bool) {
 	}
 }
 
-func printInterp(w io.Writer, name string, res interp.Result, sigDigits int) {
-	lo, hi, ok := interp.ValidRegion(res.Normalized, sigDigits)
+func printInterp(w io.Writer, name string, res engine.InterpResult, sigDigits int) {
+	lo, hi, ok := engine.ValidRegion(res.Normalized, sigDigits)
 	fmt.Fprintf(w, "%s: %s\n", name, res)
 	tb := tablefmt.New("", "s^i", "normalized", "denormalized", "valid")
 	for i := range res.Normalized {
@@ -216,7 +235,7 @@ func printInterp(w io.Writer, name string, res interp.Result, sigDigits int) {
 	fmt.Fprintln(w, tb)
 }
 
-func printRoots(w io.Writer, label string, p poly.XPoly) {
+func printRoots(w io.Writer, label string, p engine.Poly) {
 	r, err := roots.Find(p, roots.Config{})
 	if err != nil {
 		fmt.Fprintf(w, "%s: %v\n", label, err)

@@ -168,3 +168,56 @@ func TestRunMNAPath(t *testing.T) {
 		t.Errorf("stdout missing denominator table:\n%s", out.String())
 	}
 }
+
+func TestRunTimeoutExpired(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", rc, "-timeout", "1ns", "-parallel", "1"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "context deadline exceeded") {
+		t.Errorf("stderr does not mention the deadline: %s", errb.String())
+	}
+	// The partial numerator result must still be reported.
+	if !strings.Contains(out.String(), "UNRESOLVED") {
+		t.Errorf("stdout missing partial result:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutGenerous(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", rc, "-timeout", "1m", "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "joint cache:") {
+		t.Errorf("generous timeout changed the output:\n%s", out.String())
+	}
+}
+
+func TestRunBackendFlag(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", rc, "-backend", "nodal", "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-netlist", rc, "-backend", "bogus"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown backend") {
+		t.Errorf("stderr does not mention the unknown backend: %s", errb.String())
+	}
+}
+
+func TestRunProgressFlag(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", rc, "-progress", "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "refgen: iteration initial") {
+		t.Errorf("stderr missing the streamed iteration trace:\n%s", errb.String())
+	}
+}

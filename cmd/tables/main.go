@@ -22,9 +22,9 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/paper"
 	"repro/internal/tablefmt"
+	"repro/pkg/engine"
 )
 
 func main() {
@@ -209,7 +209,7 @@ func timingTable(w io.Writer) error {
 	if m := len(withoutRed.Iterations); m > n {
 		n = m
 	}
-	cell := func(r *core.Result, i int) (string, string) {
+	cell := func(r *engine.Result, i int) (string, string) {
 		if i >= len(r.Iterations) {
 			return "", ""
 		}

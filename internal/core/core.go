@@ -16,19 +16,23 @@
 // paper's order-reduction observation ("for this scaling, these
 // coefficients affect the polynomial value less than the error level,
 // and, hence, can be neglected").
+//
+// The generation loop is decomposed into staged units: the scale-update
+// policy (policy.go, eqs. 13–16), the window classifier (window.go), the
+// eq. (17) deflation (deflate.go) and the driving loop (generator.go).
+// Config.Observer exposes a per-iteration hook, and the Context variants
+// of the entry points support cooperative cancellation: generation stops
+// at the next point evaluation, returns the context's error, and the
+// partial Result keeps everything resolved so far.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
-	"strings"
-	"time"
 
 	"repro/internal/circuit"
-	"repro/internal/dft"
 	"repro/internal/interp"
-	"repro/internal/poly"
 	"repro/internal/xmath"
 )
 
@@ -75,6 +79,11 @@ type Config struct {
 	// in GenerateTransferFunction even when the transfer function
 	// provides EvalBoth. For ablation benchmarks and differential checks.
 	NoJoint bool
+	// Observer, when non-nil, is invoked synchronously after every
+	// completed interpolation with the Iteration just recorded. It runs
+	// on the generation goroutine: keep it fast and treat the Iteration
+	// (including its slices) as read-only.
+	Observer func(Iteration)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -96,237 +105,20 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// Status classifies one coefficient of the result.
-type Status int
-
-// Coefficient states.
-const (
-	// Unknown: never resolved (only present when the iteration budget ran
-	// out; Generate returns an error alongside).
-	Unknown Status = iota
-	// Valid: value carries at least σ significant digits.
-	Valid
-	// Negligible: below the noise floor in every frame aimed at it; Bound
-	// is a proven upper bound on its magnitude.
-	Negligible
-)
-
-func (s Status) String() string {
-	switch s {
-	case Valid:
-		return "valid"
-	case Negligible:
-		return "negligible"
-	}
-	return "unknown"
-}
-
-// Coefficient is one resolved network-function coefficient.
-type Coefficient struct {
-	Status Status
-	// Value is the denormalized coefficient (Valid only).
-	Value xmath.XFloat
-	// Bound is an upper bound on the magnitude (Negligible only).
-	Bound xmath.XFloat
-	// Quality is the number of decimal digits the coefficient stood above
-	// the validity threshold when accepted.
-	Quality float64
-	// Iteration is the 0-based interpolation that resolved it.
-	Iteration int
-}
-
-// Iteration records one interpolation run for diagnostics and the
-// paper-table reproductions.
-type Iteration struct {
-	// Purpose is "initial", "up", "down" or "repair".
-	Purpose string
-	// FScale, GScale are the scale factors used.
-	FScale, GScale float64
-	// K is the number of interpolation points (shrinks under eq. 17).
-	K int
-	// Offset is the absolute index of the window's first coefficient.
-	Offset int
-	// Normalized holds the window's normalized coefficients in the
-	// absolute index frame (entries outside [Offset, Offset+K) are zero).
-	Normalized poly.XPoly
-	// Lo, Hi delimit the valid region in absolute indices; Lo > Hi means
-	// no region was found (all-zero window).
-	Lo, Hi int
-	// Subtracted marks absolute indices deflated out of this
-	// interpolation per eq. (17): their Normalized slots hold subtraction
-	// residue, not signal. Nil when the full point set was used.
-	Subtracted []bool
-	// NewValid counts coefficients first resolved by this iteration.
-	NewValid int
-	// Elapsed is the wall-clock cost of the interpolation.
-	Elapsed time.Duration
-	// Solves is the number of evaluation-point solves this iteration
-	// dispatched: the non-redundant half of the window plus guard points
-	// under the Hermitian mirroring scheme, the full window with
-	// Config.NoMirror.
-	Solves int
-	// EvalElapsed is the wall-clock cost of the point evaluations alone —
-	// the part the Parallelism knob accelerates.
-	EvalElapsed time.Duration
-}
-
-// Result is the generated numerical reference for one polynomial.
-type Result struct {
-	// Name labels the polynomial (from the evaluator).
-	Name string
-	// Coeffs holds one entry per power of s, 0..OrderBound.
-	Coeffs []Coefficient
-	// Iterations records every interpolation run, in order.
-	Iterations []Iteration
-	// Disagreements counts overlap cross-checks that exceeded tolerance
-	// (diagnostic; should be 0).
-	Disagreements int
-	// TotalSolves is the total number of evaluation-point solves across
-	// all iterations — the unit of work the batch layer parallelizes.
-	// With the joint cache active, CacheHits of them were served without
-	// a factorization, so the matrix work is TotalSolves − CacheHits.
-	TotalSolves int
-	// CacheHits and CacheMisses count joint-cache outcomes attributed to
-	// this polynomial's pass (GenerateTransferFunction only; both zero
-	// when the cache is off). A hit reuses a factorization already paid
-	// for; a miss is a distinct (s, fscale, gscale) evaluation.
-	CacheHits, CacheMisses int
-	// EvalElapsed is the total wall-clock time spent in point
-	// evaluations across all iterations.
-	EvalElapsed time.Duration
-	// Parallelism is the resolved worker count the run used (≥ 1).
-	Parallelism int
-	// Diagnostics carries non-fatal warnings from generation (e.g. an
-	// initial-scale heuristic that had to fall back to 1.0).
-	Diagnostics []string
-}
-
-// Poly returns the coefficients as an extended-range polynomial
-// (Negligible and Unknown entries are zero).
-func (r *Result) Poly() poly.XPoly {
-	p := make(poly.XPoly, len(r.Coeffs))
-	for i, c := range r.Coeffs {
-		if c.Status == Valid {
-			p[i] = c.Value
-		}
-	}
-	return p
-}
-
-// Order returns the index of the highest Valid nonzero coefficient
-// (-1 for an all-negligible result) — the detected true polynomial order,
-// generally below the a-priori bound.
-func (r *Result) Order() int {
-	for i := len(r.Coeffs) - 1; i >= 0; i-- {
-		if r.Coeffs[i].Status == Valid && !r.Coeffs[i].Value.Zero() {
-			return i
-		}
-	}
-	return -1
-}
-
-// String summarizes the run.
-func (r *Result) String() string {
-	valid, negl, unknown := 0, 0, 0
-	for _, c := range r.Coeffs {
-		switch c.Status {
-		case Valid:
-			valid++
-		case Negligible:
-			negl++
-		default:
-			unknown++
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: order ≤ %d, %d iterations, %d valid, %d negligible",
-		r.Name, len(r.Coeffs)-1, len(r.Iterations), valid, negl)
-	if unknown > 0 {
-		fmt.Fprintf(&b, ", %d UNRESOLVED", unknown)
-	}
-	if r.TotalSolves > 0 {
-		fmt.Fprintf(&b, ", %d solves in %v (×%d workers)", r.TotalSolves, r.EvalElapsed.Round(time.Microsecond), r.Parallelism)
-	}
-	return b.String()
-}
-
-// CoverageMap renders an ASCII picture of how the iterations tiled the
-// coefficient range — one row per interpolation, one column per
-// coefficient: '█' inside the valid region, '·' inside the evaluated
-// window, ' ' outside. The paper's Tables 2–3 in one glance.
-func (r *Result) CoverageMap() string {
-	n := len(r.Coeffs)
-	var b strings.Builder
-	for i, it := range r.Iterations {
-		fmt.Fprintf(&b, "%2d %-7s |", i, it.Purpose)
-		for j := 0; j < n; j++ {
-			switch {
-			case it.Lo <= it.Hi && j >= it.Lo && j <= it.Hi:
-				b.WriteRune('█')
-			case j >= it.Offset && j < it.Offset+it.K:
-				b.WriteRune('·')
-			default:
-				b.WriteRune(' ')
-			}
-		}
-		b.WriteString("|\n")
-	}
-	b.WriteString("   status  |")
-	for _, c := range r.Coeffs {
-		switch c.Status {
-		case Valid:
-			b.WriteRune('█')
-		case Negligible:
-			b.WriteRune('0')
-		default:
-			b.WriteRune('?')
-		}
-	}
-	b.WriteString("|\n")
-	return b.String()
-}
-
-// frame captures one interpolation's scale factors, valid region and
-// error model for the scale-update formulas and negligibility bounds.
-type frame struct {
-	f, g       float64
-	normalized poly.XPoly // absolute index frame
-	lo, hi     int        // valid region (absolute)
-	maxIdx     int        // index of the largest normalized coefficient
-	// base is the round-off error level 10^NoiseExp·max(|p'|, |known'|);
-	// slotErr[i] adds the eq. (17) deflation residual that aliases onto
-	// absolute index i (nil when the full point set was used). The
-	// validity threshold at index i is 10^σ·(base + slotErr[i]).
-	base    xmath.XFloat
-	slotErr []xmath.XFloat
-	// subtracted marks indices deflated out per eq. (17): their slots
-	// hold subtraction residue, not signal — never re-accepted, and
-	// transparent to region contiguity.
-	subtracted []bool
-}
-
-// thresholdAt returns the validity threshold for absolute index i.
-func (fr *frame) thresholdAt(sigDigits, i int) xmath.XFloat {
-	e := fr.base
-	if fr.slotErr != nil && i < len(fr.slotErr) {
-		e = e.Add(fr.slotErr[i])
-	}
-	return e.Mul(xmath.Pow10(sigDigits))
-}
-
-type generator struct {
-	ev     interp.Evaluator
-	cfg    Config
-	n      int // order bound
-	res    *Result
-	points map[int][]complex128 // unit-circle point sets by K
-}
-
 // Generate runs the adaptive algorithm on one polynomial evaluator. The
 // returned Result is always populated with whatever was resolved; the
 // error is non-nil when coefficients remain Unknown after the iteration
 // budget (or the evaluator is degenerate).
 func Generate(ev interp.Evaluator, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), ev, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: when ctx is
+// canceled, generation stops at the next point evaluation and returns
+// ctx.Err() (so errors.Is(err, context.Canceled) holds) alongside the
+// partial Result, which keeps every coefficient resolved so far. With a
+// never-canceled context the run is bit-identical to Generate.
+func GenerateContext(ctx context.Context, ev interp.Evaluator, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if ev.OrderBound < 0 {
 		return nil, errors.New("core: evaluator order bound is negative")
@@ -338,443 +130,18 @@ func Generate(ev interp.Evaluator, cfg Config) (*Result, error) {
 	// capacitor count, which can top the matrix order): the surplus slots
 	// are structural zeros and come out Negligible.
 	g := &generator{
-		ev:     ev,
-		cfg:    cfg,
-		n:      ev.OrderBound,
-		res:    &Result{Name: ev.Name, Coeffs: make([]Coefficient, ev.OrderBound+1)},
-		points: make(map[int][]complex128),
+		ctx:      ctx,
+		ev:       ev,
+		cfg:      cfg,
+		n:        ev.OrderBound,
+		res:      &Result{Name: ev.Name, Coeffs: make([]Coefficient, ev.OrderBound+1)},
+		points:   make(map[int][]complex128),
+		policy:   paperScalePolicy{singleFactor: cfg.SingleFactor},
+		classify: sigmaClassifier{sigDigits: cfg.SigDigits},
 	}
 	g.res.Parallelism = interp.Workers(cfg.Parallelism)
 	err := g.run()
 	return g.res, err
-}
-
-func (g *generator) run() error {
-	initial := g.interpolate(g.cfg.InitFScale, g.cfg.InitGScale, "initial")
-	if initial.lo > initial.hi {
-		// The polynomial evaluated to zero at every point: it is
-		// identically zero (e.g. no path from input to output).
-		for i := range g.res.Coeffs {
-			g.res.Coeffs[i] = Coefficient{Status: Valid, Iteration: 0}
-		}
-		return nil
-	}
-	frames := []frame{initial}
-	lastTarget, stall := -1, 0
-	lastF, lastG := 0.0, 0.0 // factors of the previous attempt at lastTarget
-	for {
-		t := g.nextTarget()
-		if t < 0 {
-			return nil
-		}
-		if t != lastTarget {
-			lastTarget, stall = t, 0
-			lastF, lastG = 0, 0
-		}
-		if len(g.res.Iterations) >= g.cfg.MaxIterations {
-			return fmt.Errorf("core: %s: iteration budget (%d) exhausted with coefficient s^%d unresolved",
-				g.res.Name, g.cfg.MaxIterations, t)
-		}
-		lower, upper := bracket(frames, t)
-		// Consecutive stalls on the same target widen the directed jump so
-		// the target must eventually enter the window.
-		r := g.cfg.TuningR + float64(stall)*3
-		var fr frame
-		var f2, g2 float64
-		purpose := ""
-		if lower != nil && upper != nil {
-			// Target stranded between two valid regions: eq. (16) repair —
-			// unless the brackets haven't tightened since the last attempt
-			// (same factors would recur forever).
-			f2, g2 = interp.RepairScales(lower.f, lower.g, upper.f, upper.g)
-			if !sameScales(f2, g2, lastF, lastG) {
-				purpose = "repair"
-			}
-		}
-		next := interp.NextScales
-		if g.cfg.SingleFactor {
-			next = interp.NextScalesSingle
-		}
-		if purpose == "" {
-			switch {
-			case lower != nil:
-				// Move up from the region below: eq. (14).
-				pe, pm := lower.normalized[lower.hi], lower.normalized[lower.maxIdx]
-				f2, g2 = next(lower.f, lower.g, pm, pe, lower.maxIdx, lower.hi, r, +1)
-				purpose = "up"
-			case upper != nil:
-				// Move down from the region above: eq. (15).
-				pe, pm := upper.normalized[upper.lo], upper.normalized[upper.maxIdx]
-				f2, g2 = next(upper.f, upper.g, pm, pe, upper.maxIdx, upper.lo, r, -1)
-				purpose = "down"
-			default:
-				// Unreachable: the initial frame brackets every target.
-				return fmt.Errorf("core: %s: no frame brackets coefficient s^%d", g.res.Name, t)
-			}
-		}
-		fr = g.interpolate(f2, g2, purpose)
-		lastF, lastG = f2, g2
-		if fr.lo <= fr.hi {
-			frames = append(frames, fr)
-		}
-		if g.res.Coeffs[t].Status != Unknown {
-			stall = 0
-			continue
-		}
-		stall++
-		if stall >= g.cfg.StallLimit {
-			g.markNegligible(t, fr)
-			stall = 0
-		}
-	}
-}
-
-// sameScales reports whether two scale-factor pairs coincide to within
-// rounding.
-func sameScales(f1, g1, f2, g2 float64) bool {
-	close := func(a, b float64) bool {
-		if b == 0 {
-			return a == 0
-		}
-		d := a/b - 1
-		return d < 1e-9 && d > -1e-9
-	}
-	return close(f1, f2) && close(g1, g2)
-}
-
-// nextTarget returns the smallest Unknown coefficient index, or -1 when
-// everything is classified.
-func (g *generator) nextTarget() int {
-	for i, c := range g.res.Coeffs {
-		if c.Status == Unknown {
-			return i
-		}
-	}
-	return -1
-}
-
-// bracket finds the frames whose valid regions most tightly enclose the
-// target: lower has the greatest hi < t, upper the smallest lo > t.
-// A frame whose region contains t cannot exist (t would be resolved).
-func bracket(frames []frame, t int) (lower, upper *frame) {
-	for i := range frames {
-		fr := &frames[i]
-		if fr.hi < t && (lower == nil || fr.hi > lower.hi) {
-			lower = fr
-		}
-		if fr.lo > t && (upper == nil || fr.lo < upper.lo) {
-			upper = fr
-		}
-	}
-	return lower, upper
-}
-
-// markNegligible classifies coefficient t with the upper bound implied by
-// the frame aimed at it: |p_t| < threshold_t/(f^t·g^(M−t)).
-func (g *generator) markNegligible(t int, fr frame) {
-	thr := fr.thresholdAt(g.cfg.SigDigits, t)
-	bound := xmath.XFloat{}
-	if !thr.Zero() {
-		bound = thr.
-			Div(xmath.FromFloat(fr.f).PowInt(t)).
-			Div(xmath.FromFloat(fr.g).PowInt(g.ev.M - t))
-	}
-	g.res.Coeffs[t] = Coefficient{
-		Status:    Negligible,
-		Bound:     bound,
-		Iteration: len(g.res.Iterations) - 1,
-	}
-}
-
-// unitPoints returns (and caches) the K-point unit-circle set.
-func (g *generator) unitPoints(k int) []complex128 {
-	if pts, ok := g.points[k]; ok {
-		return pts
-	}
-	pts := dft.UnitCirclePoints(k)
-	g.points[k] = pts
-	return pts
-}
-
-// window returns the index range [k0, l0] still containing Unknown
-// coefficients (the full range when reduction is disabled or nothing is
-// resolved yet).
-func (g *generator) window() (int, int) {
-	if g.cfg.NoReduce {
-		return 0, g.n
-	}
-	k0, l0 := 0, g.n
-	for k0 <= g.n && g.res.Coeffs[k0].Status != Unknown {
-		k0++
-	}
-	if k0 > g.n {
-		return 0, g.n // nothing unresolved; caller won't be here in practice
-	}
-	for l0 >= 0 && g.res.Coeffs[l0].Status != Unknown {
-		l0--
-	}
-	return k0, l0
-}
-
-// interpolate runs one interpolation with scale factors (f, gsc),
-// detects the valid region, merges coefficients into the result and
-// returns the frame.
-func (g *generator) interpolate(f, gsc float64, purpose string) frame {
-	start := time.Now()
-	k0, l0 := g.window()
-	k := l0 - k0 + 1
-	// Guard points: interpolating with more points than the polynomial
-	// order needs leaves output slots that are structurally zero ("(5)
-	// should be identically 0 for those coefficients over the n-th
-	// power"). Their residue directly measures the noise this evaluation
-	// actually achieved — including systematic determinant-evaluation
-	// error at extreme scale factors, which no a-priori model catches.
-	const guardPoints = 3
-	kUse := k + guardPoints
-	pts := g.unitPoints(kUse)
-	reduce := k0 > 0 || l0 < g.n
-	// Known coefficients in this frame's normalized form, for eq. (17)
-	// deflation. Each carries only σ+quality significant digits; its
-	// residual survives the deflation and — because the reduced transform
-	// uses K points — aliases exactly onto output slot k0+((j−k0) mod K).
-	// slotErr accumulates those residual bounds per output slot so the
-	// validity test can require every accepted coefficient to stand 10^σ
-	// above the error actually landing on its slot.
-	var known []xmath.XComplex
-	var maxKnown xmath.XFloat
-	var slotErr []xmath.XFloat
-	var subtracted []bool
-	if reduce {
-		xf, xg := xmath.FromFloat(f), xmath.FromFloat(gsc)
-		known = make([]xmath.XComplex, g.n+1)
-		slotErr = make([]xmath.XFloat, g.n+1+guardPoints)
-		subtracted = make([]bool, g.n+1)
-		for j, c := range g.res.Coeffs {
-			var delta xmath.XFloat
-			switch c.Status {
-			case Valid:
-				if c.Value.Zero() {
-					continue
-				}
-				kn := c.Value.Mul(xf.PowInt(j)).Mul(xg.PowInt(g.ev.M - j))
-				known[j] = xmath.FromXFloat(kn)
-				subtracted[j] = true
-				if kn.Abs().CmpAbs(maxKnown) > 0 {
-					maxKnown = kn.Abs()
-				}
-				digits := math.Min(float64(g.cfg.SigDigits)+c.Quality, 15.5)
-				delta = kn.Abs().MulFloat(math.Pow(10, -digits))
-			case Negligible:
-				// A negligible coefficient's true value (≤ Bound) stays in
-				// P(u) unsubtracted and aliases like any other residue.
-				if c.Bound.Zero() {
-					continue
-				}
-				delta = c.Bound.Mul(xf.PowInt(j)).Mul(xg.PowInt(g.ev.M - j))
-			default:
-				continue
-			}
-			slot := k0 + mod(j-k0, kUse)
-			slotErr[slot] = slotErr[slot].Add(delta)
-		}
-	}
-	// The point solves are the hot path. Two savings apply: the
-	// polynomial has real coefficients, so P(conj s) = conj P(s) and only
-	// the upper half-circle needs solving (the rest is mirrored by
-	// conjugation in dft.HermitianInverse); and the points are dispatched
-	// as one batch (serial loop at Parallelism 1 or without an EvalBatch,
-	// worker pool otherwise — bit-identical either way).
-	half := kUse
-	if !g.cfg.NoMirror {
-		half = dft.HermitianHalf(kUse)
-	}
-	evalStart := time.Now()
-	values := g.ev.EvalPoints(pts[:half], f, gsc, g.cfg.Parallelism)
-	evalElapsed := time.Since(evalStart)
-	if reduce {
-		// Eq. (17) deflation runs on the computed half only: the known
-		// coefficients are real, so deflation commutes with conjugation
-		// and the mirrored points inherit it exactly.
-		for i := range values {
-			u := pts[i]
-			// P'(u) = (P(u) − Σ_known p'_j·u^j) / u^k0   (eq. 17)
-			v := values[i]
-			uPow := xmath.FromComplex(1)
-			xu := xmath.FromComplex(u)
-			for j := 0; j <= g.n; j++ {
-				if !known[j].Zero() {
-					v = v.Sub(known[j].Mul(uPow))
-				}
-				uPow = uPow.Mul(xu)
-			}
-			values[i] = v.Div(xmath.FromComplex(u).PowInt(k0))
-		}
-	}
-	var raw []xmath.XComplex
-	if half < kUse {
-		raw = dft.HermitianInverse(values, kUse)
-	} else {
-		raw = dft.Inverse(values)
-	}
-	normalized := make(poly.XPoly, g.n+1)
-	var measured xmath.XFloat
-	for i, c := range raw {
-		if i < k {
-			normalized[k0+i] = c.Real()
-			// The polynomial has real coefficients, so any imaginary
-			// output is pure round-off — the residue Table 1a displays.
-			if im := c.Imag().Abs(); im.CmpAbs(measured) > 0 {
-				measured = im
-			}
-			continue
-		}
-		// Guard slot: structurally zero. Known-coefficient deflation
-		// residue aliases onto these slots too and is already accounted
-		// per-slot (slotErr); only magnitude in excess of what the
-		// residue explains is evidence of additional evaluation noise.
-		resid := c.AbsX()
-		if slotErr != nil {
-			explained := slotErr[k0+i]
-			if !explained.Zero() {
-				if resid.CmpAbs(explained.MulFloat(2)) <= 0 {
-					continue
-				}
-				resid = resid.Sub(explained).Abs()
-			}
-		}
-		if resid.CmpAbs(measured) > 0 {
-			measured = resid
-		}
-	}
-	it := Iteration{
-		Purpose:     purpose,
-		FScale:      f,
-		GScale:      gsc,
-		K:           k,
-		Offset:      k0,
-		Normalized:  normalized,
-		Lo:          1,
-		Hi:          0,
-		Subtracted:  subtracted,
-		Solves:      half,
-		EvalElapsed: evalElapsed,
-	}
-	g.res.TotalSolves += half
-	g.res.EvalElapsed += evalElapsed
-	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
-	// Round-off noise floor: relative to the largest magnitude the
-	// evaluation actually handled — the window max, or the deflated known
-	// part when that dominates (paper §2.2). The region seed is the
-	// largest *signal* entry: deflated slots hold residue, not signal.
-	var maxNorm xmath.XFloat
-	maxIdx := -1
-	for i, v := range normalized {
-		if subtracted != nil && subtracted[i] {
-			continue
-		}
-		if !v.Zero() && (maxIdx < 0 || v.CmpAbs(maxNorm) > 0) {
-			maxNorm, maxIdx = v, i
-		}
-	}
-	errBase := maxNorm.Abs()
-	if maxKnown.CmpAbs(errBase) > 0 {
-		errBase = maxKnown
-	}
-	fr.base = errBase.Mul(xmath.Pow10(interp.NoiseExp))
-	if m3 := measured.MulFloat(3); m3.CmpAbs(fr.base) > 0 {
-		fr.base = m3
-	}
-	winLo, winHi, ok := g.validRegion(&fr, maxIdx)
-	if ok {
-		fr.lo, fr.hi = winLo, winHi
-		fr.maxIdx = maxIdx
-		it.Lo, it.Hi = winLo, winHi
-		it.NewValid = g.accept(&fr)
-	}
-	it.Elapsed = time.Since(start)
-	g.res.Iterations = append(g.res.Iterations, it)
-	return fr
-}
-
-// mod returns a modulo m in [0, m).
-func mod(a, m int) int {
-	r := a % m
-	if r < 0 {
-		r += m
-	}
-	return r
-}
-
-// validRegion finds the maximal contiguous run containing the largest
-// normalized coefficient in which every coefficient clears its own
-// slot threshold. ok is false when even the maximum is below threshold
-// (all noise) or the window is identically zero.
-func (g *generator) validRegion(fr *frame, maxIdx int) (lo, hi int, ok bool) {
-	if maxIdx < 0 {
-		return 0, 0, false
-	}
-	above := func(i int) bool {
-		if fr.subtracted != nil && fr.subtracted[i] {
-			// Deflated slot: carries residue, not signal; transparent.
-			return true
-		}
-		return fr.normalized[i].CmpAbs(fr.thresholdAt(g.cfg.SigDigits, i)) >= 0
-	}
-	if !above(maxIdx) {
-		return 0, 0, false
-	}
-	lo, hi = maxIdx, maxIdx
-	for lo > 0 && above(lo-1) {
-		lo--
-	}
-	for hi < len(fr.normalized)-1 && above(hi+1) {
-		hi++
-	}
-	// Trim pass-through endpoints: the boundary values feed the
-	// scale-update formulas and must be signal.
-	for lo < hi && fr.subtracted != nil && fr.subtracted[lo] {
-		lo++
-	}
-	for hi > lo && fr.subtracted != nil && fr.subtracted[hi] {
-		hi--
-	}
-	return lo, hi, true
-}
-
-// accept merges the valid region's denormalized coefficients into the
-// result, cross-checking overlaps and keeping the higher-quality value.
-func (g *generator) accept(fr *frame) int {
-	xf, xg := xmath.FromFloat(fr.f), xmath.FromFloat(fr.g)
-	iterIdx := len(g.res.Iterations)
-	newValid := 0
-	for i := fr.lo; i <= fr.hi; i++ {
-		if fr.subtracted != nil && fr.subtracted[i] {
-			continue
-		}
-		value := fr.normalized[i].
-			Div(xf.PowInt(i)).
-			Div(xg.PowInt(g.ev.M - i))
-		quality := fr.normalized[i].Abs().Log10() - fr.thresholdAt(g.cfg.SigDigits, i).Log10()
-		c := &g.res.Coeffs[i]
-		switch c.Status {
-		case Valid:
-			// Boundary coefficients carry exactly σ digits; allow an
-			// order of magnitude of headroom before flagging.
-			tol := math.Pow(10, float64(3-g.cfg.SigDigits))
-			if !c.Value.ApproxEqual(value, tol) {
-				g.res.Disagreements++
-			}
-			if quality > c.Quality {
-				c.Value, c.Quality, c.Iteration = value, quality, iterIdx
-			}
-		default:
-			if c.Status == Unknown {
-				newValid++
-			}
-			*c = Coefficient{Status: Valid, Value: value, Quality: quality, Iteration: iterIdx}
-		}
-	}
-	return newValid
 }
 
 // GenerateTransferFunction generates references for both polynomials of a
@@ -790,6 +157,14 @@ func (g *generator) accept(fr *frame) int {
 // factorization the numerator pass already performed at a coinciding
 // triple. Hit/miss counts are attributed per pass in the results.
 func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, cfg Config) (num, den *Result, err error) {
+	return GenerateTransferFunctionContext(context.Background(), c, tf, cfg)
+}
+
+// GenerateTransferFunctionContext is GenerateTransferFunction with
+// cooperative cancellation (see GenerateContext). A cancellation during
+// the numerator pass returns (partial num, nil, err); during the
+// denominator pass, (complete num, partial den, err).
+func GenerateTransferFunctionContext(ctx context.Context, c *circuit.Circuit, tf *interp.TransferFunction, cfg Config) (num, den *Result, err error) {
 	var diags []string
 	if cfg.InitFScale == 0 {
 		if mc := c.MeanCapacitance(); mc > 0 {
@@ -815,7 +190,7 @@ func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, c
 		denEv = jc.evaluator(tf.Den, func(_, d xmath.XComplex) xmath.XComplex { return d })
 	}
 	var numHits, numMisses int
-	num, err = Generate(numEv, cfg)
+	num, err = GenerateContext(ctx, numEv, cfg)
 	num.Diagnostics = append(num.Diagnostics, diags...)
 	if jc != nil {
 		numHits, numMisses = jc.counters()
@@ -824,7 +199,7 @@ func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, c
 	if err != nil {
 		return num, nil, fmt.Errorf("core: numerator of %s: %w", tf.Name, err)
 	}
-	den, err = Generate(denEv, cfg)
+	den, err = GenerateContext(ctx, denEv, cfg)
 	den.Diagnostics = append(den.Diagnostics, diags...)
 	if jc != nil {
 		h, m := jc.counters()

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/xmath"
+)
+
+// deflation implements the problem-size reduction of eq. (17): the
+// already-known coefficients, expressed in the current frame's normalized
+// form, are subtracted from the point values so the interpolation can
+// shrink to the unresolved window
+//
+//	P'(u) = (P(u) − Σ_known p'_j·u^j) / u^k0            (eq. 17)
+//
+// Each known coefficient carries only σ+quality significant digits; its
+// residual survives the subtraction and — because the reduced transform
+// uses K points — aliases exactly onto output slot k0+((j−k0) mod K).
+// slotErr accumulates those residual bounds per output slot so the
+// validity test can require every accepted coefficient to stand 10^σ
+// above the error actually landing on its slot.
+type deflation struct {
+	// known holds the coefficients to subtract, in normalized form
+	// (zero at indices not deflated).
+	known []xmath.XComplex
+	// maxKnown is the largest normalized known magnitude; it competes
+	// with the window maximum for the round-off noise base.
+	maxKnown xmath.XFloat
+	// slotErr bounds the deflation residual aliasing onto each output
+	// slot (length n+1+guardPoints, indexed by absolute slot).
+	slotErr []xmath.XFloat
+	// subtracted marks the deflated absolute indices.
+	subtracted []bool
+	// k0 is the window offset; kUse the reduced point count (window +
+	// guards); n the order bound.
+	k0, kUse, n int
+}
+
+// newDeflation prepares the eq. (17) subtraction for a window starting at
+// k0 with kUse points, under scale factors (f, gsc) and homogeneity
+// degree mDeg.
+func newDeflation(coeffs []Coefficient, f, gsc float64, mDeg, n, k0, kUse, sigDigits int) *deflation {
+	d := &deflation{
+		known:      make([]xmath.XComplex, n+1),
+		slotErr:    make([]xmath.XFloat, n+1+guardPoints),
+		subtracted: make([]bool, n+1),
+		k0:         k0,
+		kUse:       kUse,
+		n:          n,
+	}
+	xf, xg := xmath.FromFloat(f), xmath.FromFloat(gsc)
+	for j, c := range coeffs {
+		var delta xmath.XFloat
+		switch c.Status {
+		case Valid:
+			if c.Value.Zero() {
+				continue
+			}
+			kn := c.Value.Mul(xf.PowInt(j)).Mul(xg.PowInt(mDeg - j))
+			d.known[j] = xmath.FromXFloat(kn)
+			d.subtracted[j] = true
+			if kn.Abs().CmpAbs(d.maxKnown) > 0 {
+				d.maxKnown = kn.Abs()
+			}
+			digits := math.Min(float64(sigDigits)+c.Quality, 15.5)
+			delta = kn.Abs().MulFloat(math.Pow(10, -digits))
+		case Negligible:
+			// A negligible coefficient's true value (≤ Bound) stays in
+			// P(u) unsubtracted and aliases like any other residue.
+			if c.Bound.Zero() {
+				continue
+			}
+			delta = c.Bound.Mul(xf.PowInt(j)).Mul(xg.PowInt(mDeg - j))
+		default:
+			continue
+		}
+		slot := k0 + mod(j-k0, kUse)
+		d.slotErr[slot] = d.slotErr[slot].Add(delta)
+	}
+	return d
+}
+
+// apply performs the eq. (17) subtraction and u^k0 division in place.
+// It runs on the computed half only: the known coefficients are real, so
+// deflation commutes with conjugation and the mirrored points inherit it
+// exactly.
+func (d *deflation) apply(values []xmath.XComplex, pts []complex128) {
+	for i := range values {
+		u := pts[i]
+		v := values[i]
+		uPow := xmath.FromComplex(1)
+		xu := xmath.FromComplex(u)
+		for j := 0; j <= d.n; j++ {
+			if !d.known[j].Zero() {
+				v = v.Sub(d.known[j].Mul(uPow))
+			}
+			uPow = uPow.Mul(xu)
+		}
+		values[i] = v.Div(xmath.FromComplex(u).PowInt(d.k0))
+	}
+}
+
+// guardExcess filters a guard slot's residue against the deflation
+// residual already accounted at that slot: residue the residual explains
+// (within a factor of 2) is not evidence of evaluation noise. It returns
+// the excess magnitude and whether any excess counts. A nil receiver
+// (no deflation) passes the residue through unchanged.
+func (d *deflation) guardExcess(slot int, resid xmath.XFloat) (xmath.XFloat, bool) {
+	if d == nil {
+		return resid, true
+	}
+	explained := d.slotErr[slot]
+	if explained.Zero() {
+		return resid, true
+	}
+	if resid.CmpAbs(explained.MulFloat(2)) <= 0 {
+		return xmath.XFloat{}, false
+	}
+	return resid.Sub(explained).Abs(), true
+}
+
+// mod returns a modulo m in [0, m).
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

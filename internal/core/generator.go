@@ -1,0 +1,312 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dft"
+	"repro/internal/interp"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// guardPoints is the number of extra interpolation points beyond the
+// window size. Interpolating with more points than the polynomial order
+// needs leaves output slots that are structurally zero ("(5) should be
+// identically 0 for those coefficients over the n-th power"). Their
+// residue directly measures the noise this evaluation actually achieved —
+// including systematic determinant-evaluation error at extreme scale
+// factors, which no a-priori model catches.
+const guardPoints = 3
+
+// generator runs the adaptive algorithm for one polynomial. The pipeline
+// stages are pluggable: policy plans each interpolation's scale factors
+// (eqs. 13–16), classify detects valid regions, and newDeflation/apply
+// implement the eq. (17) problem-size reduction inside interpolate.
+type generator struct {
+	ctx      context.Context
+	ev       interp.Evaluator
+	cfg      Config
+	n        int // order bound
+	res      *Result
+	points   map[int][]complex128 // unit-circle point sets by K
+	policy   scalePolicy
+	classify windowClassifier
+}
+
+func (g *generator) run() error {
+	initial, err := g.interpolate(g.cfg.InitFScale, g.cfg.InitGScale, "initial")
+	if err != nil {
+		return err
+	}
+	if initial.lo > initial.hi {
+		// The polynomial evaluated to zero at every point: it is
+		// identically zero (e.g. no path from input to output).
+		for i := range g.res.Coeffs {
+			g.res.Coeffs[i] = Coefficient{Status: Valid, Iteration: 0}
+		}
+		return nil
+	}
+	frames := []frame{initial}
+	lastTarget, stall := -1, 0
+	lastF, lastG := 0.0, 0.0 // factors of the previous attempt at lastTarget
+	for {
+		t := g.nextTarget()
+		if t < 0 {
+			return nil
+		}
+		if t != lastTarget {
+			lastTarget, stall = t, 0
+			lastF, lastG = 0, 0
+		}
+		if len(g.res.Iterations) >= g.cfg.MaxIterations {
+			return fmt.Errorf("core: %s: iteration budget (%d) exhausted with coefficient s^%d unresolved",
+				g.res.Name, g.cfg.MaxIterations, t)
+		}
+		lower, upper := bracket(frames, t)
+		// Consecutive stalls on the same target widen the directed jump so
+		// the target must eventually enter the window.
+		r := g.cfg.TuningR + float64(stall)*3
+		prop, ok := g.policy.Propose(lower, upper, r, lastF, lastG)
+		if !ok {
+			// Unreachable: the initial frame brackets every target.
+			return fmt.Errorf("core: %s: no frame brackets coefficient s^%d", g.res.Name, t)
+		}
+		fr, err := g.interpolate(prop.f, prop.g, prop.purpose)
+		if err != nil {
+			return err
+		}
+		lastF, lastG = prop.f, prop.g
+		if fr.lo <= fr.hi {
+			frames = append(frames, fr)
+		}
+		if g.res.Coeffs[t].Status != Unknown {
+			stall = 0
+			continue
+		}
+		stall++
+		if stall >= g.cfg.StallLimit {
+			g.markNegligible(t, fr)
+			stall = 0
+		}
+	}
+}
+
+// nextTarget returns the smallest Unknown coefficient index, or -1 when
+// everything is classified.
+func (g *generator) nextTarget() int {
+	for i, c := range g.res.Coeffs {
+		if c.Status == Unknown {
+			return i
+		}
+	}
+	return -1
+}
+
+// markNegligible classifies coefficient t with the upper bound implied by
+// the frame aimed at it: |p_t| < threshold_t/(f^t·g^(M−t)).
+func (g *generator) markNegligible(t int, fr frame) {
+	thr := fr.thresholdAt(g.cfg.SigDigits, t)
+	bound := xmath.XFloat{}
+	if !thr.Zero() {
+		bound = thr.
+			Div(xmath.FromFloat(fr.f).PowInt(t)).
+			Div(xmath.FromFloat(fr.g).PowInt(g.ev.M - t))
+	}
+	g.res.Coeffs[t] = Coefficient{
+		Status:    Negligible,
+		Bound:     bound,
+		Iteration: len(g.res.Iterations) - 1,
+	}
+}
+
+// unitPoints returns (and caches) the K-point unit-circle set.
+func (g *generator) unitPoints(k int) []complex128 {
+	if pts, ok := g.points[k]; ok {
+		return pts
+	}
+	pts := dft.UnitCirclePoints(k)
+	g.points[k] = pts
+	return pts
+}
+
+// window returns the index range [k0, l0] still containing Unknown
+// coefficients (the full range when reduction is disabled or nothing is
+// resolved yet).
+func (g *generator) window() (int, int) {
+	if g.cfg.NoReduce {
+		return 0, g.n
+	}
+	k0, l0 := 0, g.n
+	for k0 <= g.n && g.res.Coeffs[k0].Status != Unknown {
+		k0++
+	}
+	if k0 > g.n {
+		return 0, g.n // nothing unresolved; caller won't be here in practice
+	}
+	for l0 >= 0 && g.res.Coeffs[l0].Status != Unknown {
+		l0--
+	}
+	return k0, l0
+}
+
+// interpolate runs one interpolation with scale factors (f, gsc),
+// detects the valid region, merges coefficients into the result and
+// returns the frame. On context cancellation it returns the context's
+// error without recording a partial iteration; the Result keeps
+// everything resolved so far.
+func (g *generator) interpolate(f, gsc float64, purpose string) (frame, error) {
+	if err := g.ctx.Err(); err != nil {
+		return frame{}, err
+	}
+	start := time.Now()
+	k0, l0 := g.window()
+	k := l0 - k0 + 1
+	kUse := k + guardPoints
+	pts := g.unitPoints(kUse)
+	reduce := k0 > 0 || l0 < g.n
+	var defl *deflation
+	if reduce {
+		defl = newDeflation(g.res.Coeffs, f, gsc, g.ev.M, g.n, k0, kUse, g.cfg.SigDigits)
+	}
+	var slotErr []xmath.XFloat
+	var subtracted []bool
+	var maxKnown xmath.XFloat
+	if defl != nil {
+		slotErr, subtracted, maxKnown = defl.slotErr, defl.subtracted, defl.maxKnown
+	}
+	// The point solves are the hot path. Two savings apply: the
+	// polynomial has real coefficients, so P(conj s) = conj P(s) and only
+	// the upper half-circle needs solving (the rest is mirrored by
+	// conjugation in dft.HermitianInverse); and the points are dispatched
+	// as one batch (serial loop at Parallelism 1 or without an EvalBatch,
+	// worker pool otherwise — bit-identical either way).
+	half := kUse
+	if !g.cfg.NoMirror {
+		half = dft.HermitianHalf(kUse)
+	}
+	evalStart := time.Now()
+	values, err := g.ev.EvalPointsCtx(g.ctx, pts[:half], f, gsc, g.cfg.Parallelism)
+	if err != nil {
+		return frame{}, err
+	}
+	evalElapsed := time.Since(evalStart)
+	if defl != nil {
+		defl.apply(values, pts)
+	}
+	var raw []xmath.XComplex
+	if half < kUse {
+		raw = dft.HermitianInverse(values, kUse)
+	} else {
+		raw = dft.Inverse(values)
+	}
+	normalized := make(poly.XPoly, g.n+1)
+	var measured xmath.XFloat
+	for i, c := range raw {
+		if i < k {
+			normalized[k0+i] = c.Real()
+			// The polynomial has real coefficients, so any imaginary
+			// output is pure round-off — the residue Table 1a displays.
+			if im := c.Imag().Abs(); im.CmpAbs(measured) > 0 {
+				measured = im
+			}
+			continue
+		}
+		// Guard slot: structurally zero. Known-coefficient deflation
+		// residue aliases onto these slots too and is already accounted
+		// per-slot (slotErr); only magnitude in excess of what the
+		// residue explains is evidence of additional evaluation noise.
+		if excess, ok := defl.guardExcess(k0+i, c.AbsX()); ok && excess.CmpAbs(measured) > 0 {
+			measured = excess
+		}
+	}
+	it := Iteration{
+		Purpose:     purpose,
+		FScale:      f,
+		GScale:      gsc,
+		K:           k,
+		Offset:      k0,
+		Normalized:  normalized,
+		Lo:          1,
+		Hi:          0,
+		Subtracted:  subtracted,
+		Solves:      half,
+		EvalElapsed: evalElapsed,
+	}
+	g.res.TotalSolves += half
+	g.res.EvalElapsed += evalElapsed
+	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
+	// Round-off noise floor: relative to the largest magnitude the
+	// evaluation actually handled — the window max, or the deflated known
+	// part when that dominates (paper §2.2). The region seed is the
+	// largest *signal* entry: deflated slots hold residue, not signal.
+	var maxNorm xmath.XFloat
+	maxIdx := -1
+	for i, v := range normalized {
+		if subtracted != nil && subtracted[i] {
+			continue
+		}
+		if !v.Zero() && (maxIdx < 0 || v.CmpAbs(maxNorm) > 0) {
+			maxNorm, maxIdx = v, i
+		}
+	}
+	errBase := maxNorm.Abs()
+	if maxKnown.CmpAbs(errBase) > 0 {
+		errBase = maxKnown
+	}
+	fr.base = errBase.Mul(xmath.Pow10(interp.NoiseExp))
+	if m3 := measured.MulFloat(3); m3.CmpAbs(fr.base) > 0 {
+		fr.base = m3
+	}
+	winLo, winHi, ok := g.classify.Classify(&fr, maxIdx)
+	if ok {
+		fr.lo, fr.hi = winLo, winHi
+		fr.maxIdx = maxIdx
+		it.Lo, it.Hi = winLo, winHi
+		it.NewValid = g.accept(&fr)
+	}
+	it.Elapsed = time.Since(start)
+	g.res.Iterations = append(g.res.Iterations, it)
+	if g.cfg.Observer != nil {
+		g.cfg.Observer(it)
+	}
+	return fr, nil
+}
+
+// accept merges the valid region's denormalized coefficients into the
+// result, cross-checking overlaps and keeping the higher-quality value.
+func (g *generator) accept(fr *frame) int {
+	xf, xg := xmath.FromFloat(fr.f), xmath.FromFloat(fr.g)
+	iterIdx := len(g.res.Iterations)
+	newValid := 0
+	for i := fr.lo; i <= fr.hi; i++ {
+		if fr.subtracted != nil && fr.subtracted[i] {
+			continue
+		}
+		value := fr.normalized[i].
+			Div(xf.PowInt(i)).
+			Div(xg.PowInt(g.ev.M - i))
+		quality := fr.normalized[i].Abs().Log10() - fr.thresholdAt(g.cfg.SigDigits, i).Log10()
+		c := &g.res.Coeffs[i]
+		switch c.Status {
+		case Valid:
+			// Boundary coefficients carry exactly σ digits; allow an
+			// order of magnitude of headroom before flagging.
+			tol := math.Pow(10, float64(3-g.cfg.SigDigits))
+			if !c.Value.ApproxEqual(value, tol) {
+				g.res.Disagreements++
+			}
+			if quality > c.Quality {
+				c.Value, c.Quality, c.Iteration = value, quality, iterIdx
+			}
+		default:
+			if c.Status == Unknown {
+				newValid++
+			}
+			*c = Coefficient{Status: Valid, Value: value, Quality: quality, Iteration: iterIdx}
+		}
+	}
+	return newValid
+}

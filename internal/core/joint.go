@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -81,8 +82,8 @@ func (jc *jointCache) evaluator(base interp.Evaluator, pick func(num, den xmath.
 	ev.Eval = func(s complex128, fscale, gscale float64) xmath.XComplex {
 		return pick(jc.at(s, fscale, gscale))
 	}
-	ev.EvalBatch = func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
-		return interp.RunBatch(points, workers, jc.tf.BothReady, func() func(complex128) xmath.XComplex {
+	ev.EvalBatch = func(ctx context.Context, points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+		return interp.RunBatch(ctx, points, workers, jc.tf.BothReady, func() func(complex128) xmath.XComplex {
 			return func(s complex128) xmath.XComplex {
 				return pick(jc.at(s, fscale, gscale))
 			}

@@ -17,6 +17,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -58,7 +59,13 @@ type Evaluator struct {
 	// Eval on each point in order, regardless of workers. Evaluators that
 	// cannot guarantee this must leave EvalBatch nil, which makes
 	// EvalPoints fall back to the serial loop.
-	EvalBatch func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex
+	//
+	// ctx carries cancellation: once it is done, implementations must
+	// stop dispatching further points and return promptly (slots never
+	// evaluated stay zero), leaving no goroutines behind. Callers detect
+	// the truncation through ctx.Err(); implementations built on
+	// RunBatch or ParallelForCtx inherit this behavior.
+	EvalBatch func(ctx context.Context, points []complex128, fscale, gscale float64, workers int) []xmath.XComplex
 }
 
 // Workers resolves a core.Config-style parallelism knob to a concrete
@@ -76,15 +83,29 @@ func Workers(parallelism int) int {
 // it runs the plain serial loop; otherwise it dispatches EvalBatch with
 // the resolved worker count. Both paths return bit-identical values.
 func (ev Evaluator) EvalPoints(points []complex128, fscale, gscale float64, parallelism int) []xmath.XComplex {
+	values, _ := ev.EvalPointsCtx(context.Background(), points, fscale, gscale, parallelism)
+	return values
+}
+
+// EvalPointsCtx is EvalPoints under a context: when ctx is canceled (or
+// its deadline passes) mid-frame, evaluation stops dispatching further
+// points and returns the partially-filled slice alongside ctx.Err().
+// With a never-canceled context the values are bit-identical to
+// EvalPoints — the cancellation checks do not perturb the arithmetic.
+func (ev Evaluator) EvalPointsCtx(ctx context.Context, points []complex128, fscale, gscale float64, parallelism int) ([]xmath.XComplex, error) {
 	w := Workers(parallelism)
 	if w > 1 && ev.EvalBatch != nil {
-		return ev.EvalBatch(points, fscale, gscale, w)
+		values := ev.EvalBatch(ctx, points, fscale, gscale, w)
+		return values, ctx.Err()
 	}
 	values := make([]xmath.XComplex, len(points))
 	for i, s := range points {
+		if err := ctx.Err(); err != nil {
+			return values, err
+		}
 		values[i] = ev.Eval(s, fscale, gscale)
 	}
-	return values
+	return values, ctx.Err()
 }
 
 // ParallelFor runs fn(i) for i in [0, n) across up to workers
@@ -92,11 +113,23 @@ func (ev Evaluator) EvalPoints(points []complex128, fscale, gscale float64, para
 // after every index has completed. With workers ≤ 1 (or n ≤ 1) it
 // degenerates to a plain loop on the calling goroutine.
 func ParallelFor(n, workers int, fn func(i int)) {
+	ParallelForCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelForCtx is ParallelFor under a context: once ctx is done, no
+// further indices are claimed (indices already started still finish) and
+// the call returns after every in-flight fn has completed — so no
+// goroutine outlives the call regardless of cancellation timing. The
+// caller learns about the truncation from ctx.Err().
+func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -108,6 +141,9 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -133,13 +169,21 @@ func ParallelFor(n, workers int, fn func(i int)) {
 //
 // Because each point is a pure function of (point, shared state), the
 // output is bit-identical to evaluating every point serially.
-func RunBatch(points []complex128, workers int, ready func() bool, newWorker func() func(s complex128) xmath.XComplex) []xmath.XComplex {
+//
+// Cancellation: once ctx is done, no further points are claimed; points
+// already being evaluated finish, the pool drains, and the partially
+// filled slice is returned. RunBatch never leaks a goroutine — the
+// caller regains control only after every worker has exited.
+func RunBatch(ctx context.Context, points []complex128, workers int, ready func() bool, newWorker func() func(s complex128) xmath.XComplex) []xmath.XComplex {
 	values := make([]xmath.XComplex, len(points))
 	start := 0
 	var primer func(s complex128) xmath.XComplex
 	if ready != nil && !ready() {
 		primer = newWorker()
 		for start < len(points) && !ready() {
+			if ctx.Err() != nil {
+				return values
+			}
 			values[start] = primer(points[start])
 			start++
 		}
@@ -157,6 +201,9 @@ func RunBatch(points []complex128, workers int, ready func() bool, newWorker fun
 			eval = newWorker()
 		}
 		for i := start; i < len(points); i++ {
+			if ctx.Err() != nil {
+				return values
+			}
 			values[i] = eval(points[i])
 		}
 		return values
@@ -174,6 +221,9 @@ func RunBatch(points []complex128, workers int, ready func() bool, newWorker fun
 				eval = newWorker()
 			}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
@@ -197,10 +247,10 @@ func FromPoly(name string, p poly.XPoly, m int) Evaluator {
 		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
 			return p.Normalize(fscale, gscale, m).Eval(xmath.FromComplex(s))
 		},
-		EvalBatch: func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+		EvalBatch: func(ctx context.Context, points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
 			norm := p.Normalize(fscale, gscale, m)
 			values := make([]xmath.XComplex, len(points))
-			ParallelFor(len(points), workers, func(i int) {
+			ParallelForCtx(ctx, len(points), workers, func(i int) {
 				values[i] = norm.Eval(xmath.FromComplex(points[i]))
 			})
 			return values
@@ -265,6 +315,15 @@ func Run(ev Evaluator, fscale, gscale float64, k int) Result {
 // GOMAXPROCS, 1 = serial). The result is bit-identical across
 // parallelism settings; see Evaluator.EvalBatch.
 func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int) Result {
+	r, _ := RunCtx(context.Background(), ev, fscale, gscale, k, parallelism)
+	return r
+}
+
+// RunCtx is RunWithParallelism under a context: cancellation mid-frame
+// aborts the point evaluations and returns a zero Result alongside
+// ctx.Err(). With a never-canceled context the Result is bit-identical
+// to RunWithParallelism.
+func RunCtx(ctx context.Context, ev Evaluator, fscale, gscale float64, k, parallelism int) (Result, error) {
 	if k <= 0 {
 		panic("interp: point count must be positive")
 	}
@@ -273,7 +332,10 @@ func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int
 	// runs both use the mirrored scheme, so they stay bit-identical.
 	half := dft.HermitianHalf(k)
 	pts := dft.UnitCirclePoints(k)
-	values := ev.EvalPoints(pts[:half], fscale, gscale, parallelism)
+	values, err := ev.EvalPointsCtx(ctx, pts[:half], fscale, gscale, parallelism)
+	if err != nil {
+		return Result{}, err
+	}
 	raw := dft.HermitianInverse(values, k)
 	normalized := make(poly.XPoly, k)
 	for i, c := range raw {
@@ -287,7 +349,7 @@ func RunWithParallelism(ev Evaluator, fscale, gscale float64, k, parallelism int
 		Normalized:   normalized,
 		Denormalized: normalized.Denormalize(fscale, gscale, ev.M),
 		Solves:       half,
-	}
+	}, nil
 }
 
 // UnitCircle is the unscaled baseline (paper §2): K = orderBound+1 points

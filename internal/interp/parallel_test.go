@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -48,7 +49,7 @@ func TestRunBatchSerialUntilReady(t *testing.T) {
 	var order []int
 	var readyAfter atomic.Int32
 	seen := 0
-	values := RunBatch(pts, 4,
+	values := RunBatch(context.Background(), pts, 4,
 		func() bool { return readyAfter.Load() >= 3 },
 		func() func(complex128) xmath.XComplex {
 			return func(s complex128) xmath.XComplex {
@@ -77,7 +78,7 @@ func TestRunBatchSerialUntilReady(t *testing.T) {
 
 func TestRunBatchNilReady(t *testing.T) {
 	pts := dft.UnitCirclePoints(9)
-	values := RunBatch(pts, 3, nil, func() func(complex128) xmath.XComplex {
+	values := RunBatch(context.Background(), pts, 3, nil, func() func(complex128) xmath.XComplex {
 		return func(s complex128) xmath.XComplex { return xmath.FromComplex(s * 2) }
 	})
 	for i, v := range values {

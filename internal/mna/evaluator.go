@@ -1,6 +1,7 @@
 package mna
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
@@ -108,8 +109,8 @@ func (sys *System) evaluator(name string, bound int, at func(scratch *sparse.Mat
 		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
 			return at(sparse.New(sys.dim), s, fscale, gscale)
 		},
-		EvalBatch: func(points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
-			return interp.RunBatch(points, workers, sys.detPlan.Primed, func() func(complex128) xmath.XComplex {
+		EvalBatch: func(ctx context.Context, points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+			return interp.RunBatch(ctx, points, workers, sys.detPlan.Primed, func() func(complex128) xmath.XComplex {
 				scratch := sparse.New(sys.dim)
 				return func(s complex128) xmath.XComplex {
 					return at(scratch, s, fscale, gscale)

@@ -1,6 +1,7 @@
 package mna
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
@@ -47,7 +48,7 @@ func TestMNABatchBitIdentical(t *testing.T) {
 			if ev.EvalBatch == nil {
 				t.Fatalf("%s: no EvalBatch", label)
 			}
-			got := ev.EvalBatch(pts, 1e7, 1, workers)
+			got := ev.EvalBatch(context.Background(), pts, 1e7, 1, workers)
 			for i := range got {
 				if got[i] != serial[i] {
 					t.Fatalf("%s workers=%d point %d: %v != %v", label, workers, i, got[i], serial[i])

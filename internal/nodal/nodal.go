@@ -13,6 +13,7 @@
 package nodal
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"sync"
@@ -197,8 +198,8 @@ func (sys *System) evaluator(name string, m int, key [2]int, mk func() projectio
 		Eval: func(s complex128, f, g float64) xmath.XComplex {
 			return sys.detAt(pat, sparse.New(pat.proj.dim), s, f, g)
 		},
-		EvalBatch: func(points []complex128, f, g float64, workers int) []xmath.XComplex {
-			return interp.RunBatch(points, workers, pat.plan.Primed, func() func(complex128) xmath.XComplex {
+		EvalBatch: func(ctx context.Context, points []complex128, f, g float64, workers int) []xmath.XComplex {
+			return interp.RunBatch(ctx, points, workers, pat.plan.Primed, func() func(complex128) xmath.XComplex {
 				scratch := sparse.New(pat.proj.dim)
 				return func(s complex128) xmath.XComplex {
 					return sys.detAt(pat, scratch, s, f, g)

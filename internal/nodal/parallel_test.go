@@ -1,6 +1,7 @@
 package nodal
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
@@ -36,7 +37,7 @@ func assertBatchMatchesSerial(t *testing.T, mk func() interp.Evaluator, f, g flo
 		if ev.EvalBatch == nil {
 			t.Fatal("evaluator has no EvalBatch")
 		}
-		got := ev.EvalBatch(pts, f, g, workers)
+		got := ev.EvalBatch(context.Background(), pts, f, g, workers)
 		for i := range got {
 			if got[i] != serial[i] {
 				t.Fatalf("workers=%d point %d: batch %v != serial %v", workers, i, got[i], serial[i])

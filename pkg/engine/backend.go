@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exact"
+	"repro/internal/interp"
+	"repro/internal/mna"
+	"repro/internal/nodal"
+)
+
+// Spec names a network function of a circuit.
+type Spec struct {
+	// Kind is "vgain", "diffgain", "transz" (admittance-cofactor
+	// formulations) or "mna" (full MNA formulation, eqs. 7–10: any
+	// element kind, the circuit's independent sources drive).
+	Kind string
+	// In is the input node ("vgain", "transz") or the positive input
+	// ("diffgain"). Unused by "mna".
+	In string
+	// Inn is the negative input node ("diffgain" only).
+	Inn string
+	// Out is the output node.
+	Out string
+}
+
+// Formulation is a backend's symbolic setup of one network function:
+// the transfer function to interpolate plus formulation-level facts the
+// generation stage must honor.
+type Formulation struct {
+	// Backend is the name of the backend that produced the formulation.
+	Backend string
+	// TF holds the numerator/denominator evaluators.
+	TF *TransferFunction
+	// FrequencyOnly reports that only frequency scaling transforms the
+	// coefficients exactly (the MNA formulation: determinant terms mix
+	// admittance factors with dimensionless source entries). Generate
+	// responds by forcing single-factor updates with a unit conductance
+	// scale.
+	FrequencyOnly bool
+	// ExactNum and ExactDen hold the exact-arithmetic reference
+	// polynomials when the backend computes them (the "exact" oracle
+	// backend); nil otherwise.
+	ExactNum, ExactDen Poly
+}
+
+// Backend turns a circuit and a network-function spec into a
+// Formulation. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Name is the registry key ("nodal", "mna", "exact", ...).
+	Name() string
+	// Formulate builds the transfer function for spec.
+	Formulate(c *Circuit, spec Spec) (*Formulation, error)
+}
+
+var (
+	backendMu  sync.RWMutex
+	backendReg = map[string]Backend{}
+)
+
+// Register adds a backend to the registry under its Name. It panics on
+// an empty name or a duplicate registration, mirroring database/sql —
+// registration is an init-time programming act, not a runtime input.
+func Register(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	name := b.Name()
+	if name == "" {
+		panic("engine: Register with empty backend name")
+	}
+	if _, dup := backendReg[name]; dup {
+		panic("engine: Register called twice for backend " + name)
+	}
+	backendReg[name] = b
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendReg))
+	for name := range backendReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a backend name; "" selects automatically from the
+// spec: "mna" for the mna kind, "nodal" otherwise.
+func lookup(name string, spec Spec) (Backend, error) {
+	if name == "" {
+		if spec.Kind == "mna" {
+			name = "mna"
+		} else {
+			name = "nodal"
+		}
+	}
+	backendMu.RLock()
+	b := backendReg[name]
+	backendMu.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("engine: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return b, nil
+}
+
+func init() {
+	Register(nodalBackend{})
+	Register(mnaBackend{})
+	Register(exactBackend{})
+}
+
+// nodalBackend is the admittance-cofactor formulation (paper §2,
+// eqs. 2–6): conductance-homogeneous determinants evaluated by sparse
+// LU, supporting both frequency and conductance scaling.
+type nodalBackend struct{}
+
+func (nodalBackend) Name() string { return "nodal" }
+
+func (nodalBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	sys, err := nodal.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	var tf *TransferFunction
+	switch spec.Kind {
+	case "vgain":
+		tf, err = sys.VoltageGain(c, spec.In, spec.Out)
+	case "diffgain":
+		tf, err = sys.DifferentialVoltageGain(c, spec.In, spec.Inn, spec.Out)
+	case "transz":
+		tf, err = sys.Transimpedance(c, spec.In, spec.Out)
+	default:
+		return nil, fmt.Errorf("engine: backend nodal: unsupported kind %q (want vgain, diffgain or transz)", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Formulation{Backend: "nodal", TF: tf}, nil
+}
+
+// mnaBackend is the full modified-nodal formulation (eqs. 7–10): any
+// element kind, independent sources drive, frequency-only scaling.
+type mnaBackend struct{}
+
+func (mnaBackend) Name() string { return "mna" }
+
+func (mnaBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	if spec.Kind != "mna" {
+		return nil, fmt.Errorf("engine: backend mna: unsupported kind %q (want mna)", spec.Kind)
+	}
+	msys, err := mna.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := msys.TransferEvaluators(spec.Out)
+	if err != nil {
+		return nil, err
+	}
+	return &Formulation{Backend: "mna", TF: tf, FrequencyOnly: true}, nil
+}
+
+// exactBackend is the exact-arithmetic Bareiss oracle: it expands both
+// polynomials symbolically over rationals and exposes them as evaluators
+// plus the ExactNum/ExactDen reference coefficients. Cost grows
+// factorially with circuit size — it exists for differential testing,
+// not production use.
+type exactBackend struct{}
+
+func (exactBackend) Name() string { return "exact" }
+
+func (exactBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	n := c.NumNodes()
+	var (
+		numR, denR exact.RatPoly
+		err        error
+		mNum, mDen int
+	)
+	switch spec.Kind {
+	case "vgain":
+		numR, denR, err = exact.VoltageGain(c, spec.In, spec.Out)
+		mNum, mDen = n-1, n-1
+	case "diffgain":
+		numR, denR, err = exact.DifferentialVoltageGain(c, spec.In, spec.Inn, spec.Out)
+		mNum, mDen = n-1, n-1
+	case "transz":
+		numR, denR, err = exact.Transimpedance(c, spec.In, spec.Out)
+		mNum, mDen = n-1, n
+	default:
+		return nil, fmt.Errorf("engine: backend exact: unsupported kind %q (want vgain, diffgain or transz)", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	numX, denX := numR.ToXPoly(), denR.ToXPoly()
+	return &Formulation{
+		Backend: "exact",
+		TF: &TransferFunction{
+			Name: fmt.Sprintf("exact %s -> %s", spec.Kind, spec.Out),
+			Num:  interp.FromPoly("numerator", numX, mNum),
+			Den:  interp.FromPoly("denominator", denX, mDen),
+		},
+		ExactNum: numX,
+		ExactDen: denX,
+	}, nil
+}

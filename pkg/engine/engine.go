@@ -1,0 +1,223 @@
+// Package engine is the public session-oriented API over the
+// reference-generation pipeline: netlist → formulation backend →
+// adaptive generation. It is the layer the command-line tools build on
+// and the intended entry point for embedding the generator.
+//
+// A minimal session:
+//
+//	eng, _ := engine.New(engine.Config{})
+//	ckt, _ := engine.LoadNetlist("amp.sp")
+//	resp, err := eng.Generate(ctx, engine.Request{
+//		Circuit: ckt,
+//		Spec:    engine.Spec{Kind: "vgain", In: "in", Out: "out"},
+//	})
+//
+// Formulation backends are looked up in a registry by name ("nodal",
+// "mna", "exact"; see Register) — an empty Config.Backend selects
+// automatically from the spec kind. The context plumbs through the
+// whole pipeline: cancellation stops generation at the next point
+// evaluation, the returned error satisfies errors.Is(err,
+// context.Canceled), and the partial results keep every coefficient
+// resolved so far.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/mna"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Backend names the formulation backend. "" selects automatically:
+	// "mna" for Spec kind "mna", "nodal" otherwise.
+	Backend string
+	// Options is the generation configuration applied to every request
+	// that does not carry its own.
+	Options Options
+}
+
+// Engine runs the netlist → formulation → generation pipeline. It is
+// stateless apart from its configuration and safe for concurrent use.
+type Engine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an engine. A non-empty
+// Config.Backend must name a registered backend.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Backend != "" {
+		if _, err := lookup(cfg.Backend, Spec{}); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Request is one generation job.
+type Request struct {
+	// Circuit is the circuit to analyze.
+	Circuit *Circuit
+	// Spec names the network function.
+	Spec Spec
+	// Formulation, when non-nil, is a pre-built formulation (from
+	// Engine.Formulate) to generate on; the backend is then not
+	// consulted and Spec is informational. Callers that need the
+	// formulation before generating (to report the transfer function,
+	// say) use this to avoid formulating twice.
+	Formulation *Formulation
+	// Options, when non-nil, overrides the engine's generation options
+	// for this request.
+	Options *Options
+	// Observer, when non-nil, receives every completed Iteration (it
+	// overrides any Observer in the options). It runs synchronously on
+	// the generation goroutine: keep it fast and treat the Iteration as
+	// read-only.
+	Observer func(Iteration)
+}
+
+// Response is the outcome of a generation job. Num and Den are always
+// populated with whatever was resolved when generation started at all —
+// on cancellation or iteration-budget errors they hold the partial
+// results (Den is nil when the numerator pass did not complete).
+type Response struct {
+	// Formulation is the backend's setup of the network function.
+	Formulation *Formulation
+	// Num and Den are the generated references for the numerator and
+	// denominator polynomials.
+	Num, Den *Result
+}
+
+// Formulate resolves the backend and builds the formulation for spec
+// without generating anything.
+func (e *Engine) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	b, err := lookup(e.cfg.Backend, spec)
+	if err != nil {
+		return nil, err
+	}
+	return b.Formulate(c, spec)
+}
+
+// TransferFunction formulates spec and returns its transfer function —
+// the numerator/denominator evaluators ready for interpolation.
+func (e *Engine) TransferFunction(ctx context.Context, c *Circuit, spec Spec) (*TransferFunction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := e.Formulate(c, spec)
+	if err != nil {
+		return nil, err
+	}
+	return f.TF, nil
+}
+
+// options resolves the generation options for a request against the
+// engine defaults and the formulation's constraints.
+func (e *Engine) options(req Request, f *Formulation) Options {
+	opts := e.cfg.Options
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	if req.Observer != nil {
+		opts.Observer = req.Observer
+	}
+	if f.FrequencyOnly {
+		// Only frequency scaling is exact for this formulation: force
+		// single-factor updates and keep the conductance scale at 1.
+		opts.SingleFactor = true
+		if opts.InitGScale == 0 {
+			opts.InitGScale = 1
+		}
+	}
+	return opts
+}
+
+// Generate runs the full pipeline: formulate the network function, then
+// generate numerator and denominator references with the adaptive
+// algorithm (scale seeds from the paper's mean-capacitance /
+// mean-conductance heuristic unless the options pin them). The Response
+// carries partial results alongside a non-nil error when generation
+// starts but does not complete — including context cancellation, where
+// err wraps ctx.Err().
+func (e *Engine) Generate(ctx context.Context, req Request) (*Response, error) {
+	f := req.Formulation
+	if f == nil {
+		var err error
+		f, err = e.Formulate(req.Circuit, req.Spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	num, den, err := core.GenerateTransferFunctionContext(ctx, req.Circuit, f.TF, e.options(req, f))
+	return &Response{Formulation: f, Num: num, Den: den}, err
+}
+
+// Interpolate runs one fixed-scale interpolation per polynomial of a
+// formulation — the paper's Table 1a/1b single-frame setups — instead
+// of the adaptive loop. Pass DefaultScales for the heuristic seeds or
+// 1, 1 for the unscaled unit-circle method.
+func (e *Engine) Interpolate(ctx context.Context, f *Formulation, fscale, gscale float64) (num, den InterpResult, err error) {
+	opts := e.cfg.Options
+	num, err = interp.RunCtx(ctx, f.TF.Num, fscale, gscale, f.TF.Num.OrderBound+1, opts.Parallelism)
+	if err != nil {
+		return num, den, err
+	}
+	den, err = interp.RunCtx(ctx, f.TF.Den, fscale, gscale, f.TF.Den.OrderBound+1, opts.Parallelism)
+	return num, den, err
+}
+
+// DefaultScales returns the paper's initial-scale heuristic for a
+// circuit: frequency scale 1/mean(C), conductance scale 1/mean(G), each
+// falling back to 1 when the circuit has no such elements.
+func DefaultScales(c *Circuit) (fscale, gscale float64) {
+	fscale, gscale = 1, 1
+	if mc := c.MeanCapacitance(); mc > 0 {
+		fscale = 1 / mc
+	}
+	if mg := c.MeanConductance(); mg > 0 {
+		gscale = 1 / mg
+	}
+	return fscale, gscale
+}
+
+// ACResponse computes the complex response H(j2πf) at each frequency by
+// direct AC analysis — the "electrical simulator" path of the paper's
+// Fig. 2 validation, fully independent of the interpolation pipeline.
+// The circuit is cloned and driven according to the spec kind (a unit
+// voltage source for "vgain"/"diffgain", a unit current source for
+// "transz"; "mna" circuits drive themselves through their own sources).
+// On cancellation the computed prefix is returned with ctx.Err().
+func (e *Engine) ACResponse(ctx context.Context, c *Circuit, spec Spec, freqsHz []float64) ([]complex128, error) {
+	direct := c.Clone("+source")
+	switch spec.Kind {
+	case "vgain":
+		direct.AddV("vdrive", spec.In, "0", 1)
+	case "diffgain":
+		direct.AddV("vdrive", spec.In, spec.Inn, 1)
+	case "transz":
+		direct.AddI("idrive", "0", spec.In, 1)
+	}
+	msys, err := mna.Build(direct)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]complex128, len(freqsHz))
+	for i, f := range freqsHz {
+		if err := ctx.Err(); err != nil {
+			return h[:i], err
+		}
+		x, err := msys.Solve(complex(0, 2*math.Pi*f))
+		if err != nil {
+			return h[:i], fmt.Errorf("AC analysis at %g Hz: %w", f, err)
+		}
+		h[i], err = msys.VoltageAt(x, spec.Out)
+		if err != nil {
+			return h[:i], err
+		}
+	}
+	return h, nil
+}

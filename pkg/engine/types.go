@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netlist"
+	"repro/internal/poly"
+)
+
+// The engine re-exports the pipeline's data types as aliases so callers
+// can hold circuits, generation results and transfer functions without
+// importing the internal packages that produce them. An engine.Result IS
+// a core result: helper packages that operate on the internal types
+// accept engine values unchanged.
+type (
+	// Circuit is a parsed circuit (see LoadNetlist, ParseNetlist).
+	Circuit = circuit.Circuit
+	// Element is one circuit element.
+	Element = circuit.Element
+	// Options configures reference generation (σ, tuning factor,
+	// parallelism, ablation switches, per-iteration Observer, ...). The
+	// zero value selects the paper's parameters.
+	Options = core.Config
+	// Result is the generated numerical reference for one polynomial.
+	Result = core.Result
+	// Coefficient is one resolved coefficient of a Result.
+	Coefficient = core.Coefficient
+	// Iteration records one interpolation run; it is the payload of the
+	// per-iteration observer hook.
+	Iteration = core.Iteration
+	// Status classifies a Coefficient (Unknown, Valid, Negligible).
+	Status = core.Status
+	// TransferFunction bundles the numerator and denominator evaluators
+	// of H(s) = N(s)/D(s), as produced by a Backend.
+	TransferFunction = interp.TransferFunction
+	// Evaluator evaluates one polynomial at scaled interpolation points.
+	Evaluator = interp.Evaluator
+	// InterpResult is the outcome of one fixed-scale interpolation (see
+	// Engine.Interpolate).
+	InterpResult = interp.Result
+	// Poly is a polynomial with extended-range coefficients.
+	Poly = poly.XPoly
+)
+
+// Coefficient states.
+const (
+	Unknown    = core.Unknown
+	Valid      = core.Valid
+	Negligible = core.Negligible
+)
+
+// ValidRegion locates the contiguous run of normalized coefficients
+// carrying at least sigDigits significant digits in an InterpResult.
+func ValidRegion(normalized Poly, sigDigits int) (lo, hi int, ok bool) {
+	return interp.ValidRegion(normalized, sigDigits)
+}
+
+// LoadNetlist parses a SPICE-like netlist file into a circuit.
+func LoadNetlist(path string) (*Circuit, error) {
+	return netlist.ParseFile(path)
+}
+
+// ParseNetlist parses netlist source text into a circuit; name labels
+// the source in error messages.
+func ParseNetlist(src, name string) (*Circuit, error) {
+	return netlist.ParseString(src, name)
+}
