@@ -9,6 +9,11 @@
 //
 // The sweep is fully deterministic for a given -seed, so a reported
 // failure reproduces with the same flags.
+//
+// Exit codes: 0 = clean sweep; 1 = usage or setup error; 2 = invariant
+// violations or trial failures; 3 = -timeout expired before the sweep
+// finished (the partial summary still prints). A timed-out sweep that
+// also found violations exits 2 — violations dominate.
 package main
 
 import (
@@ -150,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		fmt.Fprintln(stderr, "checkrun:", err)
-		return 2
+		return 1
 	}
 
 	h, err := newHarness()
@@ -167,20 +172,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rng := rand.New(rand.NewSource(o.seed))
 	total := &check.Report{}
-	failures := 0
+	failures, done := 0, 0
+	timedOut := false
 	for i := 0; i < o.trials; i++ {
 		if ctx.Err() != nil {
 			fmt.Fprintf(stderr, "checkrun: aborted after %d of %d trials: %v\n", i, o.trials, ctx.Err())
-			failures++
+			timedOut = true
 			break
 		}
 		rep := &check.Report{}
 		nodes, err := h.trial(ctx, rng, o, rep)
 		if err != nil {
+			// A trial torn down by the sweep deadline is a timeout, not a
+			// pipeline failure.
+			if ctx.Err() != nil {
+				fmt.Fprintf(stderr, "checkrun: aborted after %d of %d trials: %v\n", i, o.trials, ctx.Err())
+				timedOut = true
+				break
+			}
 			fmt.Fprintf(stderr, "trial %d (%d nodes): ERROR: %v\n", i, nodes, err)
 			failures++
+			done++
 			continue
 		}
+		done++
 		if !rep.Ok() {
 			fmt.Fprintf(stderr, "trial %d (%d nodes): %s\n", i, nodes, rep)
 			failures++
@@ -189,10 +204,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		total.Merge(rep)
 	}
-	fmt.Fprintf(stdout, "checkrun: %d trials, %d assertions, %d violations, %d failing trials (seed %d)\n",
-		o.trials, total.Checks, len(total.Violations), failures, o.seed)
-	if failures > 0 {
-		return 1
+	partial := ""
+	if timedOut {
+		partial = " [TIMED OUT: partial sweep]"
+	}
+	fmt.Fprintf(stdout, "checkrun: %d/%d trials, %d assertions, %d violations, %d failing trials (seed %d)%s\n",
+		done, o.trials, total.Checks, len(total.Violations), failures, o.seed, partial)
+	switch {
+	case failures > 0:
+		return 2
+	case timedOut:
+		return 3
 	}
 	return 0
 }

@@ -20,8 +20,8 @@ func TestParseFlagErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if code := run(tc.args, &out, &errb); code != 2 {
-				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			if code := run(tc.args, &out, &errb); code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
 			}
 		})
 	}
@@ -36,6 +36,9 @@ func TestSweepSmoke(t *testing.T) {
 	if !strings.Contains(out.String(), "0 violations") {
 		t.Errorf("summary missing from stdout:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "checkrun: 3/3 trials") {
+		t.Errorf("summary lacks the done/requested trial counts:\n%s", out.String())
+	}
 	if strings.Count(out.String(), "trial ") != 3 {
 		t.Errorf("-v should report every trial:\n%s", out.String())
 	}
@@ -44,15 +47,16 @@ func TestSweepSmoke(t *testing.T) {
 func TestSweepTimeoutExpired(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-n", "2", "-seed", "2", "-nodes-max", "4", "-timeout", "1ns"}, &out, &errb)
-	if code != 1 {
-		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (stderr: %s)", code, errb.String())
 	}
 	if !strings.Contains(errb.String(), "deadline") {
 		t.Errorf("stderr does not mention the deadline: %s", errb.String())
 	}
-	// The summary line must still be printed for the trials that ran.
-	if !strings.Contains(out.String(), "checkrun: 2 trials") {
-		t.Errorf("summary missing from stdout:\n%s", out.String())
+	// The partial summary must still print, flagged as such.
+	if !strings.Contains(out.String(), "checkrun: 0/2 trials") ||
+		!strings.Contains(out.String(), "TIMED OUT") {
+		t.Errorf("partial summary missing from stdout:\n%s", out.String())
 	}
 }
 

@@ -29,6 +29,10 @@ import (
 	"repro/internal/roots"
 	"repro/internal/tablefmt"
 	"repro/pkg/engine"
+
+	// Register the fault-injecting backend wrapper so robustness scenarios
+	// run from the command line: -backend fault:nodal.
+	_ "repro/internal/fault"
 )
 
 func main() {
@@ -58,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "stream one line per iteration to stderr as it completes")
 		showPoles  = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
 		parallel   = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
+		allowDeg   = fs.Bool("allow-degraded", false, "return a degraded partial result instead of failing when frames or watchdogs give up")
 		timeout    = fs.Duration("timeout", 0, "abort generation after this long (0 = no limit); partial results are printed")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
@@ -113,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	eng, err := engine.New(engine.Config{
 		Backend: *backend,
-		Options: engine.Options{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel},
+		Options: engine.Options{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel, AllowDegraded: *allowDeg},
 	})
 	if err != nil {
 		return fail(err)
@@ -189,6 +194,16 @@ func printResult(w io.Writer, r *engine.Result, verbose bool) {
 	fmt.Fprintln(w, r)
 	for _, d := range r.Diagnostics {
 		fmt.Fprintf(w, "warning: %s\n", d)
+	}
+	if r.Degraded {
+		fmt.Fprintf(w, "DEGRADED: %d failure events, %d frame retries, %d frames failed\n",
+			len(r.FailureLog), r.FrameRetries, r.FailedFrames)
+	} else if r.FrameRetries > 0 {
+		fmt.Fprintf(w, "recovered: %d frame retries healed %d failure events\n",
+			r.FrameRetries, len(r.FailureLog))
+	}
+	for _, ev := range r.FailureLog {
+		fmt.Fprintf(w, "  failure: %s\n", ev)
 	}
 	if r.CacheHits+r.CacheMisses > 0 {
 		fmt.Fprintf(w, "joint cache: %d hits, %d misses — %d effective factorizations for %d solves\n",

@@ -221,3 +221,33 @@ func TestRunProgressFlag(t *testing.T) {
 		t.Errorf("stderr missing the streamed iteration trace:\n%s", errb.String())
 	}
 }
+
+func TestRunFaultBackendRecovers(t *testing.T) {
+	// The registered "fault" wrapper pins a pole to evaluation angle 0,
+	// so every frame fails once and heals on its rotated retry: the run
+	// must succeed and report the recovery.
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-netlist", rc, "-backend", "fault:nodal", "-parallel", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recovered:") {
+		t.Errorf("stdout does not report the frame retries:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "failure:") {
+		t.Errorf("stdout does not list the failure events:\n%s", out.String())
+	}
+}
+
+func TestRunAllowDegradedFlagAccepted(t *testing.T) {
+	rc := writeNetlist(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-netlist", rc, "-allow-degraded", "-parallel", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "DEGRADED") {
+		t.Errorf("clean run reported as degraded:\n%s", out.String())
+	}
+}

@@ -14,6 +14,7 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -118,6 +119,9 @@ func (c *Circuit) add(e Element) error {
 	}
 	if e.P == e.N && e.Kind != VCCS && e.Kind != VCVS {
 		return fmt.Errorf("circuit: element %q shorts node %q to itself", e.Name, e.P)
+	}
+	if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+		return fmt.Errorf("circuit: element %q has non-finite value %g", e.Name, e.Value)
 	}
 	c.touchNode(e.P)
 	c.touchNode(e.N)

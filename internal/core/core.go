@@ -30,6 +30,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/interp"
@@ -84,6 +86,52 @@ type Config struct {
 	// on the generation goroutine: keep it fast and treat the Iteration
 	// (including its slices) as read-only.
 	Observer func(Iteration)
+	// FrameRetries is the number of times a frame whose point evaluation
+	// produced a non-finite (singular) value is retried with perturbed
+	// geometry before the frame is declared failed. Each retry bumps the
+	// point count to the next odd value (rotating every evaluation angle)
+	// and odd-numbered retries additionally negate the points (a
+	// half-step rotation), so a pole sitting on an evaluation angle is
+	// stepped around deterministically. 0 selects 2; negative disables
+	// retries.
+	FrameRetries int
+	// RetryBackoff is the base delay between frame retries, doubling per
+	// attempt up to one second; a context cancellation interrupts the
+	// wait. 0 means no delay, which is the right default here: singular
+	// points are deterministic functions of the evaluation geometry, so
+	// rotating the points — not waiting — is what heals the frame. The
+	// backoff exists for evaluators backed by transient external
+	// resources.
+	RetryBackoff time.Duration
+	// AllowDegraded converts generation-ending failures (frames that
+	// exhaust their retries, watchdog trips, iteration-budget exhaustion)
+	// into a degraded partial Result: Generate returns a nil error, the
+	// Result has Degraded set and a non-empty FailureLog, and the
+	// affected coefficients stay Unknown. Context cancellation still
+	// returns an error. Off by default: failures surface as the typed
+	// errors of the taxonomy in errors.go.
+	AllowDegraded bool
+	// WatchdogStall is M, the number of consecutive completed frames that
+	// resolve no coefficient before the stall watchdog declares the run
+	// stuck (ErrStall). 0 selects 4×StallLimit: the per-target stall
+	// escape classifies a target Negligible after StallLimit consecutive
+	// misses, so a healthy run advances at least every StallLimit frames
+	// and can never trip the default watchdog. Negative disables it.
+	WatchdogStall int
+	// MaxScaleDriftLog10 bounds the decade drift max(|log10(f/f0)|,
+	// |log10(g/g0)|) of every proposed scale pair against the seed pair —
+	// the same invariant internal/check enforces post-hoc
+	// (check.Options.MaxScaleLog10). A proposal beyond the bound trips
+	// the divergence watchdog (ErrScaleDivergence); a non-finite or
+	// non-positive proposal always trips it regardless of the bound. 0
+	// selects 18 decades (the paper's "too large" threshold) for the
+	// two-factor policy and no bound under SingleFactor, which §3.2
+	// documents as exceeding it by design; negative disables the bound.
+	MaxScaleDriftLog10 float64
+	// OnFailure, when non-nil, receives every FailureEvent as it is
+	// recorded, before it is appended to Result.FailureLog. Like Observer
+	// it runs synchronously on the generation goroutine.
+	OnFailure func(FailureEvent)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -101,6 +149,24 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.InitGScale == 0 {
 		cfg.InitGScale = 1
+	}
+	switch {
+	case cfg.FrameRetries == 0:
+		cfg.FrameRetries = 2
+	case cfg.FrameRetries < 0:
+		cfg.FrameRetries = 0
+	}
+	switch {
+	case cfg.WatchdogStall == 0:
+		cfg.WatchdogStall = 4 * cfg.StallLimit
+	case cfg.WatchdogStall < 0:
+		cfg.WatchdogStall = 0 // disabled
+	}
+	switch {
+	case cfg.MaxScaleDriftLog10 == 0 && !cfg.SingleFactor:
+		cfg.MaxScaleDriftLog10 = 18
+	case cfg.MaxScaleDriftLog10 <= 0:
+		cfg.MaxScaleDriftLog10 = 0 // disabled (finiteness still enforced)
 	}
 	return cfg
 }
@@ -167,7 +233,10 @@ func GenerateTransferFunction(c *circuit.Circuit, tf *interp.TransferFunction, c
 func GenerateTransferFunctionContext(ctx context.Context, c *circuit.Circuit, tf *interp.TransferFunction, cfg Config) (num, den *Result, err error) {
 	var diags []string
 	if cfg.InitFScale == 0 {
-		if mc := c.MeanCapacitance(); mc > 0 {
+		// The reciprocal can overflow for degenerate (subnormal) element
+		// values that slipped past formulation; a non-finite seed would
+		// poison every scale proposal, so fall back like the no-element case.
+		if mc := c.MeanCapacitance(); mc > 0 && !math.IsInf(1/mc, 0) {
 			cfg.InitFScale = 1 / mc
 		} else {
 			cfg.InitFScale = 1
@@ -175,7 +244,7 @@ func GenerateTransferFunctionContext(ctx context.Context, c *circuit.Circuit, tf
 		}
 	}
 	if cfg.InitGScale == 0 {
-		if mg := c.MeanConductance(); mg > 0 {
+		if mg := c.MeanConductance(); mg > 0 && !math.IsInf(1/mg, 0) {
 			cfg.InitGScale = 1 / mg
 		} else {
 			cfg.InitGScale = 1

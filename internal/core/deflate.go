@@ -27,7 +27,8 @@ type deflation struct {
 	// with the window maximum for the round-off noise base.
 	maxKnown xmath.XFloat
 	// slotErr bounds the deflation residual aliasing onto each output
-	// slot (length n+1+guardPoints, indexed by absolute slot).
+	// slot (indexed by absolute slot; sized to cover both the threshold
+	// range and every guard slot of the frame's point count).
 	slotErr []xmath.XFloat
 	// subtracted marks the deflated absolute indices.
 	subtracted []bool
@@ -40,9 +41,16 @@ type deflation struct {
 // k0 with kUse points, under scale factors (f, gsc) and homogeneity
 // degree mDeg.
 func newDeflation(coeffs []Coefficient, f, gsc float64, mDeg, n, k0, kUse, sigDigits int) *deflation {
+	// The slot table must reach every threshold index (≤ n) and every
+	// guard slot (< k0+kUse); retried frames bump kUse past the usual
+	// window+guardPoints, so size for whichever is larger.
+	slots := n + 1 + guardPoints
+	if k0+kUse > slots {
+		slots = k0 + kUse
+	}
 	d := &deflation{
 		known:      make([]xmath.XComplex, n+1),
-		slotErr:    make([]xmath.XFloat, n+1+guardPoints),
+		slotErr:    make([]xmath.XFloat, slots),
 		subtracted: make([]bool, n+1),
 		k0:         k0,
 		kUse:       kUse,

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The generation-failure taxonomy. Every failure the adaptive loop can
+// diagnose carries one of these sentinels in its chain, so callers
+// dispatch with errors.Is and recover per-failure diagnostics with
+// errors.As on the concrete types below. Under Config.AllowDegraded the
+// same failures are converted into a degraded partial Result instead
+// (Result.Degraded with the events in Result.FailureLog).
+var (
+	// ErrSingularPoint marks a point evaluation that returned a
+	// non-finite value: the scaled unit-circle point landed on a system
+	// pole (singular factorization) or the solve overflowed. Details in
+	// *SingularPointError.
+	ErrSingularPoint = errors.New("singular evaluation point")
+	// ErrFrameFailed marks an interpolation frame that kept hitting
+	// singular points through every retry with perturbed geometry.
+	// Details in *FrameError; the chain also matches ErrSingularPoint.
+	ErrFrameFailed = errors.New("interpolation frame failed")
+	// ErrStall marks the stall watchdog: Config.WatchdogStall consecutive
+	// completed frames resolved no coefficient. Details in *StallError.
+	ErrStall = errors.New("valid-region advance stalled")
+	// ErrScaleDivergence marks the divergence watchdog: a proposed scale
+	// pair was non-finite, non-positive, or drifted beyond
+	// Config.MaxScaleDriftLog10 decades from the seed pair. Details in
+	// *ScaleDivergenceError.
+	ErrScaleDivergence = errors.New("scale factors diverged")
+	// ErrIterationBudget marks Config.MaxIterations exhaustion with
+	// coefficients still Unknown. Details in *BudgetError.
+	ErrIterationBudget = errors.New("iteration budget exhausted")
+)
+
+// SingularPointError reports one failed point solve within a frame.
+type SingularPointError struct {
+	// Name labels the polynomial.
+	Name string
+	// Point is the (possibly rotated) unit-circle evaluation point.
+	Point complex128
+	// Index is the point's position within its frame's dispatch order.
+	Index int
+	// FScale, GScale are the frame's scale factors.
+	FScale, GScale float64
+	// NaN is true for a NaN result (failed/singular solve) and false for
+	// an infinite one (overflow or corruption).
+	NaN bool
+}
+
+func (e *SingularPointError) Error() string {
+	kind := "non-finite"
+	if e.NaN {
+		kind = "singular (NaN)"
+	}
+	return fmt.Sprintf("core: %s: %s solve at point %d (s = %.6g%+.6gi, fscale=%.4g, gscale=%.4g)",
+		e.Name, kind, e.Index, real(e.Point), imag(e.Point), e.FScale, e.GScale)
+}
+
+func (e *SingularPointError) Unwrap() error { return ErrSingularPoint }
+
+// FrameError reports an interpolation frame that failed its original
+// attempt and every perturbed-geometry retry.
+type FrameError struct {
+	// Name labels the polynomial.
+	Name string
+	// Purpose is the frame's purpose tag ("initial", "up", "down",
+	// "repair").
+	Purpose string
+	// FScale, GScale are the frame's scale factors.
+	FScale, GScale float64
+	// Attempts counts evaluation attempts, the original plus retries.
+	Attempts int
+	// Last is the final attempt's *SingularPointError.
+	Last error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("core: %s: %s frame (fscale=%.4g, gscale=%.4g) failed after %d attempts with rotated points: %v",
+		e.Name, e.Purpose, e.FScale, e.GScale, e.Attempts, e.Last)
+}
+
+func (e *FrameError) Unwrap() []error { return []error{ErrFrameFailed, e.Last} }
+
+// StallError reports the stall watchdog firing.
+type StallError struct {
+	// Name labels the polynomial.
+	Name string
+	// Target is the coefficient index being pursued when the watchdog
+	// fired.
+	Target int
+	// Frames is the count of consecutive completed frames that resolved
+	// nothing.
+	Frames int
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("core: %s: %d consecutive frames resolved nothing while pursuing coefficient s^%d",
+		e.Name, e.Frames, e.Target)
+}
+
+func (e *StallError) Unwrap() error { return ErrStall }
+
+// ScaleDivergenceError reports the divergence watchdog firing on a
+// proposed scale pair.
+type ScaleDivergenceError struct {
+	// Name labels the polynomial.
+	Name string
+	// Target is the coefficient index the proposal aimed at.
+	Target int
+	// FScale, GScale are the rejected proposal.
+	FScale, GScale float64
+	// InitF, InitG are the seed scales drift is measured against.
+	InitF, InitG float64
+	// DriftLog10 is max(|log10(f/f0)|, |log10(g/g0)|), NaN when the
+	// proposal itself was non-finite or non-positive.
+	DriftLog10 float64
+	// BoundLog10 is the configured bound (0 when only finiteness was
+	// enforced).
+	BoundLog10 float64
+}
+
+func (e *ScaleDivergenceError) Error() string {
+	if !(e.FScale > 0) || !(e.GScale > 0) {
+		return fmt.Sprintf("core: %s: proposed scale pair (fscale=%g, gscale=%g) is not positive and finite, pursuing coefficient s^%d",
+			e.Name, e.FScale, e.GScale, e.Target)
+	}
+	return fmt.Sprintf("core: %s: proposed scales (fscale=%.4g, gscale=%.4g) drift %.1f decades from seeds (fscale=%.4g, gscale=%.4g), bound %.0f, pursuing coefficient s^%d",
+		e.Name, e.FScale, e.GScale, e.DriftLog10, e.InitF, e.InitG, e.BoundLog10, e.Target)
+}
+
+func (e *ScaleDivergenceError) Unwrap() error { return ErrScaleDivergence }
+
+// BudgetError reports iteration-budget exhaustion.
+type BudgetError struct {
+	// Name labels the polynomial.
+	Name string
+	// Budget is the configured Config.MaxIterations.
+	Budget int
+	// Target is the smallest coefficient index still Unknown.
+	Target int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: %s: iteration budget (%d) exhausted with coefficient s^%d unresolved",
+		e.Name, e.Budget, e.Target)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrIterationBudget }
+
+// taxonomyError reports whether err belongs to the generation-failure
+// taxonomy — the class AllowDegraded may convert into a partial Result.
+// Context cancellation and setup errors are not in it.
+func taxonomyError(err error) bool {
+	for _, sentinel := range []error{ErrSingularPoint, ErrFrameFailed, ErrStall, ErrScaleDivergence, ErrIterationBudget} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureEvent is one entry of Result.FailureLog: a fault, retry or
+// watchdog event recorded during generation. Err always carries one of
+// the taxonomy sentinels (dispatch with errors.Is, details with
+// errors.As).
+type FailureEvent struct {
+	// Frame is the count of evaluation frames (successful or failed)
+	// dispatched before the event — a deterministic position marker.
+	Frame int
+	// Target is the coefficient index being pursued, -1 for the initial
+	// frame.
+	Target int
+	// Err is the typed error describing the event.
+	Err error
+}
+
+func (e FailureEvent) String() string {
+	return fmt.Sprintf("frame %d (target s^%d): %v", e.Frame, e.Target, e.Err)
+}

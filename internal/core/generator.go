@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -34,12 +35,20 @@ type generator struct {
 	points   map[int][]complex128 // unit-circle point sets by K
 	policy   scalePolicy
 	classify windowClassifier
+	// frames counts evaluation frames dispatched, successful or failed —
+	// the unit the iteration budget is charged in (equal to
+	// len(res.Iterations) on a fault-free run).
+	frames int
+	// abandoned marks targets given up on under AllowDegraded after
+	// their frames exhausted every retry; nextTarget skips them. Nil
+	// until the first abandonment.
+	abandoned []bool
 }
 
 func (g *generator) run() error {
-	initial, err := g.interpolate(g.cfg.InitFScale, g.cfg.InitGScale, "initial")
+	initial, err := g.interpolateRetry(g.cfg.InitFScale, g.cfg.InitGScale, "initial", -1)
 	if err != nil {
-		return err
+		return g.failure(err, -1)
 	}
 	if initial.lo > initial.hi {
 		// The polynomial evaluated to zero at every point: it is
@@ -52,6 +61,7 @@ func (g *generator) run() error {
 	frames := []frame{initial}
 	lastTarget, stall := -1, 0
 	lastF, lastG := 0.0, 0.0 // factors of the previous attempt at lastTarget
+	noAdvance := 0           // consecutive completed frames resolving nothing (watchdog)
 	for {
 		t := g.nextTarget()
 		if t < 0 {
@@ -61,9 +71,8 @@ func (g *generator) run() error {
 			lastTarget, stall = t, 0
 			lastF, lastG = 0, 0
 		}
-		if len(g.res.Iterations) >= g.cfg.MaxIterations {
-			return fmt.Errorf("core: %s: iteration budget (%d) exhausted with coefficient s^%d unresolved",
-				g.res.Name, g.cfg.MaxIterations, t)
+		if g.frames >= g.cfg.MaxIterations {
+			return g.failure(&BudgetError{Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: t}, t)
 		}
 		lower, upper := bracket(frames, t)
 		// Consecutive stalls on the same target widen the directed jump so
@@ -74,31 +83,103 @@ func (g *generator) run() error {
 			// Unreachable: the initial frame brackets every target.
 			return fmt.Errorf("core: %s: no frame brackets coefficient s^%d", g.res.Name, t)
 		}
-		fr, err := g.interpolate(prop.f, prop.g, prop.purpose)
+		if err := g.checkProposal(prop, t); err != nil {
+			return g.failure(err, t)
+		}
+		unknownBefore := g.unknownCount()
+		fr, err := g.interpolateRetry(prop.f, prop.g, prop.purpose, t)
 		if err != nil {
-			return err
+			var ferr *FrameError
+			if errors.As(err, &ferr) && g.cfg.AllowDegraded {
+				// This target's frames keep landing on singular points:
+				// abandon it, keep resolving the rest of the range.
+				g.logFailure(err, t)
+				g.abandon(t)
+				continue
+			}
+			return g.failure(err, t)
 		}
 		lastF, lastG = prop.f, prop.g
 		if fr.lo <= fr.hi {
 			frames = append(frames, fr)
 		}
-		if g.res.Coeffs[t].Status != Unknown {
+		if g.res.Coeffs[t].Status == Unknown {
+			stall++
+			if stall >= g.cfg.StallLimit {
+				g.markNegligible(t, fr)
+				stall = 0
+			}
+		} else {
 			stall = 0
-			continue
 		}
-		stall++
-		if stall >= g.cfg.StallLimit {
-			g.markNegligible(t, fr)
-			stall = 0
+		// Stall watchdog: independent of the per-target escape above, a
+		// run where completed frames stop resolving anything at all is
+		// stuck (the per-target escape advances at least every StallLimit
+		// frames, so a healthy run never accumulates this many).
+		if g.unknownCount() < unknownBefore {
+			noAdvance = 0
+		} else {
+			noAdvance++
+			if g.cfg.WatchdogStall > 0 && noAdvance >= g.cfg.WatchdogStall {
+				return g.failure(&StallError{Name: g.res.Name, Target: t, Frames: noAdvance}, t)
+			}
 		}
 	}
 }
 
-// nextTarget returns the smallest Unknown coefficient index, or -1 when
-// everything is classified.
+// failure resolves a generation-ending event per AllowDegraded: taxonomy
+// errors are recorded and degrade to a partial Result (nil error) when
+// allowed; everything else — context cancellation above all — always
+// propagates unchanged.
+func (g *generator) failure(err error, target int) error {
+	if !taxonomyError(err) {
+		return err
+	}
+	g.logFailure(err, target)
+	if g.cfg.AllowDegraded {
+		g.res.Degraded = true
+		return nil
+	}
+	return err
+}
+
+// logFailure records a failure event and delivers it to the OnFailure
+// hook.
+func (g *generator) logFailure(err error, target int) {
+	ev := FailureEvent{Frame: g.frames, Target: target, Err: err}
+	g.res.FailureLog = append(g.res.FailureLog, ev)
+	if g.cfg.OnFailure != nil {
+		g.cfg.OnFailure(ev)
+	}
+}
+
+// abandon marks a target as given up under AllowDegraded; it stays
+// Unknown and the result is degraded.
+func (g *generator) abandon(t int) {
+	if g.abandoned == nil {
+		g.abandoned = make([]bool, g.n+1)
+	}
+	g.abandoned[t] = true
+	g.res.Degraded = true
+}
+
+// unknownCount counts Unknown coefficients (abandoned ones included —
+// they stay Unknown by design and must not register as progress).
+func (g *generator) unknownCount() int {
+	n := 0
+	for _, c := range g.res.Coeffs {
+		if c.Status == Unknown {
+			n++
+		}
+	}
+	return n
+}
+
+// nextTarget returns the smallest Unknown non-abandoned coefficient
+// index, or -1 when everything is classified or given up.
 func (g *generator) nextTarget() int {
 	for i, c := range g.res.Coeffs {
-		if c.Status == Unknown {
+		if c.Status == Unknown && (g.abandoned == nil || !g.abandoned[i]) {
 			return i
 		}
 	}
@@ -152,20 +233,102 @@ func (g *generator) window() (int, int) {
 	return k0, l0
 }
 
+// interpolateRetry runs one interpolation, retrying with perturbed
+// geometry when a point solve comes back non-finite — the frame landed
+// on a system pole, or the evaluator injected or suffered a fault. Retry
+// attempt a bumps the point count to the next unused odd value (which
+// rotates every evaluation angle) and odd attempts additionally negate
+// the points (a half-step rotation); between attempts a bounded
+// exponential backoff (Config.RetryBackoff) applies. Singular attempts
+// are logged as they happen; a frame that fails every attempt surfaces
+// as a *FrameError. Other errors (cancellation) pass through unchanged.
+func (g *generator) interpolateRetry(f, gsc float64, purpose string, target int) (frame, error) {
+	var last error
+	for attempt := 0; attempt <= g.cfg.FrameRetries; attempt++ {
+		if attempt > 0 {
+			g.res.FrameRetries++
+			if err := g.backoff(attempt); err != nil {
+				return frame{}, err
+			}
+		}
+		fr, err := g.interpolate(f, gsc, purpose, attempt)
+		if err == nil {
+			return fr, nil
+		}
+		var sing *SingularPointError
+		if !errors.As(err, &sing) {
+			return frame{}, err
+		}
+		g.logFailure(err, target)
+		last = err
+	}
+	g.res.FailedFrames++
+	return frame{}, &FrameError{
+		Name: g.res.Name, Purpose: purpose,
+		FScale: f, GScale: gsc,
+		Attempts: g.cfg.FrameRetries + 1, Last: last,
+	}
+}
+
+// backoff waits the bounded exponential retry delay (base doubling per
+// attempt, capped at one second), respecting cancellation.
+func (g *generator) backoff(attempt int) error {
+	d := g.cfg.RetryBackoff
+	if d <= 0 {
+		return nil
+	}
+	for i := 1; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-g.ctx.Done():
+		return g.ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
 // interpolate runs one interpolation with scale factors (f, gsc),
 // detects the valid region, merges coefficients into the result and
 // returns the frame. On context cancellation it returns the context's
 // error without recording a partial iteration; the Result keeps
-// everything resolved so far.
-func (g *generator) interpolate(f, gsc float64, purpose string) (frame, error) {
+// everything resolved so far. A non-finite point value aborts before
+// any arithmetic with a *SingularPointError and no recorded iteration.
+//
+// attempt > 0 selects the retry geometry: the point count grows to
+// kUse+2·attempt−1 or kUse+2·attempt (whichever is odd — an odd set
+// never contains both +1 and −1, so the two angles a pole most plausibly
+// pins are each avoided by half the attempts), and odd attempts negate
+// the points. Negated points evaluate Q(u) = P'(−u), whose coefficients
+// are (−1)^i·p'_i — still real, so the Hermitian mirroring stays exact —
+// and the signs are restored after the inverse transform.
+func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (frame, error) {
 	if err := g.ctx.Err(); err != nil {
 		return frame{}, err
 	}
+	g.frames++
 	start := time.Now()
 	k0, l0 := g.window()
 	k := l0 - k0 + 1
 	kUse := k + guardPoints
+	flip := false
+	if attempt > 0 {
+		kUse += 2*attempt - 1 + (kUse & 1)
+		flip = attempt%2 == 1
+	}
 	pts := g.unitPoints(kUse)
+	if flip {
+		neg := make([]complex128, len(pts))
+		for i, u := range pts {
+			neg[i] = -u
+		}
+		pts = neg
+	}
 	reduce := k0 > 0 || l0 < g.n
 	var defl *deflation
 	if reduce {
@@ -193,6 +356,22 @@ func (g *generator) interpolate(f, gsc float64, purpose string) (frame, error) {
 		return frame{}, err
 	}
 	evalElapsed := time.Since(evalStart)
+	// Failed frames still did the solves: count the work before the scan.
+	g.res.TotalSolves += half
+	g.res.EvalElapsed += evalElapsed
+	// Screen for singular/corrupted solves before any arithmetic touches
+	// the values: extended-range arithmetic treats non-finite input as an
+	// upstream bug and panics, and a NaN mixed into the transform would
+	// poison every output slot anyway. The scan order is the dispatch
+	// order, so the reported point is identical serially and in parallel.
+	for i, v := range values {
+		if !v.Finite() {
+			return frame{}, &SingularPointError{
+				Name: g.res.Name, Point: pts[i], Index: i,
+				FScale: f, GScale: gsc, NaN: v.IsNaN(),
+			}
+		}
+	}
 	if defl != nil {
 		defl.apply(values, pts)
 	}
@@ -201,6 +380,13 @@ func (g *generator) interpolate(f, gsc float64, purpose string) (frame, error) {
 		raw = dft.HermitianInverse(values, kUse)
 	} else {
 		raw = dft.Inverse(values)
+	}
+	if flip {
+		// Undo the half-step rotation: the transform of Q(u) = P'(−u)
+		// yields (−1)^i·p'_{k0+i} at relative slot i.
+		for i := 1; i < len(raw); i += 2 {
+			raw[i] = raw[i].Neg()
+		}
 	}
 	normalized := make(poly.XPoly, g.n+1)
 	var measured xmath.XFloat
@@ -235,8 +421,6 @@ func (g *generator) interpolate(f, gsc float64, purpose string) (frame, error) {
 		Solves:      half,
 		EvalElapsed: evalElapsed,
 	}
-	g.res.TotalSolves += half
-	g.res.EvalElapsed += evalElapsed
 	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
 	// Round-off noise floor: relative to the largest magnitude the
 	// evaluation actually handled — the window max, or the deflated known

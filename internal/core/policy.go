@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/interp"
+import (
+	"math"
+
+	"repro/internal/interp"
+)
 
 // scaleProposal is one planned interpolation: the scale pair to use and
 // the purpose tag ("up", "down" or "repair") recorded in the iteration
@@ -55,6 +59,32 @@ func (p paperScalePolicy) Propose(lower, upper *frame, r, lastF, lastG float64) 
 		return scaleProposal{f: f2, g: g2, purpose: "down"}, true
 	}
 	return scaleProposal{}, false
+}
+
+// checkProposal is the divergence watchdog: a proposed scale pair must
+// be positive and finite — a non-finite scale would poison every solve —
+// and, when Config.MaxScaleDriftLog10 is set, within that many decades
+// of the seed pair (the eq. 11 homogeneity bound internal/check enforces
+// post-hoc). A violation is a *ScaleDivergenceError.
+func (g *generator) checkProposal(prop scaleProposal, target int) error {
+	bad := !(prop.f > 0) || !(prop.g > 0) || math.IsInf(prop.f, 0) || math.IsInf(prop.g, 0)
+	drift := math.NaN()
+	if !bad {
+		drift = math.Max(
+			math.Abs(math.Log10(prop.f)-math.Log10(g.cfg.InitFScale)),
+			math.Abs(math.Log10(prop.g)-math.Log10(g.cfg.InitGScale)))
+		bad = math.IsNaN(drift) || math.IsInf(drift, 0) ||
+			(g.cfg.MaxScaleDriftLog10 > 0 && drift > g.cfg.MaxScaleDriftLog10)
+	}
+	if !bad {
+		return nil
+	}
+	return &ScaleDivergenceError{
+		Name: g.res.Name, Target: target,
+		FScale: prop.f, GScale: prop.g,
+		InitF: g.cfg.InitFScale, InitG: g.cfg.InitGScale,
+		DriftLog10: drift, BoundLog10: g.cfg.MaxScaleDriftLog10,
+	}
 }
 
 // sameScales reports whether two scale-factor pairs coincide to within

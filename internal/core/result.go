@@ -113,6 +113,25 @@ type Result struct {
 	// Diagnostics carries non-fatal warnings from generation (e.g. an
 	// initial-scale heuristic that had to fall back to 1.0).
 	Diagnostics []string
+	// Degraded reports that generation gave up on part of the coefficient
+	// range under Config.AllowDegraded instead of returning an error: a
+	// frame exhausted its retries, a watchdog fired, or the iteration
+	// budget ran out. The affected coefficients stay Unknown and
+	// FailureLog explains why. Without AllowDegraded the same conditions
+	// surface as typed errors and Degraded stays false.
+	Degraded bool
+	// FailureLog records every fault, retry and watchdog event observed
+	// during generation, in order (also delivered live through
+	// Config.OnFailure). A Degraded result always carries at least one
+	// entry; a clean result may carry entries too when injected or
+	// transient faults healed on retry.
+	FailureLog []FailureEvent
+	// FrameRetries counts frame attempts that were re-dispatched with
+	// perturbed evaluation geometry after a singular point solve.
+	FrameRetries int
+	// FailedFrames counts frames abandoned after exhausting their retry
+	// budget.
+	FailedFrames int
 }
 
 // Poly returns the coefficients as an extended-range polynomial
@@ -157,6 +176,9 @@ func (r *Result) String() string {
 		r.Name, len(r.Coeffs)-1, len(r.Iterations), valid, negl)
 	if unknown > 0 {
 		fmt.Fprintf(&b, ", %d UNRESOLVED", unknown)
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, ", DEGRADED (%d failure events)", len(r.FailureLog))
 	}
 	if r.TotalSolves > 0 {
 		fmt.Fprintf(&b, ", %d solves in %v (×%d workers)", r.TotalSolves, r.EvalElapsed.Round(time.Microsecond), r.Parallelism)

@@ -11,6 +11,7 @@ package devices
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/circuit"
 )
@@ -318,10 +319,21 @@ func (m MOSModel) AtBias(id, vov float64) MOSParams {
 	}
 }
 
+// finite reports whether v is neither NaN nor infinite. A bias point
+// extreme enough to overflow a derived parameter (gm = IC/VT at
+// IC ≈ 1e307, say) must be rejected here: a non-finite value would stamp
+// ±Inf into the system matrix and poison every solve downstream.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Validate sanity-checks parameters before expansion.
 func (p BJTParams) Validate(name string) error {
 	if p.Gm <= 0 {
 		return fmt.Errorf("devices: BJT %q has non-positive gm %g", name, p.Gm)
+	}
+	for _, v := range []float64{p.Gm, p.Gpi, p.Go, p.Gmu, p.Cpi, p.Cmu, p.Rb} {
+		if !finite(v) {
+			return fmt.Errorf("devices: BJT %q has non-finite parameter %g (bias out of range?)", name, v)
+		}
 	}
 	for _, v := range []float64{p.Gpi, p.Go, p.Gmu, p.Cpi, p.Cmu} {
 		if v < 0 {
@@ -336,10 +348,31 @@ func (p MOSParams) Validate(name string) error {
 	if p.Gm <= 0 {
 		return fmt.Errorf("devices: MOS %q has non-positive gm %g", name, p.Gm)
 	}
+	for _, v := range []float64{p.Gm, p.Gmb, p.Gds, p.Cgs, p.Cgd, p.Cdb, p.Csb} {
+		if !finite(v) {
+			return fmt.Errorf("devices: MOS %q has non-finite parameter %g (bias out of range?)", name, v)
+		}
+	}
 	for _, v := range []float64{p.Gmb, p.Gds, p.Cgs, p.Cgd, p.Cdb, p.Csb} {
 		if v < 0 {
 			return fmt.Errorf("devices: MOS %q has negative parameter", name)
 		}
 	}
 	return nil
+}
+
+// validateOff sanity-checks an OFF device's parameters: gm is zero by
+// construction, but everything stamped must still be finite.
+func validateOff(kind, name string, params []float64) error {
+	for _, v := range params {
+		if !finite(v) {
+			return fmt.Errorf("devices: %s %q has non-finite parameter %g (bias out of range?)", kind, name, v)
+		}
+	}
+	return nil
+}
+
+// ValidateOff is Validate for an OFF-biased BJT (zero gm allowed).
+func (p BJTParams) ValidateOff(name string) error {
+	return validateOff("BJT", name, []float64{p.Gm, p.Gpi, p.Go, p.Gmu, p.Cpi, p.Cmu, p.Rb})
 }

@@ -1,0 +1,118 @@
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/pkg/engine"
+)
+
+// FuzzFaultGenerate drives the full pipeline with a random circuit
+// crossed with a random seeded fault plan. The robustness contract under
+// AllowDegraded: every run ends promptly in a clean result, a degraded
+// partial result with a non-empty failure log, or a typed taxonomy
+// error — never a panic, never a hang, and bit-identically between
+// serial and parallel evaluation.
+func FuzzFaultGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(3), int64(0), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(5), int64(7), uint8(1), uint8(0), uint8(0))
+	f.Add(int64(-7), uint8(6), int64(3), uint8(5), uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, nodes uint8, planSeed int64, singular, corrupt, transient uint8) {
+		n := 2 + int(nodes)%6 // 2..7 nodes: fast enough for a fuzz body
+		rng := rand.New(rand.NewSource(seed))
+		c := circuits.RandomGCgm(rng, n)
+		spec := engine.Spec{Kind: "vgain", In: "n0", Out: fmt.Sprintf("n%d", n-1)}
+
+		// Rates in 0..9: 0 disables, 1 faults every point, larger values
+		// thin the fault set out.
+		plan := func() *fault.Plan {
+			return &fault.Plan{
+				Seed:           planSeed,
+				SingularOneIn:  int(singular) % 10,
+				CorruptOneIn:   int(corrupt) % 10,
+				TransientOneIn: int(transient) % 10,
+			}
+		}
+
+		inner, err := engine.LookupBackend("nodal", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(engine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+
+		gen := func(parallelism int) (*engine.Response, error) {
+			form, err := fault.New(inner, plan()).Formulate(c, spec)
+			if err != nil {
+				t.Fatalf("formulation rejected a generator circuit: %v", err)
+			}
+			return eng.Generate(ctx, engine.Request{
+				Circuit: c, Spec: spec, Formulation: form,
+				Options: &engine.Options{Parallelism: parallelism, AllowDegraded: true},
+			})
+		}
+
+		typed := func(err error) bool {
+			for _, sentinel := range []error{
+				engine.ErrSingularPoint, engine.ErrFrameFailed, engine.ErrStall,
+				engine.ErrScaleDivergence, engine.ErrIterationBudget,
+			} {
+				if errors.Is(err, sentinel) {
+					return true
+				}
+			}
+			return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+		}
+
+		serial, serr := gen(1)
+		parallel, perr := gen(0)
+		if serr != nil && !typed(serr) {
+			t.Fatalf("untyped serial failure: %v", serr)
+		}
+		if perr != nil && !typed(perr) {
+			t.Fatalf("untyped parallel failure: %v", perr)
+		}
+		if errors.Is(serr, context.DeadlineExceeded) || errors.Is(perr, context.DeadlineExceeded) {
+			t.Fatalf("fault scenario did not terminate promptly (seed=%d nodes=%d)", seed, n)
+		}
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("serial err %v vs parallel err %v", serr, perr)
+		}
+		if serr != nil {
+			return
+		}
+
+		for _, pair := range []struct {
+			name string
+			a, b *engine.Result
+		}{{"num", serial.Num, parallel.Num}, {"den", serial.Den, parallel.Den}} {
+			if (pair.a == nil) != (pair.b == nil) {
+				t.Fatalf("%s: result presence differs between serial and parallel", pair.name)
+			}
+			if pair.a == nil {
+				continue
+			}
+			if pair.a.Degraded && len(pair.a.FailureLog) == 0 {
+				t.Fatalf("%s: degraded result with empty failure log", pair.name)
+			}
+			if !reflect.DeepEqual(pair.a.Coeffs, pair.b.Coeffs) {
+				t.Fatalf("%s: coefficients differ between serial and parallel evaluation", pair.name)
+			}
+			if pair.a.Degraded != pair.b.Degraded || pair.a.FrameRetries != pair.b.FrameRetries ||
+				pair.a.FailedFrames != pair.b.FailedFrames || len(pair.a.FailureLog) != len(pair.b.FailureLog) {
+				t.Fatalf("%s: failure accounting differs between serial and parallel evaluation", pair.name)
+			}
+		}
+	})
+}

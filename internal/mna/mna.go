@@ -82,7 +82,11 @@ func Build(c *circuit.Circuit) (*System, error) {
 		p, q := c.NodeIndex(e.P), c.NodeIndex(e.N)
 		switch e.Kind {
 		case circuit.Resistor:
-			sys.stampAdmittance(&sys.gDim, p, q, 1/e.Value)
+			g := 1 / e.Value
+			if math.IsInf(g, 0) || math.IsNaN(g) {
+				return nil, fmt.Errorf("mna: resistor %q value %g has no finite conductance", e.Name, e.Value)
+			}
+			sys.stampAdmittance(&sys.gDim, p, q, g)
 		case circuit.Conductance:
 			sys.stampAdmittance(&sys.gDim, p, q, e.Value)
 		case circuit.Capacitor:

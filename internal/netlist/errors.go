@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadValue is the sentinel cause for element values that cannot be
+// stamped into a finite system matrix: zero, negative, non-finite, or so
+// extreme that the reciprocal admittance overflows. Match with
+// errors.Is.
+var ErrBadValue = errors.New("element value out of stampable range")
+
+// ParseError is the typed error every parse and validation failure
+// surfaces: it locates the offending card and wraps the underlying
+// cause, so callers can recover the location with errors.As and
+// dispatch on sentinel causes (ErrBadValue) with errors.Is.
+type ParseError struct {
+	// File names the netlist source (a path, or the name given to Parse).
+	File string
+	// Line is the 1-based source line, 0 when the failure is not tied to
+	// one line (an unterminated .subckt, a whole-circuit validation).
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("netlist %s:%d: %v", e.File, e.Line, e.Err)
+	}
+	return fmt.Sprintf("netlist %s: %v", e.File, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// lineErrf builds a ParseError for one source line.
+func lineErrf(file string, line int, format string, args ...any) error {
+	return &ParseError{File: file, Line: line, Err: fmt.Errorf(format, args...)}
+}
+
+// checkFiniteValue passes v through unless it is NaN or infinite.
+func checkFiniteValue(v float64, src string) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%w: value %q overflows float64", ErrBadValue, src)
+	}
+	return v, nil
+}
+
+// checkStampable rejects element values whose admittance stamp cannot be
+// represented finitely: non-finite or non-positive values, and magnitudes
+// (subnormals) whose reciprocal overflows. Formulation divides by R/C/L
+// values, so these must be stopped before they reach a matrix.
+func checkStampable(v float64) error {
+	if !(v > 0) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: value must be positive and finite, got %g", ErrBadValue, v)
+	}
+	if r := 1 / v; r == 0 || math.IsInf(r, 0) {
+		return fmt.Errorf("%w: value %g has no finite reciprocal admittance", ErrBadValue, v)
+	}
+	return nil
+}

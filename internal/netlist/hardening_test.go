@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The hardening regression suite: malformed numeric input must surface a
+// typed *ParseError (with file/line diagnostics) wrapping ErrBadValue —
+// never a silent ±Inf or divide-by-zero stamp further down the pipeline.
+
+func TestParseRejectsUnstampableValues(t *testing.T) {
+	cases := []struct {
+		name string
+		card string
+	}{
+		{"zero resistor", "R1 a 0 0"},
+		{"negative resistor", "R1 a 0 -1k"},
+		{"subnormal resistor", "R1 a 0 1e-310"},
+		{"infinite reciprocal capacitor", "C1 a 0 1e-320"},
+		{"zero inductor", "L1 a 0 0"},
+		{"overflowing suffix", "R1 a 0 1e308meg"},
+		{"zero conductance VCCS is fine but zero C is not", "C1 a 0 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString("title\n"+tc.card+"\n", "bad")
+			if err == nil {
+				t.Fatalf("accepted %q", tc.card)
+			}
+			if !errors.Is(err, ErrBadValue) {
+				t.Errorf("error %v does not wrap ErrBadValue", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.File != "bad" || pe.Line != 2 {
+				t.Errorf("location = %s:%d, want bad:2", pe.File, pe.Line)
+			}
+		})
+	}
+}
+
+func TestParseValueOverflowRejected(t *testing.T) {
+	// The mantissa parses finite but the suffix multiplication overflows.
+	if _, err := ParseValue("1e308meg"); err == nil {
+		t.Error("1e308meg accepted")
+	} else if !errors.Is(err, ErrBadValue) {
+		t.Errorf("error %v does not wrap ErrBadValue", err)
+	}
+	// A plain overflow without a suffix.
+	if _, err := ParseValue("1e999"); err == nil {
+		t.Error("1e999 accepted")
+	}
+}
+
+func TestParseRejectsOverflowingBias(t *testing.T) {
+	// IC huge enough that gm = IC/VT overflows to +Inf: the device
+	// validator must stop the card before it stamps.
+	_, err := ParseString("title\nQ1 c b 0 IC=1e307\nR1 c 0 1k\n", "bias")
+	if err == nil {
+		t.Fatal("BJT with overflowing gm accepted")
+	}
+	if !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("error %v does not mention non-finite parameter", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+}
+
+func TestOffDeviceStillAccepted(t *testing.T) {
+	// OFF zeroes gm; the off-validator checks finiteness only, so a
+	// legitimate OFF card must keep parsing.
+	src := "title\nQ1 c b 0 OFF\nR1 c 0 1k\nG1 c 0 b 0 1m\n"
+	if _, err := ParseString(src, "off"); err != nil {
+		t.Fatalf("OFF BJT rejected: %v", err)
+	}
+}
+
+func TestParseErrorLocatesEverySite(t *testing.T) {
+	// Typed location must survive all error paths, not just element
+	// parsing: structural errors carry the file with line 0.
+	_, err := ParseString("title\n.subckt amp in out\nR1 in out 1k\n", "u")
+	if err == nil {
+		t.Fatal("unterminated .subckt accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.File != "u" {
+		t.Errorf("File = %q, want u", pe.File)
+	}
+}

@@ -139,7 +139,7 @@ func (p *parser) parse(r io.Reader, name string) (*circuit.Circuit, error) {
 		return nil, err
 	}
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, &ParseError{File: name, Err: err}
 	}
 	return c, nil
 }
@@ -165,22 +165,22 @@ func (p *parser) scan(r io.Reader, name string, c *circuit.Circuit, defs map[str
 		switch {
 		case strings.HasPrefix(lower, ".subckt"):
 			if current != nil {
-				return fmt.Errorf("netlist %s:%d: nested .subckt definition", name, lineNo)
+				return lineErrf(name, lineNo, "nested .subckt definition")
 			}
 			fields := strings.Fields(line)
 			if len(fields) < 3 {
-				return fmt.Errorf("netlist %s:%d: .subckt needs a name and at least one port", name, lineNo)
+				return lineErrf(name, lineNo, ".subckt needs a name and at least one port")
 			}
 			def := &subcktDef{name: strings.ToLower(fields[1]), ports: fields[2:]}
 			if _, dup := defs[def.name]; dup {
-				return fmt.Errorf("netlist %s:%d: duplicate subcircuit %q", name, lineNo, fields[1])
+				return lineErrf(name, lineNo, "duplicate subcircuit %q", fields[1])
 			}
 			defs[def.name] = def
 			current = def
 			continue
 		case strings.HasPrefix(lower, ".ends"):
 			if current == nil {
-				return fmt.Errorf("netlist %s:%d: .ends without .subckt", name, lineNo)
+				return lineErrf(name, lineNo, ".ends without .subckt")
 			}
 			current = nil
 			continue
@@ -189,19 +189,19 @@ func (p *parser) scan(r io.Reader, name string, c *circuit.Circuit, defs map[str
 			lineNo = -1 // sentinel: stop reading
 		case strings.HasPrefix(lower, ".model"):
 			if err := parseModel(models, line); err != nil {
-				return fmt.Errorf("netlist %s:%d: %w", name, lineNo, err)
+				return &ParseError{File: name, Line: lineNo, Err: err}
 			}
 			continue
 		case strings.HasPrefix(lower, ".include"):
 			if current != nil {
-				return fmt.Errorf("netlist %s:%d: .include inside .subckt", name, lineNo)
+				return lineErrf(name, lineNo, ".include inside .subckt")
 			}
 			fields := strings.Fields(line)
 			if len(fields) != 2 {
-				return fmt.Errorf("netlist %s:%d: .include needs one file name", name, lineNo)
+				return lineErrf(name, lineNo, ".include needs one file name")
 			}
 			if err := p.include(fields[1], c, defs, models, mainLines); err != nil {
-				return fmt.Errorf("netlist %s:%d: %w", name, lineNo, err)
+				return &ParseError{File: name, Line: lineNo, Err: err}
 			}
 			continue
 		case strings.HasPrefix(lower, "."):
@@ -226,10 +226,10 @@ func (p *parser) scan(r io.Reader, name string, c *circuit.Circuit, defs map[str
 		*mainLines = append(*mainLines, numberedLine{lineNo, line})
 	}
 	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("netlist %s: %w", name, err)
+		return &ParseError{File: name, Err: err}
 	}
 	if current != nil {
-		return fmt.Errorf("netlist %s: unterminated .subckt %q", name, current.name)
+		return &ParseError{File: name, Err: fmt.Errorf("unterminated .subckt %q", current.name)}
 	}
 	return nil
 }
@@ -260,23 +260,23 @@ func (p *parser) include(file string, c *circuit.Circuit, defs map[string]*subck
 // recursively.
 func parseLines(sc scope, lines []numberedLine, defs map[string]*subcktDef, file string, depth int) error {
 	if depth > 50 {
-		return fmt.Errorf("netlist %s: subcircuit nesting deeper than 50 (recursive definition?)", file)
+		return &ParseError{File: file, Err: fmt.Errorf("subcircuit nesting deeper than 50 (recursive definition?)")}
 	}
 	for _, ln := range lines {
 		if ln.text[0] == 'X' || ln.text[0] == 'x' {
 			fields := strings.Fields(ln.text)
 			if len(fields) < 2 {
-				return fmt.Errorf("netlist %s:%d: %s: want X<name> nodes... subckt", file, ln.no, fields[0])
+				return lineErrf(file, ln.no, "%s: want X<name> nodes... subckt", fields[0])
 			}
 			defName := strings.ToLower(fields[len(fields)-1])
 			def, ok := defs[defName]
 			if !ok {
-				return fmt.Errorf("netlist %s:%d: unknown subcircuit %q", file, ln.no, fields[len(fields)-1])
+				return lineErrf(file, ln.no, "unknown subcircuit %q", fields[len(fields)-1])
 			}
 			conns := fields[1 : len(fields)-1]
 			if len(conns) != len(def.ports) {
-				return fmt.Errorf("netlist %s:%d: %s: %d connections for %d ports of %q",
-					file, ln.no, fields[0], len(conns), len(def.ports), def.name)
+				return lineErrf(file, ln.no, "%s: %d connections for %d ports of %q",
+					fields[0], len(conns), len(def.ports), def.name)
 			}
 			child := scope{
 				c:       sc.c,
@@ -293,7 +293,7 @@ func parseLines(sc scope, lines []numberedLine, defs map[string]*subcktDef, file
 			continue
 		}
 		if err := parseElement(sc, ln.text); err != nil {
-			return fmt.Errorf("netlist %s:%d: %w", file, ln.no, err)
+			return &ParseError{File: file, Line: ln.no, Err: err}
 		}
 	}
 	return nil
@@ -424,8 +424,10 @@ func parseElement(sc scope, line string) error {
 		case "I":
 			e = circuit.Element{Kind: circuit.ISource, Value: v}
 		}
-		if e.Value <= 0 && (kind == "R" || kind == "C" || kind == "L") {
-			return fmt.Errorf("%s: value must be positive, got %g", name, v)
+		if kind == "R" || kind == "C" || kind == "L" {
+			if err := checkStampable(v); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 		}
 		e.Name, e.P, e.N = sc.elemName(name), sc.node(fields[1]), sc.node(fields[2])
 		return sc.c.AddElement(e)
@@ -520,8 +522,17 @@ func parseBJT(sc scope, name string, fields []string) error {
 	default:
 		p = devices.TypicalNPN(ic)
 	}
+	// Validate before expansion: a bias extreme enough to overflow a
+	// derived parameter (gm = IC/VT) would otherwise stamp ±Inf into the
+	// matrix, and devices.AddBJT panics on structural errors rather than
+	// returning them.
 	if off {
 		p = devices.Off(p)
+		if err := p.ValidateOff(sc.elemName(name)); err != nil {
+			return err
+		}
+	} else if err := p.Validate(sc.elemName(name)); err != nil {
+		return err
 	}
 	devices.AddBJT(sc.c, sc.elemName(name), sc.node(fields[1]), sc.node(fields[2]), sc.node(fields[3]), p)
 	return nil
@@ -577,6 +588,9 @@ func parseMOS(sc scope, name string, fields []string) error {
 	default:
 		p = devices.TypicalNMOS(id, vov)
 	}
+	if err := p.Validate(sc.elemName(name)); err != nil {
+		return err
+	}
 	devices.AddMOS(sc.c, sc.elemName(name), sc.node(fields[1]), sc.node(fields[2]), sc.node(fields[3]), p)
 	return nil
 }
@@ -620,11 +634,14 @@ func ParseValue(s string) (float64, error) {
 		return 0, fmt.Errorf("bad value %q", s)
 	}
 	if sufPart == "" {
-		return v, nil
+		return checkFiniteValue(v, s)
 	}
 	for _, suf := range suffixes {
 		if strings.HasPrefix(sufPart, suf.s) {
-			return v * suf.m, nil
+			// The suffix multiplication can overflow what ParseFloat
+			// accepted ("1e308meg"); a non-finite value must never leave
+			// the parser.
+			return checkFiniteValue(v*suf.m, s)
 		}
 	}
 	// Unknown letters: treat as unit annotation (e.g. "3OHM"? no — only

@@ -15,6 +15,7 @@ package nodal
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/cmplx"
 	"sync"
 
@@ -271,7 +272,13 @@ func Build(c *circuit.Circuit) (*System, error) {
 		case circuit.Conductance:
 			sys.stampAdmittance(&sys.gStamps, p, n, e.Value)
 		case circuit.Resistor:
-			sys.stampAdmittance(&sys.gStamps, p, n, 1/e.Value)
+			// Guard the reciprocal: a subnormal resistance stamps ±Inf and
+			// poisons every solve downstream.
+			g := 1 / e.Value
+			if math.IsInf(g, 0) || math.IsNaN(g) {
+				return nil, fmt.Errorf("nodal: resistor %q value %g has no finite conductance", e.Name, e.Value)
+			}
+			sys.stampAdmittance(&sys.gStamps, p, n, g)
 		case circuit.Capacitor:
 			sys.stampAdmittance(&sys.cStamps, p, n, e.Value)
 		case circuit.VCCS:

@@ -50,6 +50,34 @@ func FromXFloat(x XFloat) XComplex {
 // CFromParts builds mant × 2^exp and normalizes it.
 func CFromParts(mant complex128, exp int64) XComplex { return normComplex(mant, exp) }
 
+// CNaN returns an XComplex whose components are both NaN — the fault
+// layer's representation of a failed (singular) point solve. Arithmetic
+// never produces it (normComplex panics on non-finite mantissas), so
+// consumers that may receive injected values screen them with Finite
+// before computing. See XFloat.NaN for the matching real-valued escape
+// hatch.
+func CNaN() XComplex {
+	return XComplex{mant: complex(math.NaN(), math.NaN())}
+}
+
+// CInf returns an XComplex with +Inf components, representing an
+// overflowed or corrupted solve. See CNaN for the contract.
+func CInf() XComplex {
+	return XComplex{mant: complex(math.Inf(1), math.Inf(1))}
+}
+
+// Finite reports whether both components of z are finite (neither NaN
+// nor infinite).
+func (z XComplex) Finite() bool {
+	re, im := real(z.mant), imag(z.mant)
+	return !math.IsNaN(re) && !math.IsInf(re, 0) && !math.IsNaN(im) && !math.IsInf(im, 0)
+}
+
+// IsNaN reports whether either component of z is NaN.
+func (z XComplex) IsNaN() bool {
+	return math.IsNaN(real(z.mant)) || math.IsNaN(imag(z.mant))
+}
+
 // Zero reports whether z is exactly zero.
 func (z XComplex) Zero() bool { return z.mant == 0 }
 

@@ -43,6 +43,30 @@ func FromFloat(v float64) XFloat {
 	return XFloat{mant: frac * 2, exp: int64(e) - 1}
 }
 
+// NaN returns a quiet not-a-number XFloat. Together with Inf it is the
+// only non-finite value the type admits, and it exists for the fault
+// layer: arithmetic never produces it (constructors panic on non-finite
+// input, see FromFloat), so consumers that may receive injected values
+// screen them with Finite before computing.
+func NaN() XFloat { return XFloat{mant: math.NaN()} }
+
+// Inf returns an infinite XFloat with the given sign (≥ 0 selects +Inf).
+// See NaN for the intended contract.
+func Inf(sign int) XFloat {
+	if sign < 0 {
+		return XFloat{mant: math.Inf(-1)}
+	}
+	return XFloat{mant: math.Inf(1)}
+}
+
+// Finite reports whether x is neither NaN nor infinite. Values built
+// through the normalizing constructors are always finite; only the NaN
+// and Inf escape hatches produce non-finite values.
+func (x XFloat) Finite() bool { return !math.IsNaN(x.mant) && !math.IsInf(x.mant, 0) }
+
+// IsNaN reports whether x is the NaN value.
+func (x XFloat) IsNaN() bool { return math.IsNaN(x.mant) }
+
 // FromParts builds mant × 2^exp and normalizes it.
 func FromParts(mant float64, exp int64) XFloat {
 	x := FromFloat(mant)

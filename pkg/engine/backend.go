@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/exact"
@@ -76,6 +77,48 @@ func Register(b Backend) {
 	backendReg[name] = b
 }
 
+var (
+	wrapperMu  sync.RWMutex
+	wrapperReg = map[string]func(Backend) Backend{}
+)
+
+// RegisterWrapper adds a backend-wrapper factory under a prefix: a
+// backend name of the form "<prefix>:<inner>" resolves the inner name
+// (recursively — wrappers compose, and an empty inner name auto-selects
+// from the spec) and passes the resulting backend through the factory.
+// The factory is invoked per lookup, so stateful wrappers get a fresh
+// state each time. Like Register it panics on an empty, duplicate, or
+// ':'-containing prefix. internal/fault registers the "fault" wrapper
+// this way.
+func RegisterWrapper(prefix string, wrap func(Backend) Backend) {
+	wrapperMu.Lock()
+	defer wrapperMu.Unlock()
+	switch {
+	case prefix == "":
+		panic("engine: RegisterWrapper with empty prefix")
+	case strings.Contains(prefix, ":"):
+		panic("engine: RegisterWrapper prefix must not contain ':'")
+	case wrap == nil:
+		panic("engine: RegisterWrapper with nil factory")
+	}
+	if _, dup := wrapperReg[prefix]; dup {
+		panic("engine: RegisterWrapper called twice for prefix " + prefix)
+	}
+	wrapperReg[prefix] = wrap
+}
+
+// Wrappers lists the registered wrapper prefixes, sorted.
+func Wrappers() []string {
+	wrapperMu.RLock()
+	defer wrapperMu.RUnlock()
+	names := make([]string, 0, len(wrapperReg))
+	for name := range wrapperReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Backends lists the registered backend names, sorted.
 func Backends() []string {
 	backendMu.RLock()
@@ -89,8 +132,23 @@ func Backends() []string {
 }
 
 // lookup resolves a backend name; "" selects automatically from the
-// spec: "mna" for the mna kind, "nodal" otherwise.
+// spec: "mna" for the mna kind, "nodal" otherwise. A "<prefix>:<inner>"
+// name resolves inner first and wraps it with the registered wrapper
+// (see RegisterWrapper); "fault:" alone wraps the auto-selected backend.
 func lookup(name string, spec Spec) (Backend, error) {
+	if i := strings.Index(name, ":"); i >= 0 {
+		wrapperMu.RLock()
+		wrap := wrapperReg[name[:i]]
+		wrapperMu.RUnlock()
+		if wrap == nil {
+			return nil, fmt.Errorf("engine: unknown backend wrapper %q in %q (registered: %v)", name[:i], name, Wrappers())
+		}
+		inner, err := lookup(name[i+1:], spec)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(inner), nil
+	}
 	if name == "" {
 		if spec.Kind == "mna" {
 			name = "mna"
@@ -105,6 +163,14 @@ func lookup(name string, spec Spec) (Backend, error) {
 		return nil, fmt.Errorf("engine: unknown backend %q (registered: %v)", name, Backends())
 	}
 	return b, nil
+}
+
+// LookupBackend resolves a backend name exactly as the engine does —
+// including wrapper prefixes and the empty-name auto-selection against
+// spec. It exists for callers that compose backends directly (wrapper
+// implementations, dispatch tables).
+func LookupBackend(name string, spec Spec) (Backend, error) {
+	return lookup(name, spec)
 }
 
 func init() {

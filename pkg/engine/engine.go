@@ -92,6 +92,16 @@ type Response struct {
 	Num, Den *Result
 }
 
+// Degraded reports whether either polynomial's generation was degraded:
+// under Options.AllowDegraded a failure (singular frames past their
+// retries, a watchdog trip, budget exhaustion) yields a partial Result
+// with Degraded set and the events in its FailureLog instead of an
+// error. Check it whenever AllowDegraded is on and you need to know the
+// response is complete.
+func (r *Response) Degraded() bool {
+	return (r.Num != nil && r.Num.Degraded) || (r.Den != nil && r.Den.Degraded)
+}
+
 // Formulate resolves the backend and builds the formulation for spec
 // without generating anything.
 func (e *Engine) Formulate(c *Circuit, spec Spec) (*Formulation, error) {

@@ -41,6 +41,32 @@ type (
 	InterpResult = interp.Result
 	// Poly is a polynomial with extended-range coefficients.
 	Poly = poly.XPoly
+	// FailureEvent is one entry of Result.FailureLog: a fault, retry or
+	// watchdog event recorded during generation.
+	FailureEvent = core.FailureEvent
+	// SingularPointError details one failed (non-finite) point solve.
+	SingularPointError = core.SingularPointError
+	// FrameError details an interpolation frame that failed every retry.
+	FrameError = core.FrameError
+	// StallError details a stall-watchdog trip.
+	StallError = core.StallError
+	// ScaleDivergenceError details a divergence-watchdog trip.
+	ScaleDivergenceError = core.ScaleDivergenceError
+	// BudgetError details iteration-budget exhaustion.
+	BudgetError = core.BudgetError
+)
+
+// The generation-failure taxonomy, re-exported from the core: every
+// failure Generate can diagnose matches exactly one of these with
+// errors.Is (and carries a concrete *...Error with diagnostics for
+// errors.As). Under Options.AllowDegraded the same failures become a
+// degraded partial Result instead — see Response.Degraded.
+var (
+	ErrSingularPoint   = core.ErrSingularPoint
+	ErrFrameFailed     = core.ErrFrameFailed
+	ErrStall           = core.ErrStall
+	ErrScaleDivergence = core.ErrScaleDivergence
+	ErrIterationBudget = core.ErrIterationBudget
 )
 
 // Coefficient states.
