@@ -12,8 +12,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/bode"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/tfspec"
 	"repro/internal/twoport"
 	"repro/internal/xmath"
+	"repro/pkg/engine"
 )
 
 // --- experiment fixtures ---
@@ -581,4 +584,65 @@ func BenchmarkEndToEndUA741(b *testing.B) {
 			b.Fatal("degenerate result")
 		}
 	}
+}
+
+// --- batch sweeps: warm-start amortization vs the cold ablation ---
+
+// benchGenerateBatch sweeps a deterministic ±5% Monte Carlo point set
+// through engine.GenerateBatch and reports the amortization counters.
+// The counters are exact work counts under a fixed seed — identical on
+// every host — so benchjson gates them in CI; the warm variants must
+// show solves/point well under their NoWarm ablations.
+func benchGenerateBatch(b *testing.B, c *circuit.Circuit, spec engine.Spec, points int, noWarm bool) {
+	eng, err := engine.New(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]engine.BatchPoint, points)
+	for i := range pts {
+		scale := make(map[string]float64, len(c.Elements()))
+		for _, e := range c.Elements() {
+			scale[e.Name] = 1 + 0.05*(2*rng.Float64()-1)
+		}
+		pts[i] = engine.BatchPoint{Scale: scale}
+	}
+	opts := engine.Options{MaxIterations: 300}
+	var last *engine.BatchResponse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.GenerateBatch(context.Background(), engine.BatchRequest{
+			Circuit: c, Spec: spec, Points: pts, Options: &opts, NoWarmStart: noWarm,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Failures != 0 {
+			b.Fatalf("%d failed points", resp.Failures)
+		}
+		last = resp
+	}
+	b.ReportMetric(float64(last.WarmStarts), "warm-starts/op")
+	b.ReportMetric(float64(last.ColdFallbacks), "cold-fallbacks/op")
+	b.ReportMetric(last.SolvesPerPoint(), "solves/point")
+}
+
+func BenchmarkGenerateBatchLadder40Warm(b *testing.B) {
+	benchGenerateBatch(b, circuits.RCLadder(40, 1e3, 1e-9),
+		engine.Spec{Kind: "vgain", In: "in", Out: circuits.RCLadderOut(40)}, 16, false)
+}
+
+func BenchmarkGenerateBatchLadder40NoWarm(b *testing.B) {
+	benchGenerateBatch(b, circuits.RCLadder(40, 1e3, 1e-9),
+		engine.Spec{Kind: "vgain", In: "in", Out: circuits.RCLadderOut(40)}, 16, true)
+}
+
+func BenchmarkGenerateBatchBiquadWarm(b *testing.B) {
+	in, out := circuits.BiquadNodes()
+	benchGenerateBatch(b, circuits.Biquad(), engine.Spec{Kind: "vgain", In: in, Out: out}, 16, false)
+}
+
+func BenchmarkGenerateBatchBiquadNoWarm(b *testing.B) {
+	in, out := circuits.BiquadNodes()
+	benchGenerateBatch(b, circuits.Biquad(), engine.Spec{Kind: "vgain", In: in, Out: out}, 16, true)
 }

@@ -61,6 +61,16 @@ var deterministicUnits = map[string]bool{
 	"cache-hits/op":     true,
 	"cache-misses/op":   true,
 	"interpolations/op": true,
+	"warm-starts/op":    true,
+	"cold-fallbacks/op": true,
+	"solves/point":      true,
+}
+
+// higherIsBetterUnits flips the regression direction for counters where
+// a drop is the regression: losing warm starts means a sweep fell back
+// to cold discovery.
+var higherIsBetterUnits = map[string]bool{
+	"warm-starts/op": true,
 }
 
 // benchLine matches e.g.
@@ -143,13 +153,18 @@ func compare(old, fresh Snapshot, stdout io.Writer) int {
 		for _, unit := range units {
 			ov, nv := base.Extra[unit], e.Extra[unit]
 			compared++
+			worse := nv > ov
+			if higherIsBetterUnits[unit] {
+				worse = nv < ov
+			}
 			switch {
-			case nv > ov:
+			case nv == ov:
+			case worse:
 				regressions++
-				fmt.Fprintf(stdout, "REGRESSION %s %s: %g -> %g (+%.1f%%)\n", e.Name, unit, ov, nv, 100*(nv-ov)/ov)
-			case nv < ov:
+				fmt.Fprintf(stdout, "REGRESSION %s %s: %g -> %g (%+.1f%%)\n", e.Name, unit, ov, nv, 100*(nv-ov)/ov)
+			default:
 				improvements++
-				fmt.Fprintf(stdout, "improved   %s %s: %g -> %g (-%.1f%%)\n", e.Name, unit, ov, nv, 100*(ov-nv)/ov)
+				fmt.Fprintf(stdout, "improved   %s %s: %g -> %g (%+.1f%%)\n", e.Name, unit, ov, nv, 100*(nv-ov)/ov)
 			}
 		}
 	}

@@ -139,3 +139,48 @@ func TestSnapshotAndCheckModes(t *testing.T) {
 		t.Fatalf("lossy check exited %d, want 1 (stderr %q)", code, errOut.String())
 	}
 }
+
+// TestCompareWarmStartDirection pins the inverted gate: fewer warm
+// starts (or more cold fallbacks / solves per point) is the regression.
+func TestCompareWarmStartDirection(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkGenerateBatchLadder40Warm", N: 1, NsOp: 100, Extra: map[string]float64{
+			"warm-starts/op": 15, "cold-fallbacks/op": 0, "solves/point": 633.6}},
+	})
+
+	lostWarm := writeSnapshot(t, dir, "lost.json", []Entry{
+		{Name: "BenchmarkGenerateBatchLadder40Warm", N: 1, NsOp: 100, Extra: map[string]float64{
+			"warm-starts/op": 12, "cold-fallbacks/op": 0, "solves/point": 633.6}},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", old, lostWarm}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("lost warm starts exited %d, want 1 (stdout %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkGenerateBatchLadder40Warm warm-starts/op") {
+		t.Errorf("missing warm-start regression in %q", out.String())
+	}
+
+	moreFallbacks := writeSnapshot(t, dir, "fallbacks.json", []Entry{
+		{Name: "BenchmarkGenerateBatchLadder40Warm", N: 1, NsOp: 100, Extra: map[string]float64{
+			"warm-starts/op": 15, "cold-fallbacks/op": 2, "solves/point": 700}},
+	})
+	out.Reset()
+	if code := run([]string{"-compare", old, moreFallbacks}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("fallback regression exited %d, want 1 (stdout %q)", code, out.String())
+	}
+	for _, want := range []string{"cold-fallbacks/op", "solves/point"} {
+		if !strings.Contains(out.String(), "REGRESSION BenchmarkGenerateBatchLadder40Warm "+want) {
+			t.Errorf("missing %s regression in %q", want, out.String())
+		}
+	}
+
+	moreWarm := writeSnapshot(t, dir, "better.json", []Entry{
+		{Name: "BenchmarkGenerateBatchLadder40Warm", N: 1, NsOp: 100, Extra: map[string]float64{
+			"warm-starts/op": 16, "cold-fallbacks/op": 0, "solves/point": 600}},
+	})
+	out.Reset()
+	if code := run([]string{"-compare", old, moreWarm}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("improved sweep exited %d, want 0 (stdout %q)", code, out.String())
+	}
+}

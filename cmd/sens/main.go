@@ -1,6 +1,8 @@
 // Command sens ranks the element sensitivities of a circuit's network
 // function — which parameters move the response most, the input for
-// design centering and tolerance assignment.
+// design centering and tolerance assignment. The 2·|elements|+1 design
+// points run as one warm-started engine batch sweep; the trailing stats
+// line reports the amortization.
 //
 // Usage:
 //
@@ -9,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/cmplx"
 	"os"
 
@@ -24,19 +28,37 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code
+// (2 for usage errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sens", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
-		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
-		tfKind  = flag.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
-		inNode  = flag.String("in", "inp", "input node")
-		innNode = flag.String("inn", "inn", "negative input node (diffgain)")
-		outNode = flag.String("out", "out", "output node")
-		fMin    = flag.Float64("fmin", 10, "band start (Hz)")
-		fMax    = flag.Float64("fmax", 1e8, "band end (Hz)")
-		points  = flag.Int("points", 9, "frequency points")
-		top     = flag.Int("top", 15, "number of elements to list (0 = all)")
+		builtin = fs.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = fs.String("netlist", "", "netlist file (alternative to -circuit)")
+		tfKind  = fs.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode  = fs.String("in", "inp", "input node")
+		innNode = fs.String("inn", "inn", "negative input node (diffgain)")
+		outNode = fs.String("out", "out", "output node")
+		fMin    = fs.Float64("fmin", 10, "band start (Hz)")
+		fMax    = fs.Float64("fmax", 1e8, "band end (Hz)")
+		points  = fs.Int("points", 9, "frequency points")
+		top     = fs.Int("top", 15, "number of elements to list (0 = all)")
+		noWarm  = fs.Bool("no-warm", false, "disable warm starts between design points (ablation)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sens:", err)
+		return 1
+	}
 
 	var ckt *circuit.Circuit
 	switch {
@@ -48,20 +70,20 @@ func main() {
 		var err error
 		ckt, err = netlist.ParseFile(*netFile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "sens: need -circuit or -netlist")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sens: need -circuit or -netlist")
+		fs.Usage()
+		return 2
 	}
-	fmt.Println(ckt.Stats())
+	fmt.Fprintln(stdout, ckt.Stats())
 
 	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
 	freqs := bode.LogSpace(*fMin, *fMax, *points)
-	sens, err := sensitivity.Analyze(ckt, spec, freqs, sensitivity.Config{})
+	sens, batch, err := sensitivity.AnalyzeBatch(ckt, spec, freqs, sensitivity.Config{NoWarmStart: *noWarm})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	n := len(sens)
@@ -78,10 +100,8 @@ func main() {
 			fmt.Sprintf("%.4f", s.MaxAbs),
 			fmt.Sprintf("%.4f", cmplx.Abs(s.S[mid])))
 	}
-	fmt.Println(tb)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sens:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout, tb)
+	fmt.Fprintf(stdout, "batch: %d points, %d warm starts, %d cold fallbacks, %.1f solves/point\n",
+		len(batch.Points), batch.WarmStarts, batch.ColdFallbacks, batch.SolvesPerPoint())
+	return 0
 }

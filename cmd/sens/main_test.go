@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no circuit", nil},
+		{"undefined flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknownCircuitFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-netlist", "no-such-file.sp"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-circuit", "ota", "-tf", "zz"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "sens:") {
+		t.Errorf("stderr does not carry the sens: prefix: %s", errb.String())
+	}
+}
+
+// TestRunOTASmoke exercises the full engine batch path and checks the
+// amortization stats line: the OTA sweep has 2·|elements| warm-startable
+// points and must warm-start all of them.
+func TestRunOTASmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-circuit", "ota", "-top", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"normalized sensitivities", "batch:", "warm starts", "solves/point"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout does not mention %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), " 0 warm starts") {
+		t.Errorf("warm-start sweep reported zero warm starts:\n%s", out.String())
+	}
+}
+
+// TestRunNoWarmAblation pins the -no-warm flag path: the sweep must run
+// entirely cold and still agree on the ranking table.
+func TestRunNoWarmAblation(t *testing.T) {
+	var warm, cold, errb bytes.Buffer
+	if code := run([]string{"-circuit", "ota", "-top", "3"}, &warm, &errb); code != 0 {
+		t.Fatalf("warm run exit code = %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-circuit", "ota", "-top", "3", "-no-warm"}, &cold, &errb); code != 0 {
+		t.Fatalf("cold run exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(cold.String(), " 0 warm starts, 0 cold fallbacks") {
+		t.Errorf("-no-warm run still reports warm activity:\n%s", cold.String())
+	}
+	table := func(s string) string { return s[:strings.Index(s, "batch:")] }
+	if table(warm.String()) != table(cold.String()) {
+		t.Errorf("warm and cold rankings differ:\nwarm:\n%s\ncold:\n%s", warm.String(), cold.String())
+	}
+}

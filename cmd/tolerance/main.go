@@ -1,7 +1,8 @@
 // Command tolerance runs Monte Carlo tolerance analysis on a circuit's
 // frequency response: every element value is perturbed within ±tol,
-// references are regenerated per sample, and the per-frequency magnitude
-// quantiles are reported.
+// references are regenerated per sample through the engine's warm-started
+// batch sweep, and the per-frequency magnitude quantiles are reported
+// along with the sweep's amortization stats.
 //
 // Usage:
 //
@@ -10,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bode"
@@ -24,21 +27,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code
+// (2 for usage errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tolerance", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		builtin = flag.String("circuit", "", "built-in circuit: ua741 or ota")
-		netFile = flag.String("netlist", "", "netlist file (alternative to -circuit)")
-		tfKind  = flag.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
-		inNode  = flag.String("in", "inp", "input node")
-		innNode = flag.String("inn", "inn", "negative input node (diffgain)")
-		outNode = flag.String("out", "out", "output node")
-		fMin    = flag.Float64("fmin", 10, "band start (Hz)")
-		fMax    = flag.Float64("fmax", 1e8, "band end (Hz)")
-		points  = flag.Int("points", 13, "frequency points")
-		tol     = flag.Float64("tol", 0.05, "relative element tolerance (±)")
-		samples = flag.Int("n", 100, "Monte Carlo samples")
-		seed    = flag.Int64("seed", 1, "random seed")
+		builtin = fs.String("circuit", "", "built-in circuit: ua741 or ota")
+		netFile = fs.String("netlist", "", "netlist file (alternative to -circuit)")
+		tfKind  = fs.String("tf", "diffgain", "transfer function: vgain, diffgain, transz or mna")
+		inNode  = fs.String("in", "inp", "input node")
+		innNode = fs.String("inn", "inn", "negative input node (diffgain)")
+		outNode = fs.String("out", "out", "output node")
+		fMin    = fs.Float64("fmin", 10, "band start (Hz)")
+		fMax    = fs.Float64("fmax", 1e8, "band end (Hz)")
+		points  = fs.Int("points", 13, "frequency points")
+		tol     = fs.Float64("tol", 0.05, "relative element tolerance (±)")
+		samples = fs.Int("n", 100, "Monte Carlo samples")
+		seed    = fs.Int64("seed", 1, "random seed")
+		noWarm  = fs.Bool("no-warm", false, "disable warm starts between samples (ablation)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tolerance:", err)
+		return 1
+	}
 
 	var ckt *circuit.Circuit
 	switch {
@@ -50,22 +71,22 @@ func main() {
 		var perr error
 		ckt, perr = netlist.ParseFile(*netFile)
 		if perr != nil {
-			fail(perr)
+			return fail(perr)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tolerance: need -circuit or -netlist")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tolerance: need -circuit or -netlist")
+		fs.Usage()
+		return 2
 	}
-	fmt.Println(ckt.Stats())
+	fmt.Fprintln(stdout, ckt.Stats())
 
 	spec := tfspec.Spec{Kind: *tfKind, In: *inNode, Inn: *innNode, Out: *outNode}
 	freqs := bode.LogSpace(*fMin, *fMax, *points)
 	st, err := montecarlo.Run(ckt, spec, freqs, montecarlo.Config{
-		Samples: *samples, Tolerance: *tol, Seed: *seed,
+		Samples: *samples, Tolerance: *tol, Seed: *seed, NoWarmStart: *noWarm,
 	})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	tb := tablefmt.New(
@@ -79,16 +100,15 @@ func main() {
 			fmt.Sprintf("%.3f", q.P95DB),
 			fmt.Sprintf("%.3f", q.P95DB-q.P05DB))
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(stdout, tb)
 	spread, at := st.WorstSpreadDB()
-	fmt.Printf("worst spread: %.3f dB at %.4g Hz", spread, at)
+	fmt.Fprintf(stdout, "worst spread: %.3f dB at %.4g Hz", spread, at)
 	if st.Failures > 0 {
-		fmt.Printf("  (%d failed samples excluded)", st.Failures)
+		fmt.Fprintf(stdout, "  (%d failed samples excluded)", st.Failures)
 	}
-	fmt.Println()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tolerance:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "batch: %d samples, %d warm starts, %d cold fallbacks, %.1f solves/point\n",
+		st.Samples+st.Failures, st.WarmStarts, st.ColdFallbacks,
+		float64(st.TotalSolves)/float64(max(st.Samples, 1)))
+	return 0
 }

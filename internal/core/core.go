@@ -132,6 +132,14 @@ type Config struct {
 	// recorded, before it is appended to Result.FailureLog. Like Observer
 	// it runs synchronously on the generation goroutine.
 	OnFailure func(FailureEvent)
+	// WarmStart, when non-nil, carries the converged schedules of a prior
+	// generation on a neighboring design point (see Result.Schedule). The
+	// run replays the matching schedule instead of rediscovering the
+	// scale sequence, and falls back to a full cold start — reason in
+	// Result.ColdFallback — when the schedule fails pre-validation
+	// (degraded prior, window or precision mismatch, drift past
+	// MaxScaleDriftLog10) or its frames fail mid-replay.
+	WarmStart *WarmStart
 }
 
 func (cfg Config) withDefaults() Config {
@@ -195,6 +203,26 @@ func GenerateContext(ctx context.Context, ev interp.Evaluator, cfg Config) (*Res
 	// OrderBound may exceed M (the paper's a-priori estimate is the
 	// capacitor count, which can top the matrix order): the surplus slots
 	// are structural zeros and come out Negligible.
+	g := newGenerator(ctx, ev, cfg)
+	err := g.run()
+	if g.restart != "" {
+		// A warm replay aborted mid-flight: rerun the whole generation
+		// cold, keeping the fallback reason as provenance. Pre-validation
+		// refusals never get here — they proceed cold within the first
+		// run (see warmSchedule).
+		reason := g.restart
+		cold := cfg
+		cold.WarmStart = nil
+		g = newGenerator(ctx, ev, cold)
+		g.res.ColdFallback = reason
+		err = g.run()
+	}
+	return g.res, err
+}
+
+// newGenerator constructs a generator for one run of a (defaulted)
+// configuration, recording the run's seed provenance on the Result.
+func newGenerator(ctx context.Context, ev interp.Evaluator, cfg Config) *generator {
 	g := &generator{
 		ctx:      ctx,
 		ev:       ev,
@@ -206,8 +234,10 @@ func GenerateContext(ctx context.Context, ev interp.Evaluator, cfg Config) (*Res
 		classify: sigmaClassifier{sigDigits: cfg.SigDigits},
 	}
 	g.res.Parallelism = interp.Workers(cfg.Parallelism)
-	err := g.run()
-	return g.res, err
+	g.res.M = ev.M
+	g.res.SigDigits = cfg.SigDigits
+	g.res.SeedFScale, g.res.SeedGScale = cfg.InitFScale, cfg.InitGScale
+	return g
 }
 
 // GenerateTransferFunction generates references for both polynomials of a

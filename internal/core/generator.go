@@ -43,22 +43,17 @@ type generator struct {
 	// their frames exhausted every retry; nextTarget skips them. Nil
 	// until the first abandonment.
 	abandoned []bool
+	// restart carries the reason a warm replay aborted mid-flight; when
+	// set, run returned errColdRestart and GenerateContext reruns the
+	// whole generation cold (see warmstart.go).
+	restart string
 }
 
 func (g *generator) run() error {
-	initial, err := g.interpolateRetry(g.cfg.InitFScale, g.cfg.InitGScale, "initial", -1)
-	if err != nil {
-		return g.failure(err, -1)
+	frames, done, err := g.startFrames()
+	if done || err != nil {
+		return err
 	}
-	if initial.lo > initial.hi {
-		// The polynomial evaluated to zero at every point: it is
-		// identically zero (e.g. no path from input to output).
-		for i := range g.res.Coeffs {
-			g.res.Coeffs[i] = Coefficient{Status: Valid, Iteration: 0}
-		}
-		return nil
-	}
-	frames := []frame{initial}
 	lastTarget, stall := -1, 0
 	lastF, lastG := 0.0, 0.0 // factors of the previous attempt at lastTarget
 	noAdvance := 0           // consecutive completed frames resolving nothing (watchdog)
@@ -87,7 +82,7 @@ func (g *generator) run() error {
 			return g.failure(err, t)
 		}
 		unknownBefore := g.unknownCount()
-		fr, err := g.interpolateRetry(prop.f, prop.g, prop.purpose, t)
+		fr, err := g.interpolateRetry(prop.f, prop.g, prop.purpose, t, 0)
 		if err != nil {
 			var ferr *FrameError
 			if errors.As(err, &ferr) && g.cfg.AllowDegraded {
@@ -125,6 +120,36 @@ func (g *generator) run() error {
 			}
 		}
 	}
+}
+
+// startFrames produces the frame set the adaptive loop starts from: a
+// warm-start replay when the configuration carries a usable schedule
+// (warmstart.go), the cold initial frame otherwise. done reports that
+// generation finished during startup — an identically-zero polynomial, a
+// degraded startup failure, or a replay that resolved everything.
+func (g *generator) startFrames() (frames []frame, done bool, err error) {
+	if sched := g.warmSchedule(); sched != nil {
+		frames, done, err = g.replay(sched)
+		if err != nil {
+			return nil, done, err
+		}
+		g.res.WarmStarted = true
+		g.res.ReplayedFrames = len(g.res.Iterations)
+		return frames, done, nil
+	}
+	initial, err := g.interpolateRetry(g.cfg.InitFScale, g.cfg.InitGScale, "initial", -1, 0)
+	if err != nil {
+		return nil, true, g.failure(err, -1)
+	}
+	if initial.lo > initial.hi {
+		// The polynomial evaluated to zero at every point: it is
+		// identically zero (e.g. no path from input to output).
+		for i := range g.res.Coeffs {
+			g.res.Coeffs[i] = Coefficient{Status: Valid, Iteration: 0}
+		}
+		return nil, true, nil
+	}
+	return []frame{initial}, false, nil
 }
 
 // failure resolves a generation-ending event per AllowDegraded: taxonomy
@@ -187,7 +212,10 @@ func (g *generator) nextTarget() int {
 }
 
 // markNegligible classifies coefficient t with the upper bound implied by
-// the frame aimed at it: |p_t| < threshold_t/(f^t·g^(M−t)).
+// the frame aimed at it: |p_t| < threshold_t/(f^t·g^(M−t)). The
+// classification is also recorded on the evidence iteration (the last one
+// appended — the frame fr), which is what marks it contributing for
+// schedule extraction.
 func (g *generator) markNegligible(t int, fr frame) {
 	thr := fr.thresholdAt(g.cfg.SigDigits, t)
 	bound := xmath.XFloat{}
@@ -200,6 +228,10 @@ func (g *generator) markNegligible(t int, fr frame) {
 		Status:    Negligible,
 		Bound:     bound,
 		Iteration: len(g.res.Iterations) - 1,
+	}
+	if n := len(g.res.Iterations); n > 0 {
+		it := &g.res.Iterations[n-1]
+		it.Negligible = append(it.Negligible, t)
 	}
 }
 
@@ -242,12 +274,17 @@ func (g *generator) window() (int, int) {
 // exponential backoff (Config.RetryBackoff) applies. Singular attempts
 // are logged as they happen; a frame that fails every attempt surfaces
 // as a *FrameError. Other errors (cancellation) pass through unchanged.
-func (g *generator) interpolateRetry(f, gsc float64, purpose string, target int) (frame, error) {
+//
+// startAttempt seeds the retry-geometry index: a cold frame passes 0, a
+// warm replay passes the attempt its recorded frame succeeded with, so
+// the replayed geometry matches the recorded one exactly (and retries,
+// if the perturbed point needs them, continue from there).
+func (g *generator) interpolateRetry(f, gsc float64, purpose string, target, startAttempt int) (frame, error) {
 	var last error
-	for attempt := 0; attempt <= g.cfg.FrameRetries; attempt++ {
-		if attempt > 0 {
+	for attempt := startAttempt; attempt <= startAttempt+g.cfg.FrameRetries; attempt++ {
+		if attempt > startAttempt {
 			g.res.FrameRetries++
-			if err := g.backoff(attempt); err != nil {
+			if err := g.backoff(attempt - startAttempt); err != nil {
 				return frame{}, err
 			}
 		}
@@ -420,6 +457,7 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 		Subtracted:  subtracted,
 		Solves:      half,
 		EvalElapsed: evalElapsed,
+		Attempt:     attempt,
 	}
 	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
 	// Round-off noise floor: relative to the largest magnitude the
@@ -449,7 +487,7 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 		fr.lo, fr.hi = winLo, winHi
 		fr.maxIdx = maxIdx
 		it.Lo, it.Hi = winLo, winHi
-		it.NewValid = g.accept(&fr)
+		it.NewValid, it.Revised = g.accept(&fr)
 	}
 	it.Elapsed = time.Since(start)
 	g.res.Iterations = append(g.res.Iterations, it)
@@ -461,10 +499,13 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 
 // accept merges the valid region's denormalized coefficients into the
 // result, cross-checking overlaps and keeping the higher-quality value.
-func (g *generator) accept(fr *frame) int {
+// It returns the count of coefficients first resolved here (newValid) and
+// the count of already-classified ones whose stored entry changed — a
+// quality replacement or a Negligible→Valid upgrade (revised). Either
+// kind of change makes the frame contributing for schedule extraction.
+func (g *generator) accept(fr *frame) (newValid, revised int) {
 	xf, xg := xmath.FromFloat(fr.f), xmath.FromFloat(fr.g)
 	iterIdx := len(g.res.Iterations)
-	newValid := 0
 	for i := fr.lo; i <= fr.hi; i++ {
 		if fr.subtracted != nil && fr.subtracted[i] {
 			continue
@@ -484,13 +525,16 @@ func (g *generator) accept(fr *frame) int {
 			}
 			if quality > c.Quality {
 				c.Value, c.Quality, c.Iteration = value, quality, iterIdx
+				revised++
 			}
 		default:
 			if c.Status == Unknown {
 				newValid++
+			} else {
+				revised++
 			}
 			*c = Coefficient{Status: Valid, Value: value, Quality: quality, Iteration: iterIdx}
 		}
 	}
-	return newValid
+	return newValid, revised
 }

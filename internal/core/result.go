@@ -82,6 +82,17 @@ type Iteration struct {
 	// EvalElapsed is the wall-clock cost of the point evaluations alone —
 	// the part the Parallelism knob accelerates.
 	EvalElapsed time.Duration
+	// Attempt is the retry-geometry index the frame succeeded with (0 on
+	// a first-try success; see Config.FrameRetries for the geometry).
+	Attempt int
+	// Revised counts coefficients whose stored value this iteration
+	// changed beyond NewValid: quality-based replacements of Valid
+	// entries plus Negligible entries upgraded to Valid.
+	Revised int
+	// Negligible lists the targets this iteration's evidence classified
+	// Negligible (filled by the stall escape after the frame completes,
+	// so the Observer sees the Iteration before the list is attached).
+	Negligible []int
 }
 
 // Result is the generated numerical reference for one polynomial.
@@ -132,6 +143,26 @@ type Result struct {
 	// FailedFrames counts frames abandoned after exhausting their retry
 	// budget.
 	FailedFrames int
+	// M is the homogeneity degree of the evaluator the run used (the M of
+	// eq. 11); Schedule carries it so a replay can reject a mismatched
+	// window geometry.
+	M int
+	// SigDigits, SeedFScale and SeedGScale record the resolved σ and
+	// initial scale pair of the run (after defaults and the heuristic
+	// fill), the reference frame for schedule drift checks.
+	SigDigits  int
+	SeedFScale float64
+	SeedGScale float64
+	// WarmStarted reports that the run replayed a prior point's schedule
+	// (Config.WarmStart) instead of discovering its own; ReplayedFrames
+	// is the number of iterations the replay phase ran.
+	WarmStarted    bool
+	ReplayedFrames int
+	// ColdFallback is the reason a requested warm start was refused or
+	// aborted ("" when no warm start was requested, or when it was taken —
+	// see WarmStarted). A non-empty value means this result was generated
+	// cold despite Config.WarmStart.
+	ColdFallback string
 }
 
 // Poly returns the coefficients as an extended-range polynomial

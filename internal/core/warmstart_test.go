@@ -1,0 +1,273 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/poly"
+	"repro/internal/xmath"
+)
+
+// TestWarmSelfReplayBitIdentical pins the warm-start contract on the
+// recorded point itself: replaying a converged run's schedule reproduces
+// every coefficient bit for bit (status, value, bound, quality) while
+// running only the contributing frames — strictly fewer solves than the
+// cold discovery run on any multi-region profile.
+func TestWarmSelfReplayBitIdentical(t *testing.T) {
+	want := jaggedProfile()
+	cfg := Config{InitFScale: 1, InitGScale: 1}
+	cold, err := Generate(interp.FromPoly("jagged", want, 31), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cold.Schedule()
+	if len(sched.Frames) >= len(cold.Iterations) {
+		t.Fatalf("cold run has no discovery frames (%d iterations, %d contributing); replay test is vacuous",
+			len(cold.Iterations), len(sched.Frames))
+	}
+
+	warmCfg := cfg
+	warmCfg.WarmStart = &WarmStart{Num: sched}
+	warm, err := Generate(interp.FromPoly("jagged", want, 31), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatalf("warm run did not warm-start (fallback: %q)", warm.ColdFallback)
+	}
+	if warm.ColdFallback != "" {
+		t.Errorf("warm run recorded fallback reason %q", warm.ColdFallback)
+	}
+	if warm.ReplayedFrames == 0 {
+		t.Error("warm run recorded no replayed frames")
+	}
+	if !CoefficientsEqual(warm.Coeffs, cold.Coeffs) {
+		t.Error("warm replay coefficients differ from cold run")
+	}
+	if warm.TotalSolves >= cold.TotalSolves {
+		t.Errorf("warm replay did not save solves: warm=%d cold=%d", warm.TotalSolves, cold.TotalSolves)
+	}
+	if len(warm.Iterations) >= len(cold.Iterations) {
+		t.Errorf("warm replay ran %d frames, cold ran %d", len(warm.Iterations), len(cold.Iterations))
+	}
+	// Schedules chain: the warm run's own schedule replays again.
+	chain := cfg
+	chain.WarmStart = &WarmStart{Num: warm.Schedule()}
+	again, err := Generate(interp.FromPoly("jagged", want, 31), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.WarmStarted || !CoefficientsEqual(again.Coeffs, cold.Coeffs) {
+		t.Error("chained schedule does not replay to the same coefficients")
+	}
+}
+
+// jaggedProfile is a 30th-order profile with a sawtooth riding a steep
+// decay: narrow windows plus frequent re-aims give the cold run plenty
+// of non-contributing discovery frames to drop on replay.
+func jaggedProfile() poly.XPoly {
+	logs := make([]float64, 31)
+	signs := make([]int, 31)
+	for i := range logs {
+		x := float64(i)
+		logs[i] = -10*x + 3*float64(i%5) - 0.1*x*x
+		signs[i] = 1 - 2*(i%2)
+	}
+	return profilePoly(logs, signs)
+}
+
+// TestWarmStartNegligibleReplay pins the subtle half of the schedule
+// format: intermediate Negligible classifications shrink later windows,
+// so they must replay from the recorded per-frame evidence.
+func TestWarmStartNegligibleReplay(t *testing.T) {
+	// A profile with a hard drop produces Negligible tails under the
+	// noise floor (same shape as TestSteepProfileNeedsManyRegions).
+	logs := make([]float64, 14)
+	signs := make([]int, 14)
+	for i := range logs {
+		logs[i] = -12 * float64(i)
+		signs[i] = 1
+	}
+	want := profilePoly(logs, signs)
+	cfg := Config{InitFScale: 1e9}
+	cold, err := Generate(interp.FromPoly("steep", want, 13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cold.Schedule()
+	var negligible int
+	for _, fr := range sched.Frames {
+		negligible += len(fr.Negligible)
+	}
+	warmCfg := cfg
+	warmCfg.WarmStart = &WarmStart{Den: sched}
+	warm, err := Generate(interp.FromPoly("steep", want, 13), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatalf("steep profile did not warm-start (fallback: %q)", warm.ColdFallback)
+	}
+	if !CoefficientsEqual(warm.Coeffs, cold.Coeffs) {
+		t.Error("steep-profile replay coefficients differ from cold run")
+	}
+}
+
+// TestWarmStartFallbackTable drives every checkSchedule refusal reason
+// and verifies each one falls back to a run indistinguishable from cold.
+func TestWarmStartFallbackTable(t *testing.T) {
+	want := ua741Profile()
+	mk := func() interp.Evaluator { return interp.FromPoly("ua741-like", want, 49) }
+	cfg := Config{InitFScale: 1e8, InitGScale: 1}
+	cold, err := Generate(mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cold.Schedule()
+
+	cases := []struct {
+		name   string
+		mutate func(s *Schedule, cfg *Config)
+		reason string
+	}{
+		{
+			name:   "degraded prior",
+			mutate: func(s *Schedule, _ *Config) { s.Degraded = true },
+			reason: "degraded prior point",
+		},
+		{
+			name:   "empty schedule",
+			mutate: func(s *Schedule, _ *Config) { s.Frames = nil },
+			reason: "empty schedule",
+		},
+		{
+			name:   "window mismatch",
+			mutate: func(s *Schedule, _ *Config) { s.OrderBound++ },
+			reason: "window mismatch",
+		},
+		{
+			name:   "precision mismatch",
+			mutate: func(s *Schedule, _ *Config) { s.SigDigits = 9 },
+			reason: "precision mismatch",
+		},
+		{
+			name:   "non-positive scale",
+			mutate: func(s *Schedule, _ *Config) { s.Frames[0].FScale = 0 },
+			reason: "non-finite or non-positive scales",
+		},
+		{
+			name: "drift past bound",
+			mutate: func(s *Schedule, cfg *Config) {
+				cfg.MaxScaleDriftLog10 = 3
+				s.Frames[len(s.Frames)-1].GScale = cfg.InitGScale * 1e5
+			},
+			reason: "schedule drift",
+		},
+		{
+			name:   "name mismatch",
+			mutate: func(s *Schedule, _ *Config) { s.Name = "somebody-else" },
+			reason: `no schedule for polynomial "ua741-like"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := cloneSchedule(base)
+			runCfg := cfg
+			tc.mutate(sched, &runCfg)
+			runCfg.WarmStart = &WarmStart{Num: sched}
+			res, err := Generate(mk(), runCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WarmStarted {
+				t.Fatalf("refused schedule still warm-started (wanted fallback %q)", tc.reason)
+			}
+			if !strings.Contains(res.ColdFallback, tc.reason) {
+				t.Errorf("ColdFallback = %q, want it to contain %q", res.ColdFallback, tc.reason)
+			}
+			// A refused schedule must leave a run indistinguishable from
+			// cold — same coefficients, same iteration trace length.
+			if !CoefficientsEqual(res.Coeffs, cold.Coeffs) {
+				t.Error("fallback coefficients differ from the plain cold run")
+			}
+			if len(res.Iterations) != len(cold.Iterations) {
+				t.Errorf("fallback ran %d iterations, cold ran %d", len(res.Iterations), len(cold.Iterations))
+			}
+		})
+	}
+}
+
+// cloneSchedule deep-copies a schedule so table cases can mutate freely.
+func cloneSchedule(s *Schedule) *Schedule {
+	out := *s
+	out.Frames = make([]ScheduleFrame, len(s.Frames))
+	for i, fr := range s.Frames {
+		fr.Negligible = append([]int(nil), fr.Negligible...)
+		out.Frames[i] = fr
+	}
+	return &out
+}
+
+// TestWarmReplayAbortRestartsCold forces a mid-replay frame failure: the
+// generation must restart cold transparently, record the abort reason,
+// and still converge to the cold result.
+func TestWarmReplayAbortRestartsCold(t *testing.T) {
+	want := poly.NewX(1, -2, 3, -4, 5)
+	cfg := Config{}
+	cold, err := Generate(interp.FromPoly("benign", want, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cold.Schedule()
+	// Splice in a frame at a scale pair the cold path never proposes, and
+	// fault the evaluator exactly there: the replay fails that frame after
+	// every retry and must abort back to a cold start.
+	const poisonF = 1.37e3
+	sched.Frames = append(sched.Frames, ScheduleFrame{FScale: poisonF, GScale: 1, Purpose: "up", Attempt: 0})
+	inner := interp.FromPoly("benign", want, 5)
+	ev := inner
+	ev.Eval = func(s complex128, f, g float64) xmath.XComplex {
+		if f == poisonF {
+			return xmath.CNaN()
+		}
+		return inner.Eval(s, f, g)
+	}
+	ev.EvalBatch = nil
+	warmCfg := cfg
+	warmCfg.WarmStart = &WarmStart{Num: sched}
+	res, err := Generate(ev, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted {
+		t.Error("aborted replay still reports WarmStarted")
+	}
+	if !strings.Contains(res.ColdFallback, "failed after retries") {
+		t.Errorf("ColdFallback = %q, want a replay-abort reason", res.ColdFallback)
+	}
+	if !CoefficientsEqual(res.Coeffs, cold.Coeffs) {
+		t.Error("cold fallback after replay abort does not match the cold result")
+	}
+}
+
+// TestCoefficientsEqual pins the comparison contract: payload fields
+// compare, the Iteration provenance index does not.
+func TestCoefficientsEqual(t *testing.T) {
+	a := []Coefficient{{Status: Valid, Value: xmath.FromFloat(2), Iteration: 0, Quality: 1.5}}
+	b := []Coefficient{{Status: Valid, Value: xmath.FromFloat(2), Iteration: 7, Quality: 1.5}}
+	if !CoefficientsEqual(a, b) {
+		t.Error("Iteration index must not participate in equality")
+	}
+	c := []Coefficient{{Status: Valid, Value: xmath.FromFloat(3), Iteration: 0, Quality: 1.5}}
+	if CoefficientsEqual(a, c) {
+		t.Error("differing values compare equal")
+	}
+	if CoefficientsEqual(a, append(b, b...)) {
+		t.Error("differing lengths compare equal")
+	}
+	d := []Coefficient{{Status: Negligible, Value: xmath.FromFloat(2), Iteration: 0, Quality: 1.5}}
+	if CoefficientsEqual(a, d) {
+		t.Error("differing status compares equal")
+	}
+}

@@ -63,7 +63,7 @@ func (sys *System) assembleScaledInto(dst *sparse.Matrix, s complex128, fscale, 
 // private full factorization without touching the plan.
 func (sys *System) factorAt(scratch *sparse.Matrix, s complex128, fscale, gscale float64) (*sparse.LU, error) {
 	sys.assembleScaledInto(scratch, s, fscale, gscale)
-	lu, err := scratch.FactorSharedInPlace(&sys.detPlan)
+	lu, err := scratch.FactorSharedInPlace(sys.detPlan)
 	if err == sparse.ErrPlanMiss {
 		sys.assembleScaledInto(scratch, s, fscale, gscale)
 		lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)

@@ -47,8 +47,39 @@ type System struct {
 	// detPlan is the shared pivot-order plan for the one MNA sparsity
 	// pattern, primed by the first successful factorization of a
 	// generation run and replayed read-only at every later point (see
-	// sparse.SharedPlan).
-	detPlan sparse.SharedPlan
+	// sparse.SharedPlan). It is held by pointer so AdoptPlan can share
+	// one plan across the Systems of a batch sweep.
+	detPlan *sparse.SharedPlan
+}
+
+// AdoptPlan shares the donor system's pivot-order plan with sys and
+// reports whether the two systems are structurally identical (same
+// dimension and stamp positions; values may differ). On a mismatch
+// nothing is adopted. Like the plan itself the adoption is evaluation-
+// safe, but the two systems must not be built up further afterwards.
+func (sys *System) AdoptPlan(prev *System) bool {
+	if prev == nil || sys.dim != prev.dim ||
+		!sameStampPositions(sys.gDim, prev.gDim) ||
+		!sameStampPositions(sys.structural, prev.structural) ||
+		!sameStampPositions(sys.sProp, prev.sProp) {
+		return false
+	}
+	sys.detPlan = prev.detPlan
+	return true
+}
+
+// sameStampPositions reports whether two stamp lists touch the same
+// matrix positions in the same order (values ignored).
+func sameStampPositions(a, b []stamp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].i != b[i].i || a[i].j != b[i].j {
+			return false
+		}
+	}
+	return true
 }
 
 // Build assembles the MNA system. Every element kind in the circuit
@@ -58,7 +89,7 @@ func Build(c *circuit.Circuit) (*System, error) {
 		return nil, err
 	}
 	n := c.NumNodes()
-	sys := &System{c: c, n: n, branch: make(map[string]int)}
+	sys := &System{c: c, n: n, branch: make(map[string]int), detPlan: new(sparse.SharedPlan)}
 	// First pass: allocate branch unknowns for voltage-defined elements.
 	dim := n
 	for _, e := range c.Elements() {

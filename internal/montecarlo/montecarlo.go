@@ -5,9 +5,15 @@
 // network-function references, and evaluates the response from the
 // coefficient polynomials (microseconds per frequency point, against a
 // full linear solve per point for naive Monte Carlo).
+//
+// The samples run through engine.GenerateBatch: one topology, many value
+// points, each warm-started from the previous sample's converged scale
+// schedule with the sparse factorization plans shared across the whole
+// sweep — the amortized fleet workload the batch layer exists for.
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +23,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/tfspec"
+	"repro/pkg/engine"
 )
 
 // Config controls a run.
@@ -31,6 +38,9 @@ type Config struct {
 	Seed int64
 	// Core passes through generator options.
 	Core core.Config
+	// NoWarmStart disables cross-sample warm starting (every sample runs
+	// a full cold generation) — the ablation baseline.
+	NoWarmStart bool
 }
 
 // Quantiles holds the magnitude distribution at one frequency.
@@ -48,6 +58,11 @@ type Stats struct {
 	// Failures counts samples whose reference generation failed
 	// (pathological value draws); they are excluded from the quantiles.
 	Failures int
+	// WarmStarts, ColdFallbacks and TotalSolves surface the batch
+	// layer's amortization counters (see engine.BatchResponse).
+	WarmStarts    int
+	ColdFallbacks int
+	TotalSolves   int
 }
 
 // Run performs the analysis of the given transfer function over the
@@ -60,28 +75,39 @@ func Run(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, cfg Config) (*
 		return nil, fmt.Errorf("montecarlo: negative tolerance")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]engine.BatchPoint, cfg.Samples)
+	for s := range points {
+		scale := make(map[string]float64, len(c.Elements()))
+		for _, e := range c.Elements() {
+			scale[e.Name] = 1 + cfg.Tolerance*(2*rng.Float64()-1)
+		}
+		points[s] = engine.BatchPoint{Scale: scale}
+	}
+	eng, err := engine.New(engine.Config{Options: cfg.Core})
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: %w", err)
+	}
+	resp, err := eng.GenerateBatch(context.Background(), engine.BatchRequest{
+		Circuit:     c,
+		Spec:        engine.Spec(spec),
+		Points:      points,
+		NoWarmStart: cfg.NoWarmStart,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("montecarlo: %w", err)
+	}
 	mags := make([][]float64, len(freqsHz))
-	st := &Stats{}
-	for s := 0; s < cfg.Samples; s++ {
-		sample := perturb(c, rng, cfg.Tolerance)
-		_, tf, err := spec.Resolve(sample)
-		if err != nil {
+	st := &Stats{
+		WarmStarts:    resp.WarmStarts,
+		ColdFallbacks: resp.ColdFallbacks,
+		TotalSolves:   resp.TotalSolves,
+	}
+	for _, pr := range resp.Points {
+		if pr.Err != nil {
 			st.Failures++
 			continue
 		}
-		coreCfg := cfg.Core
-		if spec.MNA() {
-			coreCfg.SingleFactor = true
-			if coreCfg.InitGScale == 0 {
-				coreCfg.InitGScale = 1
-			}
-		}
-		num, den, err := core.GenerateTransferFunction(sample, tf, coreCfg)
-		if err != nil {
-			st.Failures++
-			continue
-		}
-		pts, err := bode.FromPolys(num.Poly(), den.Poly(), freqsHz)
+		pts, err := bode.FromPolys(pr.Response.Num.Poly(), pr.Response.Den.Poly(), freqsHz)
 		if err != nil {
 			st.Failures++
 			continue
@@ -105,21 +131,6 @@ func Run(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, cfg Config) (*
 		}
 	}
 	return st, nil
-}
-
-// perturb clones the circuit with every value multiplied by an
-// independent uniform (1 ± tol) factor.
-func perturb(c *circuit.Circuit, rng *rand.Rand, tol float64) *circuit.Circuit {
-	out := circuit.New(c.Name + " (sample)")
-	for _, e := range c.Elements() {
-		e.Value *= 1 + tol*(2*rng.Float64()-1)
-		if err := out.AddElement(e); err != nil {
-			// The topology is unchanged; value perturbation cannot break
-			// the structural checks.
-			panic(fmt.Sprintf("montecarlo: perturbed clone failed: %v", err))
-		}
-	}
-	return out
 }
 
 // quantile interpolates the q-th quantile of sorted data.

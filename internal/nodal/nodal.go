@@ -171,6 +171,50 @@ type System struct {
 	patterns map[[2]int]*pattern
 }
 
+// AdoptPatterns shares the donor system's pattern cache — projections
+// plus primed pivot-order plans — with sys, and reports whether the two
+// systems are structurally identical (same order and the same stamp
+// positions; values may differ). On a mismatch nothing is adopted: a
+// pivot plan replayed against a different sparsity pattern would miss on
+// every solve.
+//
+// The adoption is what makes a batch sweep amortize factorization
+// planning: every point of a topology re-uses the plans the first point
+// primed (and contributes any new ones). The map is shared by reference,
+// so sys and prev must not Formulate concurrently afterwards; concurrent
+// evaluation stays safe (plans have their own locks).
+func (sys *System) AdoptPatterns(prev *System) bool {
+	if prev == nil || sys.n != prev.n ||
+		!sameStampPositions(sys.gStamps, prev.gStamps) ||
+		!sameStampPositions(sys.cStamps, prev.cStamps) {
+		return false
+	}
+	prev.mu.Lock()
+	if prev.patterns == nil {
+		prev.patterns = make(map[[2]int]*pattern)
+	}
+	shared := prev.patterns
+	prev.mu.Unlock()
+	sys.mu.Lock()
+	sys.patterns = shared
+	sys.mu.Unlock()
+	return true
+}
+
+// sameStampPositions reports whether two stamp lists touch the same
+// matrix positions in the same order (values ignored).
+func sameStampPositions(a, b []stamp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].i != b[i].i || a[i].j != b[i].j {
+			return false
+		}
+	}
+	return true
+}
+
 // pattern returns the cached pattern for key, creating it with mk on
 // first use.
 func (sys *System) pattern(key [2]int, mk func() projection) *pattern {

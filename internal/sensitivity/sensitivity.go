@@ -12,9 +12,15 @@
 // references carry ≥6 significant digits, so a 1e-3 step leaves ~3
 // digits of sensitivity accuracy — ample for ranking and design
 // centering.
+//
+// The 2·|elements|+1 design points run as one engine.GenerateBatch
+// sweep: the nominal point generates cold, every perturbed point
+// warm-starts from its neighbor's converged scale schedule over shared
+// factorization plans.
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -24,6 +30,7 @@ import (
 	"repro/internal/poly"
 	"repro/internal/tfspec"
 	"repro/internal/xmath"
+	"repro/pkg/engine"
 )
 
 // Config controls the analysis.
@@ -33,6 +40,9 @@ type Config struct {
 	RelStep float64
 	// Core passes through generator options.
 	Core core.Config
+	// NoWarmStart disables warm starting between the design points
+	// (every point regenerates cold) — the ablation baseline.
+	NoWarmStart bool
 }
 
 // Sensitivity is one element's normalized sensitivity at each frequency.
@@ -49,26 +59,55 @@ type Sensitivity struct {
 // Analyze computes sensitivities of the spec'd network function for
 // every element at the given frequencies, sorted by descending MaxAbs.
 func Analyze(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, cfg Config) ([]Sensitivity, error) {
+	out, _, err := AnalyzeBatch(c, spec, freqsHz, cfg)
+	return out, err
+}
+
+// AnalyzeBatch is Analyze, additionally returning the batch response so
+// callers can report the sweep's warm-start provenance and solve counts.
+func AnalyzeBatch(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, cfg Config) ([]Sensitivity, *engine.BatchResponse, error) {
 	if cfg.RelStep == 0 {
 		cfg.RelStep = 1e-3
 	}
 	if cfg.RelStep <= 0 || cfg.RelStep >= 0.5 {
-		return nil, fmt.Errorf("sensitivity: bad relative step %g", cfg.RelStep)
+		return nil, nil, fmt.Errorf("sensitivity: bad relative step %g", cfg.RelStep)
 	}
-	base, err := response(c, spec, freqsHz, cfg.Core)
+	elems := c.Elements()
+	// Point 0 is nominal; points 2k+1 and 2k+2 perturb element k up and
+	// down. Sweeping ±h pairs in sequence keeps consecutive points within
+	// 2h of each other, which is what makes the schedules replayable.
+	points := make([]engine.BatchPoint, 0, 2*len(elems)+1)
+	points = append(points, engine.BatchPoint{})
+	for _, e := range elems {
+		points = append(points,
+			engine.BatchPoint{Scale: map[string]float64{e.Name: 1 + cfg.RelStep}},
+			engine.BatchPoint{Scale: map[string]float64{e.Name: 1 - cfg.RelStep}},
+		)
+	}
+	resp, err := run(c, spec, points, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("sensitivity: nominal analysis: %w", err)
+		return nil, nil, fmt.Errorf("sensitivity: %w", err)
 	}
-	out := make([]Sensitivity, 0, len(c.Elements()))
-	for _, e := range c.Elements() {
-		up, err := response(perturbOne(c, e.Name, 1+cfg.RelStep), spec, freqsHz, cfg.Core)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s+: %w", e.Name, err)
+	// Any failed point invalidates the analysis; keep the historical
+	// per-point error labels.
+	eval := make([][]complex128, len(points))
+	for i, pr := range resp.Points {
+		if pr.Err != nil {
+			switch {
+			case i == 0:
+				return nil, nil, fmt.Errorf("sensitivity: nominal analysis: %w", pr.Err)
+			case i%2 == 1:
+				return nil, nil, fmt.Errorf("sensitivity: %s+: %w", elems[(i-1)/2].Name, pr.Err)
+			default:
+				return nil, nil, fmt.Errorf("sensitivity: %s-: %w", elems[(i-1)/2].Name, pr.Err)
+			}
 		}
-		down, err := response(perturbOne(c, e.Name, 1-cfg.RelStep), spec, freqsHz, cfg.Core)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s-: %w", e.Name, err)
-		}
+		eval[i] = evalBand(pr.Response, freqsHz)
+	}
+	base := eval[0]
+	out := make([]Sensitivity, 0, len(elems))
+	for k, e := range elems {
+		up, down := eval[2*k+1], eval[2*k+2]
 		s := Sensitivity{Element: e.Name, S: make([]complex128, len(freqsHz))}
 		for i := range freqsHz {
 			if base[i] == 0 {
@@ -86,7 +125,21 @@ func Analyze(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, cfg Config
 		out = append(out, s)
 	}
 	sortByMaxAbs(out)
-	return out, nil
+	return out, resp, nil
+}
+
+// run sweeps the design points through the engine batch layer.
+func run(c *circuit.Circuit, spec tfspec.Spec, points []engine.BatchPoint, cfg Config) (*engine.BatchResponse, error) {
+	eng, err := engine.New(engine.Config{Options: cfg.Core})
+	if err != nil {
+		return nil, err
+	}
+	return eng.GenerateBatch(context.Background(), engine.BatchRequest{
+		Circuit:     c,
+		Spec:        engine.Spec(spec),
+		Points:      points,
+		NoWarmStart: cfg.NoWarmStart,
+	})
 }
 
 func sortByMaxAbs(s []Sensitivity) {
@@ -97,42 +150,14 @@ func sortByMaxAbs(s []Sensitivity) {
 	}
 }
 
-// perturbOne clones the circuit with one element's value scaled.
-func perturbOne(c *circuit.Circuit, name string, factor float64) *circuit.Circuit {
-	out := circuit.New(c.Name)
-	for _, e := range c.Elements() {
-		if e.Name == name {
-			e.Value *= factor
-		}
-		if err := out.AddElement(e); err != nil {
-			panic(fmt.Sprintf("sensitivity: clone failed: %v", err))
-		}
-	}
-	return out
-}
-
-// response generates references and evaluates H at the band.
-func response(c *circuit.Circuit, spec tfspec.Spec, freqsHz []float64, coreCfg core.Config) ([]complex128, error) {
-	_, tf, err := spec.Resolve(c)
-	if err != nil {
-		return nil, err
-	}
-	if spec.MNA() {
-		coreCfg.SingleFactor = true
-		if coreCfg.InitGScale == 0 {
-			coreCfg.InitGScale = 1
-		}
-	}
-	num, den, err := core.GenerateTransferFunction(c, tf, coreCfg)
-	if err != nil {
-		return nil, err
-	}
-	np, dp := num.Poly(), den.Poly()
+// evalBand evaluates H at the band from a generated response.
+func evalBand(r *engine.Response, freqsHz []float64) []complex128 {
+	np, dp := r.Num.Poly(), r.Den.Poly()
 	out := make([]complex128, len(freqsHz))
 	for i, f := range freqsHz {
 		out[i] = evalRatio(np, dp, complex(0, 2*math.Pi*f))
 	}
-	return out, nil
+	return out
 }
 
 func evalRatio(num, den poly.XPoly, s complex128) complex128 {

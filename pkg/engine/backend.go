@@ -45,6 +45,20 @@ type Formulation struct {
 	// polynomials when the backend computes them (the "exact" oracle
 	// backend); nil otherwise.
 	ExactNum, ExactDen Poly
+	// Share is an opaque handle a SharedFormulator backend attaches so a
+	// later same-topology formulation can adopt this one's factorization
+	// state (pivot-order plans); nil for backends without the capability.
+	Share any
+}
+
+// SharedFormulator is an optional Backend capability: FormulateShared is
+// Formulate, but adopting reusable factorization state — primed sparse
+// pivot-order plans — from a prior formulation of the same topology
+// (prior nil or mismatched topology degrades to a plain Formulate).
+// GenerateBatch uses it so the first point's plan priming serves every
+// later point of a sweep.
+type SharedFormulator interface {
+	FormulateShared(c *Circuit, spec Spec, prior *Formulation) (*Formulation, error)
 }
 
 // Backend turns a circuit and a network-function spec into a
@@ -187,9 +201,27 @@ type nodalBackend struct{}
 func (nodalBackend) Name() string { return "nodal" }
 
 func (nodalBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	return nodalFormulate(c, spec, nil)
+}
+
+func (nodalBackend) FormulateShared(c *Circuit, spec Spec, prior *Formulation) (*Formulation, error) {
+	var prev *nodal.System
+	if prior != nil {
+		prev, _ = prior.Share.(*nodal.System)
+	}
+	return nodalFormulate(c, spec, prev)
+}
+
+func nodalFormulate(c *Circuit, spec Spec, prev *nodal.System) (*Formulation, error) {
 	sys, err := nodal.Build(c)
 	if err != nil {
 		return nil, err
+	}
+	// Adoption must precede the transfer-function build: the evaluators
+	// capture their pattern pointers from the system's cache, so only
+	// patterns created in the adopted (shared) cache amortize.
+	if prev != nil {
+		sys.AdoptPatterns(prev)
 	}
 	var tf *TransferFunction
 	switch spec.Kind {
@@ -205,7 +237,7 @@ func (nodalBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Formulation{Backend: "nodal", TF: tf}, nil
+	return &Formulation{Backend: "nodal", TF: tf, Share: sys}, nil
 }
 
 // mnaBackend is the full modified-nodal formulation (eqs. 7–10): any
@@ -215,6 +247,18 @@ type mnaBackend struct{}
 func (mnaBackend) Name() string { return "mna" }
 
 func (mnaBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
+	return mnaFormulate(c, spec, nil)
+}
+
+func (mnaBackend) FormulateShared(c *Circuit, spec Spec, prior *Formulation) (*Formulation, error) {
+	var prev *mna.System
+	if prior != nil {
+		prev, _ = prior.Share.(*mna.System)
+	}
+	return mnaFormulate(c, spec, prev)
+}
+
+func mnaFormulate(c *Circuit, spec Spec, prev *mna.System) (*Formulation, error) {
 	if spec.Kind != "mna" {
 		return nil, fmt.Errorf("engine: backend mna: unsupported kind %q (want mna)", spec.Kind)
 	}
@@ -222,11 +266,14 @@ func (mnaBackend) Formulate(c *Circuit, spec Spec) (*Formulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if prev != nil {
+		msys.AdoptPlan(prev)
+	}
 	tf, err := msys.TransferEvaluators(spec.Out)
 	if err != nil {
 		return nil, err
 	}
-	return &Formulation{Backend: "mna", TF: tf, FrequencyOnly: true}, nil
+	return &Formulation{Backend: "mna", TF: tf, FrequencyOnly: true, Share: msys}, nil
 }
 
 // exactBackend is the exact-arithmetic Bareiss oracle: it expands both

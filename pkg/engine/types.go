@@ -44,6 +44,15 @@ type (
 	// FailureEvent is one entry of Result.FailureLog: a fault, retry or
 	// watchdog event recorded during generation.
 	FailureEvent = core.FailureEvent
+	// WarmStart carries the per-polynomial schedules of a prior
+	// generation for Options.WarmStart (see Response.WarmState and
+	// GenerateBatch).
+	WarmStart = core.WarmStart
+	// Schedule is the replayable distillation of one polynomial's
+	// converged generation (see Result.Schedule).
+	Schedule = core.Schedule
+	// ScheduleFrame is one contributing frame of a Schedule.
+	ScheduleFrame = core.ScheduleFrame
 	// SingularPointError details one failed (non-finite) point solve.
 	SingularPointError = core.SingularPointError
 	// FrameError details an interpolation frame that failed every retry.
