@@ -56,14 +56,15 @@ type Snapshot struct {
 // work counters rather than measurements: equal on every host for the
 // same code, and therefore safe to gate CI on.
 var deterministicUnits = map[string]bool{
-	"solves/op":         true,
-	"factorizations/op": true,
-	"cache-hits/op":     true,
-	"cache-misses/op":   true,
-	"interpolations/op": true,
-	"warm-starts/op":    true,
-	"cold-fallbacks/op": true,
-	"solves/point":      true,
+	"solves/op":              true,
+	"factorizations/op":      true,
+	"cache-hits/op":          true,
+	"cache-misses/op":        true,
+	"interpolations/op":      true,
+	"warm-starts/op":         true,
+	"cold-fallbacks/op":      true,
+	"solves/point":           true,
+	"singleflight-shared/op": true,
 }
 
 // higherIsBetterUnits flips the regression direction for counters where
@@ -71,6 +72,9 @@ var deterministicUnits = map[string]bool{
 // to cold discovery.
 var higherIsBetterUnits = map[string]bool{
 	"warm-starts/op": true,
+	// Losing flight sharing means identical concurrent requests started
+	// paying for duplicate generations.
+	"singleflight-shared/op": true,
 }
 
 // benchLine matches e.g.

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/pkg/server"
+)
+
+func testService(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+func TestUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no url":          {},
+		"bad flag":        {"-url", "http://x", "-nope"},
+		"unknown fixture": {"-url", "http://x", "-fixtures", "warpcore"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit = %d, want 2 (%s)", name, code, errb.String())
+		}
+	}
+}
+
+func TestFixturesBuild(t *testing.T) {
+	fxs, err := buildFixtures([]string{"biquad", "ladder40", "ua741"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fxs) != 3 {
+		t.Fatalf("built %d fixtures", len(fxs))
+	}
+	for _, fx := range fxs {
+		if fx.netlist == "" || fx.spec["kind"] == "" {
+			t.Errorf("fixture %s is incomplete", fx.name)
+		}
+	}
+	// Perturbed bodies must differ from pristine ones (distinct keys).
+	a := requestBody(fxs[0], 0, false, 0)
+	b := requestBody(fxs[0], 7, false, 0)
+	if bytes.Equal(a, b) {
+		t.Error("perturbation did not change the request body")
+	}
+}
+
+func TestSteadyModeGatesPass(t *testing.T) {
+	ts := testService(t)
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-fixtures", "biquad",
+		"-duration", "400ms",
+		"-concurrency", "4",
+		"-hot", "0.9",
+		"-hot-keys", "2",
+		"-stream", "0.2",
+		"-min-hit-rate", "0.5",
+		"-max-5xx", "0",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "steady" || rep.Requests == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Status5xx != 0 {
+		t.Errorf("%d unexpected 5xx", rep.Status5xx)
+	}
+	if rep.HotRequests > 0 && rep.HotHitRate < 0.5 {
+		t.Errorf("hot hit rate %.3f below the gate the run supposedly passed", rep.HotHitRate)
+	}
+}
+
+// TestBurstModeDedupGate is the client side of the single-flight CI
+// gate: a 32-way identical cold burst must cost exactly one generation.
+func TestBurstModeDedupGate(t *testing.T) {
+	ts := testService(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-fixtures", "biquad",
+		"-burst", "32",
+		"-expect-generations", "1",
+		"-max-5xx", "0",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestBurstGateFailsOnWrongExpectation(t *testing.T) {
+	ts := testService(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-fixtures", "biquad",
+		"-burst", "4",
+		"-expect-generations", "4", // single-flight makes this 1, so the gate must trip
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (gate should fail)\nstderr: %s", code, errb.String())
+	}
+}
+
+func TestSweepMode(t *testing.T) {
+	ts := testService(t)
+	jsonPath := filepath.Join(t.TempDir(), "sweep.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-fixtures", "biquad",
+		"-sweep",
+		"-sweep-max", "2",
+		"-duration", "200ms",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var rep report
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 2 || rep.Knee == 0 {
+		t.Errorf("sweep report = %+v, want 2 levels and a knee", rep)
+	}
+}

@@ -1,0 +1,120 @@
+// Command refserve runs the reference-generation HTTP service
+// (pkg/server): POST /v1/generate with a netlist + spec + options,
+// GET /v1/stats, GET /healthz.
+//
+// Usage:
+//
+//	refserve -addr :8080
+//	refserve -addr 127.0.0.1:0 -portfile port.txt   # CI: random port, written to a file
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/pkg/engine"
+	"repro/pkg/server"
+
+	// Register the fault-injecting backend wrapper so robustness
+	// scenarios run against the service: -backend fault:nodal.
+	_ "repro/internal/fault"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run is the testable entry point. ready, when non-nil, receives the
+// bound address once the listener is up; closing stop triggers the
+// same graceful drain a SIGTERM does. The process exit code is 2 for
+// usage errors, 1 for runtime failures.
+func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("refserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address (use :0 for a random port)")
+		portfile      = fs.String("portfile", "", "write the bound port number to this file once listening")
+		backend       = fs.String("backend", "", "formulation backend (default: auto from spec kind)")
+		cacheEntries  = fs.Int("cache-entries", 0, "result cache entry bound (0 = default 512, negative = unbounded)")
+		cacheBytes    = fs.Int64("cache-bytes", 0, "result cache byte bound (0 = default 64 MiB, negative = unbounded)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent generation bound (0 = GOMAXPROCS)")
+		timeout       = fs.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
+		maxTimeout    = fs.Duration("max-timeout", 0, "deadline and generation-time ceiling (0 = 5m)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "refserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:         engineConfig(*backend),
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "refserve: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "refserve: %v\n", err)
+		return 1
+	}
+	if *portfile != "" {
+		port := strconv.Itoa(ln.Addr().(*net.TCPAddr).Port)
+		if err := os.WriteFile(*portfile, []byte(port+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "refserve: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, unnotify := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer unnotify()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "refserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "refserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	case <-stop:
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "refserve: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "refserve: drained")
+	return 0
+}
+
+func engineConfig(backend string) engine.Config {
+	return engine.Config{Backend: backend}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad flag":   {"-nope"},
+		"extra args": {"serve", "please"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb, nil, nil); code != 2 {
+			t.Errorf("%s: exit = %d, want 2 (%s)", name, code, errb.String())
+		}
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "999.999.999.999:1"}, &out, &errb, nil, nil); code != 1 {
+		t.Errorf("exit = %d, want 1 (%s)", code, errb.String())
+	}
+}
+
+func TestServeGenerateShutdown(t *testing.T) {
+	portfile := filepath.Join(t.TempDir(), "port")
+	ready := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-portfile", portfile}, &out, &errb, ready, stop)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("server exited early with %d: %s", code, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr.String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"netlist":"rc\nR1 in n1 1k\nC1 n1 0 1n\nRl n1 0 1meg\n.end\n","spec":{"kind":"vgain","in":"in","out":"n1"}}`
+	gresp, err := http.Post(base+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Errorf("generate = %d", gresp.StatusCode)
+	}
+
+	// The portfile must hold the bound port.
+	raw, err := os.ReadFile(portfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := strings.TrimSpace(string(raw))
+	if want := fmt.Sprintf("%d", addr.(*net.TCPAddr).Port); port != want {
+		t.Errorf("portfile holds %q, want %q", port, want)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit = %d: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never drained")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("stdout missing drain notice: %s", out.String())
+	}
+}

@@ -81,5 +81,22 @@ func FuzzXFloat(f *testing.F) {
 				t.Fatalf("FromFloat(%g).Float64() = %g", a, got)
 			}
 		}
+
+		// The wire format is lossless and deterministic: text → value →
+		// text is the identity on spellings, value → text → value on bits.
+		for _, v := range []XFloat{x, y, x.Mul(y)} {
+			text, err := v.MarshalText()
+			if err != nil {
+				t.Fatalf("MarshalText(%v): %v", v, err)
+			}
+			var back XFloat
+			if err := back.UnmarshalText(text); err != nil {
+				t.Fatalf("UnmarshalText(%q): %v", text, err)
+			}
+			if back != v {
+				t.Fatalf("wire round trip of %q: mant=%g exp=%d, want mant=%g exp=%d",
+					text, back.Mant(), back.Exp(), v.Mant(), v.Exp())
+			}
+		}
 	})
 }

@@ -1,0 +1,162 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/pkg/engine"
+)
+
+const hashNetlistA = "rc\nR1 in n1 1k\nC1 n1 0 1n\nRl n1 0 1meg\n.end\n"
+
+// hashNetlistB is the same circuit respelled: reordered cards, renamed
+// elements, ground aliased, values in different units, comments added.
+const hashNetlistB = "other title\n* a comment\nCx n1 gnd 1000p ; load\nRload n1 0 1MEG\nRs in n1 1000\n.end\n"
+
+func hashCircuit(t *testing.T, src string) *engine.Circuit {
+	t.Helper()
+	c, err := engine.ParseNetlist(src, "hash-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	spec := engine.Spec{Kind: "vgain", In: "in", Out: "n1"}
+	a, err := engine.CanonicalKey("nodal", hashCircuit(t, hashNetlistA), spec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.CanonicalKey("nodal", hashCircuit(t, hashNetlistB), spec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("respelled netlist changed the key: %s vs %s", a, b)
+	}
+
+	changed := "rc\nR1 in n1 1k\nC1 n1 0 2n\nRl n1 0 1meg\n.end\n"
+	c, err := engine.CanonicalKey("nodal", hashCircuit(t, changed), spec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("changed capacitor value kept the key")
+	}
+
+	otherSpec, err := engine.CanonicalKey("nodal", hashCircuit(t, hashNetlistA),
+		engine.Spec{Kind: "transz", In: "in", Out: "n1"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherSpec == a {
+		t.Error("changed spec kind kept the key")
+	}
+
+	otherBackend, err := engine.CanonicalKey("exact", hashCircuit(t, hashNetlistA), spec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherBackend == a {
+		t.Error("changed backend kept the key")
+	}
+}
+
+func TestCanonicalKeyOptions(t *testing.T) {
+	spec := engine.Spec{Kind: "vgain", In: "in", Out: "n1"}
+	key := func(o engine.Options) string {
+		t.Helper()
+		k, err := engine.CanonicalKey("nodal", hashCircuit(t, hashNetlistA), spec, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := key(engine.Options{})
+
+	// Result-relevant options must split the address.
+	for name, o := range map[string]engine.Options{
+		"SigDigits":     {SigDigits: 9},
+		"TuningR":       {TuningR: -0.5},
+		"MaxIterations": {MaxIterations: 7},
+		"NoReduce":      {NoReduce: true},
+		"InitFScale":    {InitFScale: 1e6},
+		"SingleFactor":  {SingleFactor: true},
+		"AllowDegraded": {AllowDegraded: true},
+		"FrameRetries":  {FrameRetries: 5},
+	} {
+		if key(o) == base {
+			t.Errorf("option %s did not change the key", name)
+		}
+	}
+
+	// Execution-only options must not: they change wall clock, never
+	// the result bits, so hot requests with different worker counts or
+	// hooks share cache entries.
+	for name, o := range map[string]engine.Options{
+		"Parallelism":  {Parallelism: 8},
+		"RetryBackoff": {RetryBackoff: time.Second},
+		"Observer":     {Observer: func(engine.Iteration) {}},
+		"OnFailure":    {OnFailure: func(engine.FailureEvent) {}},
+	} {
+		if key(o) != base {
+			t.Errorf("execution-only option %s changed the key", name)
+		}
+	}
+}
+
+func TestRequestKey(t *testing.T) {
+	c := hashCircuit(t, hashNetlistA)
+	spec := engine.Spec{Kind: "vgain", In: "in", Out: "n1"}
+	req := engine.Request{Circuit: c, Spec: spec}
+
+	got, err := engine.RequestKey(req, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.CanonicalKey("nodal", c, spec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("auto-selected backend did not resolve to nodal")
+	}
+
+	mnaReq := engine.Request{Circuit: c, Spec: engine.Spec{Kind: "mna"}}
+	gotMNA, err := engine.RequestKey(mnaReq, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMNA, err := engine.CanonicalKey("mna", c, engine.Spec{Kind: "mna"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMNA != wantMNA {
+		t.Error("mna spec kind did not resolve to the mna backend")
+	}
+
+	gotExact, err := engine.RequestKey(req, engine.Config{Backend: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotExact == want {
+		t.Error("explicit Config.Backend was ignored")
+	}
+
+	over := engine.Options{SigDigits: 9}
+	gotOver, err := engine.RequestKey(engine.Request{Circuit: c, Spec: spec, Options: &over}, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOver, err := engine.CanonicalKey("nodal", c, spec, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOver != wantOver {
+		t.Error("request Options override was not keyed")
+	}
+	if gotOver == want {
+		t.Error("request Options override did not change the key")
+	}
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/xmath"
+)
+
+// The wire format is the deterministic JSON rendering of generation
+// results that the reference-generation service caches and serves.
+// Extended-range coefficients spell as "<decimal mantissa>p<binary
+// exponent>" strings (see internal/xmath: the mantissa is the shortest
+// decimal that round-trips the float64 exactly), so a WireResult
+// round-trips the xmath values bit for bit and the encoded bytes are
+// identical on every host — the property that makes cached bodies
+// shareable and the golden-file tests meaningful. Volatile run details
+// (wall-clock timings, worker counts) are deliberately absent: the wire
+// form is a function of circuit × spec × options alone.
+
+// WireCoefficient is one network-function coefficient on the wire.
+type WireCoefficient struct {
+	// Status is "valid", "negligible" or "unknown".
+	Status string `json:"status"`
+	// Value is the exact extended-range coefficient (valid only).
+	Value string `json:"value,omitempty"`
+	// Approx is a human-oriented 6-digit rendering of Value (or Bound);
+	// display only, ignored on decode.
+	Approx string `json:"approx,omitempty"`
+	// Bound is the proven magnitude upper bound (negligible only).
+	Bound string `json:"bound,omitempty"`
+	// Quality is the digits above the validity threshold at acceptance.
+	Quality float64 `json:"quality,omitempty"`
+	// Iteration is the 0-based interpolation that resolved it.
+	Iteration int `json:"iteration"`
+}
+
+// WireIteration summarizes one interpolation run for streaming clients:
+// the deterministic geometry and bookkeeping of an Iteration without
+// the coefficient window or timings.
+type WireIteration struct {
+	Purpose    string  `json:"purpose"`
+	FScale     float64 `json:"fscale"`
+	GScale     float64 `json:"gscale"`
+	K          int     `json:"k"`
+	Offset     int     `json:"offset"`
+	Lo         int     `json:"lo"`
+	Hi         int     `json:"hi"`
+	NewValid   int     `json:"new_valid"`
+	Revised    int     `json:"revised,omitempty"`
+	Solves     int     `json:"solves"`
+	Attempt    int     `json:"attempt,omitempty"`
+	Negligible []int   `json:"negligible,omitempty"`
+}
+
+// WireFailure is one FailureLog entry on the wire.
+type WireFailure struct {
+	Frame  int    `json:"frame"`
+	Target int    `json:"target"`
+	Error  string `json:"error"`
+}
+
+// WireResult is the wire form of one polynomial's Result.
+type WireResult struct {
+	Name       string  `json:"name"`
+	Order      int     `json:"order"`
+	M          int     `json:"m"`
+	SigDigits  int     `json:"sig_digits"`
+	SeedFScale float64 `json:"seed_fscale"`
+	SeedGScale float64 `json:"seed_gscale"`
+	Degraded   bool    `json:"degraded,omitempty"`
+	// Coeffs holds one entry per power of s, 0..OrderBound.
+	Coeffs []WireCoefficient `json:"coeffs"`
+	// Deterministic work counters (see Result).
+	TotalSolves  int             `json:"total_solves"`
+	CacheHits    int             `json:"cache_hits"`
+	CacheMisses  int             `json:"cache_misses"`
+	FrameRetries int             `json:"frame_retries,omitempty"`
+	FailedFrames int             `json:"failed_frames,omitempty"`
+	Diagnostics  []string        `json:"diagnostics,omitempty"`
+	Failures     []WireFailure   `json:"failures,omitempty"`
+	Iterations   []WireIteration `json:"iterations,omitempty"`
+}
+
+// WireResponse is the wire form of a Response: the final payload of the
+// generation service, and the unit the result cache stores.
+type WireResponse struct {
+	Backend  string      `json:"backend,omitempty"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Num      *WireResult `json:"num,omitempty"`
+	Den      *WireResult `json:"den,omitempty"`
+}
+
+// ResultWire converts a Result to its wire form.
+func ResultWire(r *Result) *WireResult {
+	if r == nil {
+		return nil
+	}
+	w := &WireResult{
+		Name:         r.Name,
+		Order:        r.Order(),
+		M:            r.M,
+		SigDigits:    r.SigDigits,
+		SeedFScale:   r.SeedFScale,
+		SeedGScale:   r.SeedGScale,
+		Degraded:     r.Degraded,
+		Coeffs:       make([]WireCoefficient, len(r.Coeffs)),
+		TotalSolves:  r.TotalSolves,
+		CacheHits:    r.CacheHits,
+		CacheMisses:  r.CacheMisses,
+		FrameRetries: r.FrameRetries,
+		FailedFrames: r.FailedFrames,
+		Diagnostics:  r.Diagnostics,
+	}
+	for i, c := range r.Coeffs {
+		wc := WireCoefficient{Status: c.Status.String(), Quality: c.Quality, Iteration: c.Iteration}
+		switch c.Status {
+		case Valid:
+			wc.Value = xfloatText(c.Value)
+			wc.Approx = c.Value.String()
+		case Negligible:
+			wc.Bound = xfloatText(c.Bound)
+			wc.Approx = c.Bound.String()
+		}
+		w.Coeffs[i] = wc
+	}
+	for _, ev := range r.FailureLog {
+		w.Failures = append(w.Failures, WireFailure{Frame: ev.Frame, Target: ev.Target, Error: ev.Err.Error()})
+	}
+	for _, it := range r.Iterations {
+		w.Iterations = append(w.Iterations, IterationWire(it))
+	}
+	return w
+}
+
+// IterationWire converts one Iteration to the summary streamed to
+// service clients.
+func IterationWire(it Iteration) WireIteration {
+	return WireIteration{
+		Purpose: it.Purpose, FScale: it.FScale, GScale: it.GScale,
+		K: it.K, Offset: it.Offset, Lo: it.Lo, Hi: it.Hi,
+		NewValid: it.NewValid, Revised: it.Revised, Solves: it.Solves,
+		Attempt: it.Attempt, Negligible: it.Negligible,
+	}
+}
+
+// ResponseWire converts a Response to its wire form.
+func ResponseWire(resp *Response) *WireResponse {
+	if resp == nil {
+		return nil
+	}
+	w := &WireResponse{Num: ResultWire(resp.Num), Den: ResultWire(resp.Den), Degraded: resp.Degraded()}
+	if resp.Formulation != nil {
+		w.Backend = resp.Formulation.Backend
+	}
+	return w
+}
+
+// Result converts the wire form back. Coefficient values, bounds and
+// every deterministic counter reconstruct exactly; the full Iteration
+// records (coefficient windows, timings) are not on the wire, so the
+// returned Result carries none.
+func (w *WireResult) Result() (*Result, error) {
+	r := &Result{
+		Name:         w.Name,
+		M:            w.M,
+		SigDigits:    w.SigDigits,
+		SeedFScale:   w.SeedFScale,
+		SeedGScale:   w.SeedGScale,
+		Degraded:     w.Degraded,
+		Coeffs:       make([]Coefficient, len(w.Coeffs)),
+		TotalSolves:  w.TotalSolves,
+		CacheHits:    w.CacheHits,
+		CacheMisses:  w.CacheMisses,
+		FrameRetries: w.FrameRetries,
+		FailedFrames: w.FailedFrames,
+		Diagnostics:  w.Diagnostics,
+	}
+	for i, wc := range w.Coeffs {
+		c := Coefficient{Quality: wc.Quality, Iteration: wc.Iteration}
+		switch wc.Status {
+		case "valid":
+			c.Status = Valid
+			if err := parseXFloat(&c.Value, wc.Value, i, "value"); err != nil {
+				return nil, err
+			}
+		case "negligible":
+			c.Status = Negligible
+			if err := parseXFloat(&c.Bound, wc.Bound, i, "bound"); err != nil {
+				return nil, err
+			}
+		case "unknown":
+			c.Status = Unknown
+		default:
+			return nil, fmt.Errorf("engine: wire coefficient s^%d has unknown status %q", i, wc.Status)
+		}
+		r.Coeffs[i] = c
+	}
+	return r, nil
+}
+
+// EncodeResponseJSON renders the wire form of a response with the
+// stable indented layout the golden-file tests pin byte for byte.
+func EncodeResponseJSON(resp *Response) ([]byte, error) {
+	return EncodeWireJSON(ResponseWire(resp))
+}
+
+// EncodeWireJSON renders an already-converted wire response with the
+// same stable layout as EncodeResponseJSON.
+func EncodeWireJSON(w *WireResponse) ([]byte, error) {
+	raw, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// DecodeResponseJSON parses an encoded wire response and reconstructs
+// the Results (see WireResult.Result for what reconstructs).
+func DecodeResponseJSON(raw []byte) (*WireResponse, *Result, *Result, error) {
+	var w WireResponse
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: wire response: %w", err)
+	}
+	var num, den *Result
+	if w.Num != nil {
+		r, err := w.Num.Result()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		num = r
+	}
+	if w.Den != nil {
+		r, err := w.Den.Result()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		den = r
+	}
+	return &w, num, den, nil
+}
+
+func xfloatText(x xmath.XFloat) string {
+	b, err := x.MarshalText()
+	if err != nil {
+		// MarshalText on XFloat cannot fail; keep the signature honest.
+		panic(err)
+	}
+	return string(b)
+}
+
+func parseXFloat(dst *xmath.XFloat, s string, i int, what string) error {
+	if s == "" {
+		return fmt.Errorf("engine: wire coefficient s^%d is missing its %s", i, what)
+	}
+	if err := dst.UnmarshalText([]byte(s)); err != nil {
+		return fmt.Errorf("engine: wire coefficient s^%d: %w", i, err)
+	}
+	return nil
+}

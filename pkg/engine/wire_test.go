@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/pkg/engine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// goldenResponse generates the named fixture's response. The degraded
+// fixture drives a fault-wrapped backend whose plan makes every
+// evaluation point singular, so retries exhaust deterministically and
+// AllowDegraded yields a partial result with a populated failure log —
+// the shape a service client sees when it opts into partial answers.
+func goldenResponse(t *testing.T, name string) *engine.Response {
+	t.Helper()
+	eng, err := engine.New(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch name {
+	case "biquad":
+		in, out := circuits.BiquadNodes()
+		resp, err := eng.Generate(t.Context(), engine.Request{
+			Circuit: circuits.Biquad(),
+			Spec:    engine.Spec{Kind: "vgain", In: in, Out: out},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	case "ladder40":
+		resp, err := eng.Generate(t.Context(), engine.Request{
+			Circuit: circuits.RCLadder(40, 1e3, 1e-9),
+			Spec:    engine.Spec{Kind: "vgain", In: "in", Out: circuits.RCLadderOut(40)},
+			Options: &engine.Options{MaxIterations: 300},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	case "degraded":
+		c, err := engine.ParseNetlist(
+			"gc2\nR1 in x 10k\nC1 x 0 2p\nR2 x out 20k\nC2 out 0 1p\nRl out 0 100k\n.end\n", "gc2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := engine.Spec{Kind: "vgain", In: "in", Out: "out"}
+		inner, err := engine.LookupBackend("nodal", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		form, err := fault.New(inner, &fault.Plan{SingularOneIn: 1}).Formulate(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := eng.Generate(t.Context(), engine.Request{
+			Circuit: c, Spec: spec, Formulation: form,
+			Options: &engine.Options{AllowDegraded: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Degraded() {
+			t.Fatal("fixture did not degrade")
+		}
+		return resp
+	}
+	t.Fatalf("unknown fixture %q", name)
+	return nil
+}
+
+// TestWireGolden pins the wire format byte for byte against committed
+// fixtures (regenerate with go test ./pkg/engine -run Golden -update)
+// and proves the decode side reconstructs every coefficient exactly.
+func TestWireGolden(t *testing.T) {
+	for _, name := range []string{"biquad", "ladder40", "degraded"} {
+		t.Run(name, func(t *testing.T) {
+			resp := goldenResponse(t, name)
+			raw, err := engine.EncodeResponseJSON(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "wire", name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(raw, want) {
+				t.Errorf("wire format drifted from %s (%d vs %d bytes); if intentional, regenerate with -update and flag the format change in review",
+					path, len(raw), len(want))
+			}
+
+			again, err := engine.EncodeResponseJSON(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, again) {
+				t.Error("re-encoding the same response changed bytes")
+			}
+
+			w, num, den, err := engine.DecodeResponseJSON(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Degraded != resp.Degraded() {
+				t.Errorf("decoded Degraded = %v, want %v", w.Degraded, resp.Degraded())
+			}
+			checkRoundTrip(t, "num", resp.Num, num)
+			checkRoundTrip(t, "den", resp.Den, den)
+		})
+	}
+}
+
+// checkRoundTrip asserts the decoded Result reproduces the original's
+// coefficients bit for bit (XFloat is comparable; == is exact) along
+// with the deterministic counters.
+func checkRoundTrip(t *testing.T, label string, orig, got *engine.Result) {
+	t.Helper()
+	if (orig == nil) != (got == nil) {
+		t.Fatalf("%s: decoded nil-ness mismatch", label)
+	}
+	if orig == nil {
+		return
+	}
+	if len(got.Coeffs) != len(orig.Coeffs) {
+		t.Fatalf("%s: %d coefficients decoded, want %d", label, len(got.Coeffs), len(orig.Coeffs))
+	}
+	for i, c := range orig.Coeffs {
+		d := got.Coeffs[i]
+		if d.Status != c.Status {
+			t.Errorf("%s s^%d: status %v, want %v", label, i, d.Status, c.Status)
+		}
+		if c.Status == engine.Valid && d.Value != c.Value {
+			t.Errorf("%s s^%d: value %v, want %v (inexact round trip)", label, i, d.Value, c.Value)
+		}
+		if c.Status == engine.Negligible && d.Bound != c.Bound {
+			t.Errorf("%s s^%d: bound %v, want %v (inexact round trip)", label, i, d.Bound, c.Bound)
+		}
+		if d.Quality != c.Quality || d.Iteration != c.Iteration {
+			t.Errorf("%s s^%d: quality/iteration drifted", label, i)
+		}
+	}
+	if got.TotalSolves != orig.TotalSolves || got.M != orig.M ||
+		got.SigDigits != orig.SigDigits || got.Degraded != orig.Degraded ||
+		got.SeedFScale != orig.SeedFScale || got.SeedGScale != orig.SeedGScale {
+		t.Errorf("%s: deterministic header fields drifted", label)
+	}
+}
+
+func TestWireDecodeRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"bad status":    `{"num":{"coeffs":[{"status":"wobbly"}]}}`,
+		"missing value": `{"num":{"coeffs":[{"status":"valid"}]}}`,
+		"bad xfloat":    `{"num":{"coeffs":[{"status":"valid","value":"1.5"}]}}`,
+		"missing bound": `{"den":{"coeffs":[{"status":"negligible"}]}}`,
+		"not json":      `{"num":`,
+	} {
+		if _, _, _, err := engine.DecodeResponseJSON([]byte(body)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, body)
+		}
+	}
+}

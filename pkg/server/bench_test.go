@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The service benchmarks report deterministic per-op counters next to
+// wall clock: cache-hits/op and cache-misses/op are exact by
+// construction (1 and 0 for the cached path, 0 and 1 for the cold
+// path), and singleflight-shared/op is pinned by a rendezvous. CI's
+// benchjson -compare gates on the counters, so a change that silently
+// stops hitting the cache or sharing flights fails the bench gate even
+// when wall clock happens to look fine.
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func postBench(b *testing.B, h *Server, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func benchBody(b *testing.B, netlist string) []byte {
+	b.Helper()
+	raw, err := json.Marshal(GenerateRequest{
+		Netlist: netlist,
+		Spec:    SpecJSON{Kind: "vgain", In: "in", Out: "n1"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+const benchNetlist = "rc\nR1 in n1 1k\nC1 n1 0 1n\nRl n1 0 1meg\n.end\n"
+
+// BenchmarkServerCached is the hot path: every request after the primer
+// answers from the result cache. cache-hits/op = 1, cache-misses/op = 0.
+func BenchmarkServerCached(b *testing.B) {
+	s := benchServer(b)
+	body := benchBody(b, benchNetlist)
+	postBench(b, s, body) // prime
+	before := s.cache.stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, s, body)
+	}
+	b.StopTimer()
+	after := s.cache.stats()
+	b.ReportMetric(float64(after.Hits-before.Hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(after.Misses-before.Misses)/float64(b.N), "cache-misses/op")
+}
+
+// BenchmarkServerCold is the miss path: every request carries a
+// distinct circuit, so each one generates. The capacitance cycles
+// through 1000 values against a 512-entry LRU — cyclic reuse beyond
+// capacity always evicts before reuse, so every op misses exactly once.
+func BenchmarkServerCold(b *testing.B) {
+	s := benchServer(b)
+	bodies := make([][]byte, 1000)
+	for i := range bodies {
+		bodies[i] = benchBody(b, fmt.Sprintf("rc\nR1 in n1 1k\nC1 n1 0 %dp\nRl n1 0 1meg\n.end\n", 1000+i))
+	}
+	before := s.cache.stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, s, bodies[i%len(bodies)])
+	}
+	b.StopTimer()
+	after := s.cache.stats()
+	b.ReportMetric(float64(after.Hits-before.Hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(after.Misses-before.Misses)/float64(b.N), "cache-misses/op")
+}
+
+// BenchmarkServerSingleflight measures the dedup layer directly with a
+// deterministic rendezvous: 8 concurrent joins per op, the leader holds
+// the flight open until all 8 are attached, so exactly 7 share.
+// singleflight-shared/op = 7.
+func BenchmarkServerSingleflight(b *testing.B) {
+	g := newGroup()
+	var shared atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i)
+		var joined, done sync.WaitGroup
+		joined.Add(8)
+		done.Add(8)
+		for j := 0; j < 8; j++ {
+			go func() {
+				defer done.Done()
+				fl, leader := g.join(key)
+				joined.Done()
+				if leader {
+					joined.Wait()
+					g.finish(fl, &entry{key: key}, nil, 0)
+					return
+				}
+				shared.Add(1)
+				<-fl.done
+			}()
+		}
+		done.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(shared.Load())/float64(b.N), "singleflight-shared/op")
+}

@@ -1,0 +1,593 @@
+// Package server is the HTTP front end of the reference-generation
+// engine. One POST endpoint accepts a netlist, a network-function Spec
+// and generation options, and answers with the deterministic wire-form
+// result (pkg/engine wire format) — either as a single JSON body or as
+// an NDJSON/SSE stream of iteration events followed by the final
+// result.
+//
+// The data path is admission → content address → cache → single-flight
+// → engine:
+//
+//   - every request is content-addressed with engine.RequestKey, so
+//     respelled netlists, renamed elements and execution-only option
+//     differences all land on the same address;
+//   - the LRU result cache answers hot keys without touching the
+//     engine, byte-identically (the wire format is deterministic);
+//   - concurrent misses on the same key collapse into one flight: one
+//     generation runs, every waiter shares its outcome. Waiters that
+//     hit their per-request deadline detach with 504 while the flight
+//     runs on under the server's lifetime context and still fills the
+//     cache;
+//   - a semaphore bounds concurrently running generations (admission
+//     control); excess flights queue.
+//
+// Failures keep their taxonomy: client mistakes are 400, generation
+// failures are 422 with the engine's error kind in the body, deadline
+// exhaustion is 504. 5xx means a bug (panic) — the CI load gate counts
+// them. Degraded partial results (Options.AllowDegraded) are 200s whose
+// body and X-Degraded header say so.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/engine"
+)
+
+// Config configures a Server. The zero value serves with the default
+// engine, a 512-entry/64 MiB cache, GOMAXPROCS concurrent generations
+// and a 60 s default / 5 min maximum request deadline.
+type Config struct {
+	// Engine configures the backend and default generation options.
+	Engine engine.Config
+	// CacheEntries and CacheBytes bound the result cache. 0 selects the
+	// defaults (512 entries, 64 MiB); negative disables that bound.
+	CacheEntries int
+	CacheBytes   int64
+	// MaxConcurrent bounds generations running at once; further flights
+	// queue for a slot. 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// DefaultTimeout applies to requests that carry no timeout_ms;
+	// MaxTimeout clamps requested timeouts and bounds every flight's
+	// generation. 0 selects 60 s and 5 min.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// Stats is the server's counter snapshot (GET /v1/stats).
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	// Generations counts engine generations actually run — the number
+	// the single-flight and cache layers exist to minimize.
+	Generations uint64 `json:"generations"`
+	// SingleflightShared counts requests answered by attaching to an
+	// already-running flight instead of generating.
+	SingleflightShared uint64 `json:"singleflight_shared"`
+	Requests           uint64 `json:"requests"`
+	Inflight           int64  `json:"inflight"`
+	// ServerErrors counts 5xx responses (handler panics).
+	ServerErrors  uint64 `json:"server_errors"`
+	MaxConcurrent int    `json:"max_concurrent"`
+}
+
+// Server implements the service. Create with New, serve Handler, Close
+// when done (Close waits for in-flight generations to unwind).
+type Server struct {
+	cfg    Config
+	eng    *engine.Engine
+	cache  *cache
+	group  *group
+	sem    chan struct{}
+	base   context.Context
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	generations  atomic.Uint64
+	shared       atomic.Uint64
+	requests     atomic.Uint64
+	inflight     atomic.Int64
+	serverErrors atomic.Uint64
+}
+
+// New validates the configuration and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	eng, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 512
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Server{
+		cfg:   cfg,
+		eng:   eng,
+		cache: newCache(cfg.CacheEntries, cfg.CacheBytes),
+		group: newGroup(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		base:  base,
+		stop:  stop,
+	}, nil
+}
+
+// Close cancels every running flight and waits for their goroutines.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.stop()
+	s.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Cache:              s.cache.stats(),
+		Generations:        s.generations.Load(),
+		SingleflightShared: s.shared.Load(),
+		Requests:           s.requests.Load(),
+		Inflight:           s.inflight.Load(),
+		ServerErrors:       s.serverErrors.Load(),
+		MaxConcurrent:      s.cfg.MaxConcurrent,
+	}
+}
+
+// Handler returns the service mux: POST /v1/generate, GET /v1/stats,
+// GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s.recovered(mux)
+}
+
+// recovered converts handler panics into counted 500s — the only 5xx
+// the service produces, which is what makes "zero 5xx" a meaningful
+// load-gate invariant.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.serverErrors.Add(1)
+				writeError(w, http.StatusInternalServerError, "panic", fmt.Errorf("%v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// GenerateRequest is the POST /v1/generate body.
+type GenerateRequest struct {
+	// Netlist is SPICE-like netlist source text.
+	Netlist string `json:"netlist"`
+	// Spec names the network function.
+	Spec SpecJSON `json:"spec"`
+	// Options, when present, overrides the server's generation options.
+	Options *OptionsJSON `json:"options,omitempty"`
+	// TimeoutMs caps this request's wait (clamped to the server's
+	// MaxTimeout). 0 selects the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Stream selects the response shape: "" (single JSON body),
+	// "ndjson" or "sse". The stream query parameter takes precedence.
+	Stream string `json:"stream,omitempty"`
+}
+
+// SpecJSON mirrors engine.Spec on the wire.
+type SpecJSON struct {
+	Kind string `json:"kind"`
+	In   string `json:"in,omitempty"`
+	Inn  string `json:"inn,omitempty"`
+	Out  string `json:"out,omitempty"`
+}
+
+// OptionsJSON is the client-settable subset of engine.Options: the
+// result-relevant knobs plus Parallelism (execution-only, excluded from
+// the content address). Hook fields and warm-start state stay
+// server-side.
+type OptionsJSON struct {
+	SigDigits          int     `json:"sig_digits,omitempty"`
+	TuningR            float64 `json:"tuning_r,omitempty"`
+	MaxIterations      int     `json:"max_iterations,omitempty"`
+	NoReduce           bool    `json:"no_reduce,omitempty"`
+	StallLimit         int     `json:"stall_limit,omitempty"`
+	InitFScale         float64 `json:"init_fscale,omitempty"`
+	InitGScale         float64 `json:"init_gscale,omitempty"`
+	SingleFactor       bool    `json:"single_factor,omitempty"`
+	NoMirror           bool    `json:"no_mirror,omitempty"`
+	NoJoint            bool    `json:"no_joint,omitempty"`
+	FrameRetries       int     `json:"frame_retries,omitempty"`
+	AllowDegraded      bool    `json:"allow_degraded,omitempty"`
+	WatchdogStall      int     `json:"watchdog_stall,omitempty"`
+	MaxScaleDriftLog10 float64 `json:"max_scale_drift_log10,omitempty"`
+	Parallelism        int     `json:"parallelism,omitempty"`
+}
+
+func (o *OptionsJSON) engineOptions() engine.Options {
+	return engine.Options{
+		SigDigits:          o.SigDigits,
+		TuningR:            o.TuningR,
+		MaxIterations:      o.MaxIterations,
+		NoReduce:           o.NoReduce,
+		StallLimit:         o.StallLimit,
+		InitFScale:         o.InitFScale,
+		InitGScale:         o.InitGScale,
+		SingleFactor:       o.SingleFactor,
+		NoMirror:           o.NoMirror,
+		NoJoint:            o.NoJoint,
+		FrameRetries:       o.FrameRetries,
+		AllowDegraded:      o.AllowDegraded,
+		WatchdogStall:      o.WatchdogStall,
+		MaxScaleDriftLog10: o.MaxScaleDriftLog10,
+		Parallelism:        o.Parallelism,
+	}
+}
+
+// errorBody is the JSON shape of every non-200 answer.
+type errorBody struct {
+	Status int    `json:"status"`
+	Kind   string `json:"kind"`
+	Error  string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Status: status, Kind: kind, Error: err.Error()})
+}
+
+// errKind names a generation failure with the engine taxonomy.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, engine.ErrIterationBudget):
+		return "iteration-budget"
+	case errors.Is(err, engine.ErrStall):
+		return "stall"
+	case errors.Is(err, engine.ErrScaleDivergence):
+		return "scale-divergence"
+	case errors.Is(err, engine.ErrFrameFailed):
+		return "frame-failed"
+	case errors.Is(err, engine.ErrSingularPoint):
+		return "singular-point"
+	default:
+		return "generation"
+	}
+}
+
+// errStatus maps a flight failure to its HTTP status: deadline/cancel
+// of the flight itself is 504, everything the engine can diagnose is a
+// 422 — the request was well-formed but this circuit × spec × options
+// cannot be generated as asked.
+func errStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req GenerateRequest
+	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Netlist == "" {
+		writeError(w, http.StatusBadRequest, "bad-request", errors.New("empty netlist"))
+		return
+	}
+	circ, err := engine.ParseNetlist(req.Netlist, "request")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-netlist", err)
+		return
+	}
+
+	ereq := engine.Request{
+		Circuit: circ,
+		Spec:    engine.Spec{Kind: req.Spec.Kind, In: req.Spec.In, Inn: req.Spec.Inn, Out: req.Spec.Out},
+	}
+	if req.Options != nil {
+		opts := req.Options.engineOptions()
+		ereq.Options = &opts
+	}
+	key, err := engine.RequestKey(ereq, s.cfg.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-netlist", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	mode := streamMode(r, req.Stream)
+	if mode == "invalid" {
+		writeError(w, http.StatusBadRequest, "bad-request",
+			errors.New(`stream must be "", "ndjson" or "sse"`))
+		return
+	}
+
+	if e, ok := s.cache.get(key); ok {
+		s.respondEntry(w, mode, "hit", e)
+		return
+	}
+
+	fl, leader := s.group.join(key)
+	if leader {
+		s.wg.Add(1)
+		go s.runFlight(fl, ereq)
+	} else {
+		s.shared.Add(1)
+	}
+	source := "miss"
+	if !leader {
+		source = "shared"
+	}
+
+	if mode != "" {
+		s.streamFlight(ctx, w, mode, source, fl)
+		return
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			writeError(w, fl.status, errKind(fl.err), fl.err)
+			return
+		}
+		s.respondEntry(w, "", source, fl.entry)
+	case <-ctx.Done():
+		// Detach: the flight keeps running under the server context and
+		// will fill the cache for whoever asks next.
+		writeError(w, http.StatusGatewayTimeout, errKind(ctx.Err()), ctx.Err())
+	}
+}
+
+// runFlight is the leader's generation goroutine. It runs under the
+// server's lifetime context — never a request's — bounded by
+// MaxTimeout, so waiter cancellation can never abort shared work.
+func (s *Server) runFlight(fl *flight, ereq engine.Request) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.base.Done():
+		s.group.finish(fl, nil, s.base.Err(), http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	ctx, cancel := context.WithTimeout(s.base, s.cfg.MaxTimeout)
+	defer cancel()
+
+	s.generations.Add(1)
+	ereq.Observer = func(it engine.Iteration) { fl.hub.publish(engine.IterationWire(it)) }
+	resp, err := s.eng.Generate(ctx, ereq)
+	if err != nil {
+		s.group.finish(fl, nil, err, errStatus(err))
+		return
+	}
+	wire := engine.ResponseWire(resp)
+	raw, err := engine.EncodeWireJSON(wire)
+	if err != nil {
+		s.group.finish(fl, nil, err, http.StatusUnprocessableEntity)
+		return
+	}
+	e := &entry{key: fl.key, body: raw, wire: wire}
+	s.cache.put(e)
+	s.group.finish(fl, e, nil, 0)
+}
+
+// respondEntry writes a finished entry: the cached body verbatim for
+// plain requests, or a replayed event stream for streaming ones.
+func (s *Server) respondEntry(w http.ResponseWriter, mode, source string, e *entry) {
+	if mode != "" {
+		st := newStreamWriter(w, mode)
+		for _, ev := range wireEvents(e.wire) {
+			st.event(ev)
+		}
+		st.result(source, e.body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	if e.wire.Degraded {
+		w.Header().Set("X-Degraded", "true")
+	}
+	_, _ = w.Write(e.body)
+}
+
+// wireEvents reconstructs the iteration event sequence of a finished
+// response in generation order (numerator pass, then denominator), with
+// the same contiguous seq numbering a live stream produces.
+func wireEvents(wr *engine.WireResponse) []streamEvent {
+	var evs []streamEvent
+	for _, r := range []*engine.WireResult{wr.Num, wr.Den} {
+		if r == nil {
+			continue
+		}
+		for _, it := range r.Iterations {
+			evs = append(evs, streamEvent{Seq: len(evs), Iteration: it})
+		}
+	}
+	return evs
+}
+
+// streamMode resolves the response shape: query parameter beats body
+// field; Accept: text/event-stream selects SSE when neither is set.
+func streamMode(r *http.Request, bodyStream string) string {
+	mode := r.URL.Query().Get("stream")
+	if mode == "" {
+		mode = bodyStream
+	}
+	if mode == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		mode = "sse"
+	}
+	switch mode {
+	case "", "ndjson", "sse":
+		return mode
+	}
+	return "invalid"
+}
+
+// streamFlight streams a running flight: replayed history first, then
+// live events, then the final result (or error) as the closing event.
+// A request deadline or client disconnect detaches the subscriber only.
+func (s *Server) streamFlight(ctx context.Context, w http.ResponseWriter, mode, source string, fl *flight) {
+	// Buffer comfortably above any real iteration count (MaxIterations
+	// defaults to 64 per polynomial) so only a truly stuck reader lags.
+	hist, ch := fl.hub.subscribe(1024)
+	if ch != nil {
+		defer fl.hub.unsubscribe(ch)
+	}
+	st := newStreamWriter(w, mode)
+	last := -1
+	for _, ev := range hist {
+		st.event(ev)
+		last = ev.Seq
+	}
+	for ch != nil {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				ch = nil
+				break
+			}
+			st.event(ev)
+			last = ev.Seq
+		case <-ctx.Done():
+			st.fail(http.StatusGatewayTimeout, errKind(ctx.Err()), ctx.Err())
+			return
+		}
+	}
+	// The hub closed on us: either the flight finished, or we lagged and
+	// were detached. Wait out the flight (with the request deadline
+	// still in force), backfill whatever we missed, then close out.
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		st.fail(http.StatusGatewayTimeout, errKind(ctx.Err()), ctx.Err())
+		return
+	}
+	if fl.err != nil {
+		st.fail(fl.status, errKind(fl.err), fl.err)
+		return
+	}
+	for _, ev := range fl.hub.snapshot(last) {
+		st.event(ev)
+	}
+	st.result(source, fl.entry.body)
+}
+
+// streamWriter renders the event protocol in NDJSON or SSE framing.
+// Events: {"event":"iteration","seq":N,"iteration":{...}} per
+// iteration, then exactly one {"event":"result","cache":...,"result":
+// {...}} or {"event":"error","status":...,"kind":...,"error":...}.
+type streamWriter struct {
+	w     http.ResponseWriter
+	f     http.Flusher
+	mode  string
+	wrote bool
+}
+
+func newStreamWriter(w http.ResponseWriter, mode string) *streamWriter {
+	st := &streamWriter{w: w, mode: mode}
+	st.f, _ = w.(http.Flusher)
+	if mode == "sse" {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	return st
+}
+
+func (st *streamWriter) emit(name string, payload any) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	if st.mode == "sse" {
+		fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, raw)
+	} else {
+		fmt.Fprintf(st.w, "%s\n", raw)
+	}
+	st.wrote = true
+	if st.f != nil {
+		st.f.Flush()
+	}
+}
+
+func (st *streamWriter) event(ev streamEvent) {
+	st.emit("iteration", struct {
+		Event     string               `json:"event"`
+		Seq       int                  `json:"seq"`
+		Iteration engine.WireIteration `json:"iteration"`
+	}{"iteration", ev.Seq, ev.Iteration})
+}
+
+func (st *streamWriter) result(source string, body []byte) {
+	st.emit("result", struct {
+		Event  string          `json:"event"`
+		Cache  string          `json:"cache"`
+		Result json.RawMessage `json:"result"`
+	}{"result", source, json.RawMessage(body)})
+}
+
+func (st *streamWriter) fail(status int, kind string, err error) {
+	// Before any event is written the plain error shape (with its real
+	// HTTP status) is still available; mid-stream the status line is
+	// gone, so the error becomes the closing event.
+	if !st.wrote {
+		writeError(st.w, status, kind, err)
+		return
+	}
+	st.emit("error", struct {
+		Event  string `json:"event"`
+		Status int    `json:"status"`
+		Kind   string `json:"kind"`
+		Error  string `json:"error"`
+	}{"error", status, kind, err.Error()})
+}
