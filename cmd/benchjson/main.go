@@ -19,8 +19,11 @@
 // two snapshots: those are exact properties of the algorithm, identical
 // on every host, so any increase is a real regression. Timings (ns/op
 // and friends) stay advisory — shared CI runners are too noisy to gate
-// on. The CI bench smoke job runs check mode for set membership and
-// compare mode for the counters.
+// on. For the steady-state hot-path benchmarks (BenchmarkEvalBatch*),
+// allocs/op is also gated lower-is-better: those ops are primed to zero
+// heap allocations, so any count above the baseline means the hot path
+// started allocating again. The CI bench smoke job runs check mode for
+// set membership and compare mode for the counters.
 package main
 
 import (
@@ -66,6 +69,13 @@ var deterministicUnits = map[string]bool{
 	"solves/point":           true,
 	"singleflight-shared/op": true,
 }
+
+// allocGated matches the benchmarks whose allocs/op is deterministic:
+// the steady-state hot-path ops are primed so the measured op performs
+// zero heap allocations, making the count an exact property of the code
+// (not of the host or the GC) and safe to gate. Everywhere else
+// allocs/op stays advisory, like timings.
+var allocGated = regexp.MustCompile(`^BenchmarkEvalBatch`)
 
 // higherIsBetterUnits flips the regression direction for counters where
 // a drop is the regression: losing warm starts means a sweep fell back
@@ -147,7 +157,9 @@ func compare(old, fresh Snapshot, stdout io.Writer) int {
 		}
 		units := make([]string, 0, len(e.Extra))
 		for unit := range e.Extra {
-			if deterministicUnits[unit] {
+			gated := deterministicUnits[unit] ||
+				(unit == "allocs/op" && allocGated.MatchString(e.Name))
+			if gated {
 				if _, has := base.Extra[unit]; has {
 					units = append(units, unit)
 				}

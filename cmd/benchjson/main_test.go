@@ -140,6 +140,47 @@ func TestSnapshotAndCheckModes(t *testing.T) {
 	}
 }
 
+// TestCompareAllocsGate pins the hot-path allocation gate: allocs/op is
+// compared (lower-is-better) on BenchmarkEvalBatch* names only, so a
+// steady-state op that starts allocating fails the gate while advisory
+// allocation counts elsewhere stay ignored.
+func TestCompareAllocsGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkEvalBatchBiquad", N: 1, NsOp: 6000, Extra: map[string]float64{
+			"B/op": 0, "allocs/op": 0}},
+		{Name: "BenchmarkIDFTDirect49", N: 1, NsOp: 7000, Extra: map[string]float64{
+			"allocs/op": 3}},
+	})
+
+	// A hot-path op that allocates again is a regression, even by one.
+	leaky := writeSnapshot(t, dir, "leaky.json", []Entry{
+		{Name: "BenchmarkEvalBatchBiquad", N: 1, NsOp: 6000, Extra: map[string]float64{
+			"B/op": 64, "allocs/op": 1}},
+		{Name: "BenchmarkIDFTDirect49", N: 1, NsOp: 7000, Extra: map[string]float64{
+			"allocs/op": 3}},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", old, leaky}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("leaky hot path exited %d, want 1 (stdout %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkEvalBatchBiquad allocs/op") {
+		t.Errorf("missing allocs regression in %q", out.String())
+	}
+
+	// Off-path allocation counts are advisory: a jump elsewhere passes.
+	noisy := writeSnapshot(t, dir, "noisy.json", []Entry{
+		{Name: "BenchmarkEvalBatchBiquad", N: 1, NsOp: 6000, Extra: map[string]float64{
+			"B/op": 0, "allocs/op": 0}},
+		{Name: "BenchmarkIDFTDirect49", N: 1, NsOp: 7000, Extra: map[string]float64{
+			"allocs/op": 30}},
+	})
+	out.Reset()
+	if code := run([]string{"-compare", old, noisy}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("off-path alloc noise exited %d, want 0 (stdout %q)", code, out.String())
+	}
+}
+
 // TestCompareWarmStartDirection pins the inverted gate: fewer warm
 // starts (or more cold fallbacks / solves per point) is the regression.
 func TestCompareWarmStartDirection(t *testing.T) {

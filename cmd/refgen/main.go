@@ -57,12 +57,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fscale     = fs.Float64("fscale", 0, "frequency scale factor (fixed method; 0 = 1/mean C)")
 		gscale     = fs.Float64("gscale", 0, "conductance scale factor (fixed method; 0 = 1/mean G)")
 		sigDigits  = fs.Int("sigdigits", 6, "required significant digits σ")
+		maxIter    = fs.Int("maxiter", 0, "iteration budget per polynomial (0 = engine default of 64; large circuits need more)")
 		noReduce   = fs.Bool("noreduce", false, "disable eq. (17) problem-size reduction")
 		verbose    = fs.Bool("v", false, "print the iteration trace")
 		progress   = fs.Bool("progress", false, "stream one line per iteration to stderr as it completes")
 		showPoles  = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
 		parallel   = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
 		allowDeg   = fs.Bool("allow-degraded", false, "return a degraded partial result instead of failing when frames or watchdogs give up")
+		schedCache = fs.String("schedule-cache", "", "directory of the persistent scale-schedule store (adaptive method): warm-start from a previously converged schedule of this request, persist the converged one")
 		timeout    = fs.Duration("timeout", 0, "abort generation after this long (0 = no limit); partial results are printed")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
@@ -116,10 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
-	eng, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Backend: *backend,
-		Options: engine.Options{SigDigits: *sigDigits, NoReduce: *noReduce, Parallelism: *parallel, AllowDegraded: *allowDeg},
-	})
+		Options: engine.Options{SigDigits: *sigDigits, MaxIterations: *maxIter, NoReduce: *noReduce, Parallelism: *parallel, AllowDegraded: *allowDeg},
+	}
+	eng, err := engine.New(cfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -147,6 +150,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 					it.Purpose, it.FScale, it.GScale, it.K, it.NewValid)
 			}
 		}
+		var store *engine.ScheduleStore
+		var key string
+		if *schedCache != "" {
+			store, err = engine.OpenScheduleStore(*schedCache)
+			if err != nil {
+				return fail(err)
+			}
+			key, err = engine.RequestKey(req, cfg)
+			if err != nil {
+				return fail(err)
+			}
+			if warm, reason := store.Load(key); warm != nil {
+				opts := cfg.Options
+				opts.WarmStart = warm
+				req.Options = &opts
+				fmt.Fprintf(stdout, "schedule cache: warm candidate %s\n", key[:12])
+			} else {
+				fmt.Fprintf(stdout, "schedule cache: cold (%s)\n", reason)
+			}
+		}
 		resp, err := eng.Generate(ctx, req)
 		if resp != nil {
 			if resp.Num != nil {
@@ -158,6 +181,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err != nil {
 			return fail(err)
+		}
+		if store != nil && !resp.Degraded() {
+			if ws := resp.WarmState(); ws != nil {
+				if err := store.Save(key, ws); err != nil {
+					fmt.Fprintln(stderr, "refgen: schedule cache:", err)
+				}
+			}
 		}
 		if *showPoles {
 			printRoots(stdout, "zeros", resp.Num.Poly())
@@ -194,6 +224,12 @@ func printResult(w io.Writer, r *engine.Result, verbose bool) {
 	fmt.Fprintln(w, r)
 	for _, d := range r.Diagnostics {
 		fmt.Fprintf(w, "warning: %s\n", d)
+	}
+	if r.WarmStarted {
+		fmt.Fprintf(w, "warm start: replayed %d frames, %d adaptation iterations\n",
+			r.ReplayedFrames, len(r.Iterations)-r.ReplayedFrames)
+	} else if r.ColdFallback != "" {
+		fmt.Fprintf(w, "cold fallback: %s\n", r.ColdFallback)
 	}
 	if r.Degraded {
 		fmt.Fprintf(w, "DEGRADED: %d failure events, %d frame retries, %d frames failed\n",

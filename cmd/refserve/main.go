@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr registers the profiling handlers on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent generation bound (0 = GOMAXPROCS)")
 		timeout       = fs.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
 		maxTimeout    = fs.Duration("max-timeout", 0, "deadline and generation-time ceiling (0 = 5m)")
+		schedCache    = fs.String("schedule-cache", "", "directory of the persistent scale-schedule store (empty = disabled)")
+		debugAddr     = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on the serving port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,12 +69,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		ScheduleDir:    *schedCache,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "refserve: %v\n", err)
 		return 1
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// Opt-in profiling endpoint on its own listener, never the serving
+		// port: the pprof handlers are registered on the default mux by
+		// the net/http/pprof import, and the service mux (srv.Handler)
+		// does not route them.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "refserve: debug listener: %v\n", err)
+			return 1
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, nil) }()
+		fmt.Fprintf(stdout, "refserve: pprof on %s\n", dln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

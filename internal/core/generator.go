@@ -47,6 +47,23 @@ type generator struct {
 	// set, run returned errColdRestart and GenerateContext reruns the
 	// whole generation cold (see warmstart.go).
 	restart string
+	// Reusable per-run frame scratch: the point-value and raw-coefficient
+	// buffers live only inside one interpolate call (normalized is the
+	// value that escapes into the Result), so they and the transform
+	// scratch are reused across every frame of the run.
+	vals []xmath.XComplex
+	raw  []xmath.XComplex
+	neg  []complex128
+	dfts dft.Scratch
+}
+
+// frameBuf re-slices buf to n, growing it only when capacity is short.
+func frameBuf(buf *[]xmath.XComplex, n int) []xmath.XComplex {
+	if cap(*buf) < n {
+		*buf = make([]xmath.XComplex, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func (g *generator) run() error {
@@ -360,7 +377,10 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 	}
 	pts := g.unitPoints(kUse)
 	if flip {
-		neg := make([]complex128, len(pts))
+		if cap(g.neg) < len(pts) {
+			g.neg = make([]complex128, len(pts))
+		}
+		neg := g.neg[:len(pts)]
 		for i, u := range pts {
 			neg[i] = -u
 		}
@@ -388,7 +408,7 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 		half = dft.HermitianHalf(kUse)
 	}
 	evalStart := time.Now()
-	values, err := g.ev.EvalPointsCtx(g.ctx, pts[:half], f, gsc, g.cfg.Parallelism)
+	values, err := g.ev.EvalPointsInto(g.ctx, frameBuf(&g.vals, half), pts[:half], f, gsc, g.cfg.Parallelism)
 	if err != nil {
 		return frame{}, err
 	}
@@ -414,9 +434,9 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 	}
 	var raw []xmath.XComplex
 	if half < kUse {
-		raw = dft.HermitianInverse(values, kUse)
+		raw = dft.HermitianInverseInto(frameBuf(&g.raw, kUse), values, kUse, &g.dfts)
 	} else {
-		raw = dft.Inverse(values)
+		raw = dft.InverseInto(frameBuf(&g.raw, kUse), values, &g.dfts)
 	}
 	if flip {
 		// Undo the half-step rotation: the transform of Q(u) = P'(−u)

@@ -70,15 +70,23 @@ func HermitianHalf(k int) int {
 // values of a length-k Hermitian spectrum) to the full k values by
 // conjugation: out[k−i] = conj(half[i]).
 func MirrorHermitian(half []xmath.XComplex, k int) []xmath.XComplex {
+	return MirrorHermitianInto(make([]xmath.XComplex, k), half, k)
+}
+
+// MirrorHermitianInto is MirrorHermitian writing into dst (len k),
+// allocating nothing.
+func MirrorHermitianInto(dst, half []xmath.XComplex, k int) []xmath.XComplex {
 	if len(half) != HermitianHalf(k) {
 		panic("dft: half-spectrum length does not match point count")
 	}
-	full := make([]xmath.XComplex, k)
-	copy(full, half)
-	for i := len(half); i < k; i++ {
-		full[i] = half[k-i].Conj()
+	if len(dst) != k {
+		panic("dft: mirror destination length does not match point count")
 	}
-	return full
+	copy(dst, half)
+	for i := len(half); i < k; i++ {
+		dst[i] = half[k-i].Conj()
+	}
+	return dst
 }
 
 // HermitianInverse computes the length-k inverse DFT of a spectrum given
@@ -89,6 +97,15 @@ func MirrorHermitian(half []xmath.XComplex, k int) []xmath.XComplex {
 // Inverse on a fully computed spectrum.
 func HermitianInverse(half []xmath.XComplex, k int) []xmath.XComplex {
 	return Inverse(MirrorHermitian(half, k))
+}
+
+// HermitianInverseInto is HermitianInverse writing the k coefficients
+// into dst, with every intermediate (the mirrored spectrum, the
+// normalized values, the transform workspace) drawn from s. After the
+// scratch has grown to this k once, the call allocates nothing.
+func HermitianInverseInto(dst []xmath.XComplex, half []xmath.XComplex, k int, s *Scratch) []xmath.XComplex {
+	full := MirrorHermitianInto(s.full(k), half, k)
+	return InverseInto(dst, full, s)
 }
 
 // ScaledPoints returns f·e^(2πjk/K): the unit-circle set dilated by the
@@ -107,9 +124,25 @@ func ScaledPoints(k int, f float64) []complex128 {
 // two and the direct O(K²) sum otherwise (K is at most a few hundred in
 // this problem domain, so the direct path is cheap).
 func Inverse(values []xmath.XComplex) []xmath.XComplex {
+	if len(values) == 0 {
+		return nil
+	}
+	return InverseInto(make([]xmath.XComplex, len(values)), values, new(Scratch))
+}
+
+// InverseInto is Inverse writing into dst (len(values) entries), with
+// the normalization buffer and transform workspace drawn from s. The
+// numerical path is identical to Inverse — same normalization, same
+// transform — so the outputs are bit-identical; only the storage is
+// reused. After s has grown to this length once, the call allocates
+// nothing.
+func InverseInto(dst []xmath.XComplex, values []xmath.XComplex, s *Scratch) []xmath.XComplex {
 	k := len(values)
 	if k == 0 {
-		return nil
+		return dst[:0]
+	}
+	if len(dst) != k {
+		panic("dft: inverse destination length does not match value count")
 	}
 	// Factor out the largest magnitude.
 	var maxAbs xmath.XFloat
@@ -118,21 +151,23 @@ func Inverse(values []xmath.XComplex) []xmath.XComplex {
 			maxAbs = a
 		}
 	}
-	out := make([]xmath.XComplex, k)
 	if maxAbs.Zero() {
-		return out
+		for i := range dst {
+			dst[i] = xmath.XComplex{}
+		}
+		return dst
 	}
 	scaleInv := xmath.FromXFloat(maxAbs)
-	norm := make([]complex128, k)
+	norm := s.norm(k)
 	for i, v := range values {
 		norm[i] = v.Div(scaleInv).Complex128()
 	}
-	spec := transform(norm, -1)
+	spec := transformInto(s.spec(k), norm, -1, s)
 	invK := complex(1/float64(k), 0)
 	for i, c := range spec {
-		out[i] = xmath.FromComplex(c * invK).Mul(scaleInv)
+		dst[i] = xmath.FromComplex(c * invK).Mul(scaleInv)
 	}
-	return out
+	return dst
 }
 
 // InverseComplex is the plain complex128 inverse DFT (with 1/K scaling),
@@ -173,14 +208,71 @@ const bluesteinMin = 32
 // lengths). sign (+1 or −1) selects the twiddle exponent sign; no 1/K
 // factor is applied.
 func transform(values []complex128, sign float64) []complex128 {
+	return transformInto(make([]complex128, len(values)), values, sign, new(Scratch))
+}
+
+// transformInto is transform writing into dst (len(values), must not
+// alias values), drawing workspace from s.
+func transformInto(dst, values []complex128, sign float64, s *Scratch) []complex128 {
 	n := len(values)
 	if n&(n-1) == 0 {
-		return fftRadix2(values, sign)
+		return fftRadix2Into(dst, values, sign)
 	}
 	if n >= bluesteinMin {
-		return bluestein(values, sign)
+		return bluesteinInto(dst, values, sign, s)
 	}
-	return direct(values, sign)
+	return directInto(dst, values, sign, s)
+}
+
+// Scratch holds the reusable buffers of the Into-variant transforms:
+// the normalization and spectrum vectors, the two power-of-two Bluestein
+// convolution buffers, the direct-path twiddle table and the mirrored
+// Hermitian spectrum. Buffers grow to the high-water mark and are then
+// reused, so a frame loop running one K allocates only on its first
+// frame. The zero value is ready to use; a Scratch is not safe for
+// concurrent use.
+type Scratch struct {
+	normBuf []complex128
+	specBuf []complex128
+	convBuf []complex128 // Bluestein chirped input / circular convolution
+	freqBuf []complex128 // Bluestein frequency-domain product
+	twBuf   []complex128 // direct-path twiddle table
+	twLen   int          // length the twiddle table is built for (0 = none)
+	twSign  float64      // sign the twiddle table is built for
+	fullBuf []xmath.XComplex
+}
+
+func growC(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (s *Scratch) norm(n int) []complex128 { return growC(&s.normBuf, n) }
+func (s *Scratch) spec(n int) []complex128 { return growC(&s.specBuf, n) }
+
+func (s *Scratch) full(n int) []xmath.XComplex {
+	if cap(s.fullBuf) < n {
+		s.fullBuf = make([]xmath.XComplex, n)
+	}
+	s.fullBuf = s.fullBuf[:n]
+	return s.fullBuf
+}
+
+// twiddles returns the direct-path table e^(sign·2πjm/K), rebuilt only
+// when k or sign changed since the last call.
+func (s *Scratch) twiddles(k int, sign float64) []complex128 {
+	if s.twLen == k && s.twSign == sign && len(s.twBuf) == k {
+		return s.twBuf
+	}
+	tw := growC(&s.twBuf, k)
+	for m := range tw {
+		tw[m] = cmplx.Rect(1, sign*2*math.Pi*float64(m)/float64(k))
+	}
+	s.twLen, s.twSign = k, sign
+	return tw
 }
 
 // bluesteinTables holds the input-independent part of a chirp-z
@@ -239,18 +331,28 @@ func bluesteinPlan(n int, sign float64) *bluesteinTables {
 // convolution of power-of-two length m ≥ 2n−1 through radix-2 FFTs (two
 // per call; the kernel FFT is cached in bluesteinPlan).
 func bluestein(x []complex128, sign float64) []complex128 {
+	return bluesteinInto(make([]complex128, len(x)), x, sign, new(Scratch))
+}
+
+// bluesteinInto is bluestein writing into out (len(x)), with the two
+// length-m convolution buffers drawn from s. The FFT sequence and every
+// rounded intermediate match the allocating path exactly.
+func bluesteinInto(out, x []complex128, sign float64, s *Scratch) []complex128 {
 	n := len(x)
 	tb := bluesteinPlan(n, sign)
-	a := make([]complex128, tb.m)
+	a := growC(&s.convBuf, tb.m)
+	for k := range a {
+		a[k] = 0
+	}
 	for k, v := range x {
 		a[k] = v * tb.chirp[k]
 	}
-	fa := fftRadix2(a, +1)
+	fa := fftRadix2Into(growC(&s.freqBuf, tb.m), a, +1)
 	for i := range fa {
 		fa[i] *= tb.fb[i]
 	}
-	conv := fftRadix2(fa, -1)
-	out := make([]complex128, n)
+	// a's contents are consumed; reuse it as the convolution output.
+	conv := fftRadix2Into(a, fa, -1)
 	invM := complex(1/float64(tb.m), 0)
 	for k := 0; k < n; k++ {
 		out[k] = conv[k] * invM * tb.chirp[k]
@@ -260,14 +362,16 @@ func bluestein(x []complex128, sign float64) []complex128 {
 
 // direct is the O(K²) transform.
 func direct(values []complex128, sign float64) []complex128 {
+	return directInto(make([]complex128, len(values)), values, sign, new(Scratch))
+}
+
+// directInto is direct writing into out, with the twiddle table cached
+// in s across calls of the same (K, sign).
+func directInto(out, values []complex128, sign float64, s *Scratch) []complex128 {
 	k := len(values)
-	out := make([]complex128, k)
-	// Precompute the twiddle table e^(sign·2πjm/K); index products mod K
-	// walk it without accumulating angle rounding.
-	tw := make([]complex128, k)
-	for m := range tw {
-		tw[m] = cmplx.Rect(1, sign*2*math.Pi*float64(m)/float64(k))
-	}
+	// The twiddle table e^(sign·2πjm/K); index products mod K walk it
+	// without accumulating angle rounding.
+	tw := s.twiddles(k, sign)
 	for i := 0; i < k; i++ {
 		var sum complex128
 		idx := 0
@@ -287,8 +391,13 @@ func direct(values []complex128, sign float64) []complex128 {
 // twiddle exponent sign; no 1/K factor is applied. len(values) must be a
 // power of two.
 func fftRadix2(values []complex128, sign float64) []complex128 {
+	return fftRadix2Into(make([]complex128, len(values)), values, sign)
+}
+
+// fftRadix2Into is fftRadix2 writing into out (len(values), must not
+// alias values: the bit-reversal permutation copies through it).
+func fftRadix2Into(out, values []complex128, sign float64) []complex128 {
 	n := len(values)
-	out := make([]complex128, n)
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i, v := range values {
 		out[bits.Reverse64(uint64(i))>>shift] = v

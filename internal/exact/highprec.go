@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/interp"
@@ -23,6 +24,39 @@ import (
 // bigComplex is a complex number at fixed precision.
 type bigComplex struct {
 	re, im *big.Float
+}
+
+// floatPool recycles the big.Float temporaries of the oracle's complex
+// arithmetic: every mul/div spins up four-to-eight temporaries, and a
+// dense LU at 384 bits churns through millions of them. A sync.Pool is
+// the right tool here (unlike the float64 hot path, which uses
+// deterministic free lists): the oracle has no allocs/op gate, and the
+// pool's GC-emptying behavior only costs re-allocation, never
+// correctness. Every internal temporary is released with putFloat on
+// every return path; values handed to callers escape and are simply
+// never returned to the pool.
+var floatPool = sync.Pool{New: func() any { return new(big.Float) }}
+
+// getFloat returns a zero big.Float at the given precision from the
+// pool.
+func getFloat(prec uint) *big.Float {
+	f := floatPool.Get().(*big.Float)
+	// SetPrec(0) zeroes the value and drops the old mantissa's rounding
+	// influence before the target precision is applied.
+	return f.SetPrec(0).SetPrec(prec)
+}
+
+// putFloat releases a pooled float. The caller must not use f
+// afterwards.
+func putFloat(f *big.Float) { floatPool.Put(f) }
+
+// getBC returns a pooled zero bigComplex; release with putBC.
+func getBC(prec uint) bigComplex { return bigComplex{getFloat(prec), getFloat(prec)} }
+
+// putBC releases both components of a pooled bigComplex.
+func putBC(z bigComplex) {
+	putFloat(z.re)
+	putFloat(z.im)
 }
 
 func newBC(prec uint) bigComplex {
@@ -59,36 +93,48 @@ func (z bigComplex) sub(a, b bigComplex) bigComplex {
 // mul sets z = a·b; z must not alias a or b.
 func (z bigComplex) mul(a, b bigComplex) bigComplex {
 	prec := z.re.Prec()
-	t1 := new(big.Float).SetPrec(prec).Mul(a.re, b.re)
-	t2 := new(big.Float).SetPrec(prec).Mul(a.im, b.im)
-	t3 := new(big.Float).SetPrec(prec).Mul(a.re, b.im)
-	t4 := new(big.Float).SetPrec(prec).Mul(a.im, b.re)
+	t1 := getFloat(prec).Mul(a.re, b.re)
+	t2 := getFloat(prec).Mul(a.im, b.im)
+	t3 := getFloat(prec).Mul(a.re, b.im)
+	t4 := getFloat(prec).Mul(a.im, b.re)
 	z.re.Sub(t1, t2)
 	z.im.Add(t3, t4)
+	putFloat(t1)
+	putFloat(t2)
+	putFloat(t3)
+	putFloat(t4)
 	return z
 }
 
 // div sets z = a/b; z must not alias a or b.
 func (z bigComplex) div(a, b bigComplex) bigComplex {
 	prec := z.re.Prec()
-	den := new(big.Float).SetPrec(prec)
-	t := new(big.Float).SetPrec(prec)
+	den := getFloat(prec)
+	t := getFloat(prec)
 	den.Mul(b.re, b.re)
 	t.Mul(b.im, b.im)
 	den.Add(den, t)
-	num := newBC(prec)
-	conj := bigComplex{new(big.Float).SetPrec(prec).Set(b.re), new(big.Float).SetPrec(prec).Neg(b.im)}
+	num := getBC(prec)
+	conj := bigComplex{getFloat(prec).Set(b.re), getFloat(prec).Neg(b.im)}
 	num.mul(a, conj)
 	z.re.Quo(num.re, den)
 	z.im.Quo(num.im, den)
+	putFloat(den)
+	putFloat(t)
+	putBC(num)
+	putBC(conj)
 	return z
 }
 
-// norm1 returns |re|+|im| (cheap pivoting magnitude).
+// norm1 returns |re|+|im| (cheap pivoting magnitude). The returned
+// float is pool-backed: release it with putFloat when done (callers that
+// let it escape merely forgo recycling).
 func (z bigComplex) norm1(prec uint) *big.Float {
-	a := new(big.Float).SetPrec(prec).Abs(z.re)
-	b := new(big.Float).SetPrec(prec).Abs(z.im)
-	return a.Add(a, b)
+	a := getFloat(prec).Abs(z.re)
+	b := getFloat(prec).Abs(z.im)
+	a.Add(a, b)
+	putFloat(b)
+	return a
 }
 
 // piString holds π to 120 decimal digits — ample for 256-bit twiddles.
@@ -154,47 +200,63 @@ func unitCircleBC(k int, prec uint) []bigComplex {
 func detBC(m [][]bigComplex, prec uint) bigComplex {
 	n := len(m)
 	det := bcFromFloat(prec, 1)
+	// Per-step temporaries come from the pool once and are recycled
+	// across the whole elimination; detNext ping-pongs with det so the
+	// pivot product never needs a fresh accumulator.
+	detNext := getBC(prec)
+	mult := getBC(prec)
+	t := getBC(prec)
+	release := func() {
+		putBC(detNext)
+		putBC(mult)
+		putBC(t)
+	}
 	sign := 1
 	for k := 0; k < n; k++ {
 		p := k
 		best := m[k][k].norm1(prec)
 		for i := k + 1; i < n; i++ {
 			if a := m[i][k].norm1(prec); a.Cmp(best) > 0 {
+				putFloat(best)
 				p, best = i, a
+			} else {
+				putFloat(a)
 			}
 		}
 		if best.Sign() == 0 {
+			putFloat(best)
+			release()
 			return newBC(prec) // singular
 		}
+		putFloat(best)
 		if p != k {
 			m[k], m[p] = m[p], m[k]
 			sign = -sign
 		}
 		piv := m[k][k]
-		newDet := newBC(prec)
-		newDet.mul(det, piv)
-		det = newDet
+		detNext.mul(det, piv)
+		det, detNext = detNext, det
 		for i := k + 1; i < n; i++ {
 			if m[i][k].isZero() {
 				continue
 			}
-			mult := newBC(prec)
 			mult.div(m[i][k], piv)
 			for j := k + 1; j < n; j++ {
 				if m[k][j].isZero() {
 					continue
 				}
-				t := newBC(prec)
 				t.mul(mult, m[k][j])
 				m[i][j].sub(m[i][j], t)
 			}
-			m[i][k] = newBC(prec)
+			m[i][k].re.SetInt64(0)
+			m[i][k].im.SetInt64(0)
 		}
 	}
 	if sign < 0 {
 		det.re.Neg(det.re)
 		det.im.Neg(det.im)
 	}
+	release()
 	return det
 }
 
@@ -266,7 +328,9 @@ func hpMatrixAt(stamps []hpStamp, n int, s bigComplex, r, cc int, prec uint) [][
 		}
 		return i - 1
 	}
-	t := newBC(prec)
+	t := getBC(prec)
+	g := getFloat(prec)
+	cv := getBC(prec)
 	for _, st := range stamps {
 		i, j := mapIdx(st.i, r), mapIdx(st.j, cc)
 		if i < 0 || j < 0 {
@@ -274,15 +338,19 @@ func hpMatrixAt(stamps []hpStamp, n int, s bigComplex, r, cc int, prec uint) [][
 		}
 		cell := m[i][j]
 		if st.g != 0 {
-			g := new(big.Float).SetPrec(prec).SetFloat64(st.g)
+			g.SetFloat64(st.g)
 			cell.re.Add(cell.re, g)
 		}
 		if st.c != 0 {
-			cv := bcFromFloat(prec, st.c)
+			cv.re.SetFloat64(st.c)
+			cv.im.SetInt64(0)
 			t.mul(s, cv)
 			cell.add(cell, t)
 		}
 	}
+	putBC(t)
+	putFloat(g)
+	putBC(cv)
 	return m
 }
 
@@ -377,19 +445,23 @@ func idftBC(values []bigComplex, prec uint) poly.XPoly {
 	invK := new(big.Float).SetPrec(prec).SetInt64(int64(k))
 	acc := newBC(prec)
 	t := newBC(prec)
+	negIm := getFloat(prec)
+	re := getFloat(prec)
 	for i := 0; i < k; i++ {
 		acc.re.SetInt64(0)
 		acc.im.SetInt64(0)
 		for j := 0; j < k; j++ {
 			// e^(−2πi·i·j/K) = conj of the (i·j mod K)-th root.
 			w := pts[(i*j)%k]
-			conj := bigComplex{w.re, new(big.Float).SetPrec(prec).Neg(w.im)}
+			conj := bigComplex{w.re, negIm.Neg(w.im)}
 			t.mul(values[j], conj)
 			acc.add(acc, t)
 		}
-		re := new(big.Float).SetPrec(prec).Quo(acc.re, invK)
+		re.Quo(acc.re, invK)
 		out[i] = bigToX(re)
 	}
+	putFloat(negIm)
+	putFloat(re)
 	return out
 }
 

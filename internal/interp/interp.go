@@ -93,19 +93,33 @@ func (ev Evaluator) EvalPoints(points []complex128, fscale, gscale float64, para
 // With a never-canceled context the values are bit-identical to
 // EvalPoints — the cancellation checks do not perturb the arithmetic.
 func (ev Evaluator) EvalPointsCtx(ctx context.Context, points []complex128, fscale, gscale float64, parallelism int) ([]xmath.XComplex, error) {
+	return ev.EvalPointsInto(ctx, make([]xmath.XComplex, len(points)), points, fscale, gscale, parallelism)
+}
+
+// EvalPointsInto is EvalPointsCtx writing into dst, which must have
+// len(points) entries. On the serial path (parallelism 1, or no batch
+// implementation) the loop fills dst directly and — when the evaluator's
+// Eval draws its scratch from a pool, as the circuit backends do — the
+// whole frame evaluates without allocating. The parallel path dispatches
+// EvalBatch unchanged and copies into dst, so values stay bit-identical
+// across parallelism settings.
+func (ev Evaluator) EvalPointsInto(ctx context.Context, dst []xmath.XComplex, points []complex128, fscale, gscale float64, parallelism int) ([]xmath.XComplex, error) {
+	if len(dst) != len(points) {
+		panic("interp: destination length does not match point count")
+	}
 	w := Workers(parallelism)
 	if w > 1 && ev.EvalBatch != nil {
 		values := ev.EvalBatch(ctx, points, fscale, gscale, w)
-		return values, ctx.Err()
+		copy(dst, values)
+		return dst, ctx.Err()
 	}
-	values := make([]xmath.XComplex, len(points))
 	for i, s := range points {
 		if err := ctx.Err(); err != nil {
-			return values, err
+			return dst, err
 		}
-		values[i] = ev.Eval(s, fscale, gscale)
+		dst[i] = ev.Eval(s, fscale, gscale)
 	}
-	return values, ctx.Err()
+	return dst, ctx.Err()
 }
 
 // ParallelFor runs fn(i) for i in [0, n) across up to workers
@@ -175,7 +189,21 @@ func ParallelForCtx(ctx context.Context, n, workers int, fn func(i int)) {
 // filled slice is returned. RunBatch never leaks a goroutine — the
 // caller regains control only after every worker has exited.
 func RunBatch(ctx context.Context, points []complex128, workers int, ready func() bool, newWorker func() func(s complex128) xmath.XComplex) []xmath.XComplex {
-	values := make([]xmath.XComplex, len(points))
+	return RunBatchInto(ctx, make([]xmath.XComplex, len(points)), points, workers, ready, newWorker)
+}
+
+// RunBatchInto is RunBatch writing into values, which must have
+// len(points) entries (slots never evaluated are zeroed). Callers that
+// hold a reusable frame buffer avoid the per-frame slice allocation;
+// everything else — the serial priming phase, the worker fan-out, the
+// cancellation contract — is identical.
+func RunBatchInto(ctx context.Context, values []xmath.XComplex, points []complex128, workers int, ready func() bool, newWorker func() func(s complex128) xmath.XComplex) []xmath.XComplex {
+	if len(values) != len(points) {
+		panic("interp: batch destination length does not match point count")
+	}
+	for i := range values {
+		values[i] = xmath.XComplex{}
+	}
 	start := 0
 	var primer func(s complex128) xmath.XComplex
 	if ready != nil && !ready() {

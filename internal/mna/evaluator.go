@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/interp"
@@ -55,25 +56,62 @@ func (sys *System) assembleScaledInto(dst *sparse.Matrix, s complex128, fscale, 
 	}
 }
 
-// factorAt assembles the scaled matrix into scratch and factors it under
+// evalScratch is the reusable per-worker evaluation state of the one
+// MNA sparsity pattern: the assembly matrix (row maps keep their buckets
+// across Reset), the planned-factorization workspace, and the RHS and
+// solution vectors of the transfer solve.
+type evalScratch struct {
+	mat *sparse.Matrix
+	ws  sparse.Workspace
+	rhs []complex128
+	sol []complex128
+}
+
+// getScratch pops a scratch from the system's free list, building one
+// sized for the MNA dimension when the list is empty.
+func (sys *System) getScratch() *evalScratch {
+	sys.scratchMu.Lock()
+	if n := len(sys.free); n > 0 {
+		sc := sys.free[n-1]
+		sys.free = sys.free[:n-1]
+		sys.scratchMu.Unlock()
+		return sc
+	}
+	sys.scratchMu.Unlock()
+	return &evalScratch{
+		mat: sparse.New(sys.dim),
+		rhs: make([]complex128, sys.dim),
+		sol: make([]complex128, sys.dim),
+	}
+}
+
+// putScratch returns a scratch to the free list.
+func (sys *System) putScratch(sc *evalScratch) {
+	sys.scratchMu.Lock()
+	sys.free = append(sys.free, sc)
+	sys.scratchMu.Unlock()
+}
+
+// factorAt assembles the scaled matrix into sc and factors it under
 // the system's shared pivot-order plan (primed once per System by the
 // first successful factorization; replayed read-only afterwards — across
 // points, frames, and both the det and transfer evaluators, which share
-// the one MNA sparsity pattern). A plan miss re-assembles and runs a
-// private full factorization without touching the plan.
-func (sys *System) factorAt(scratch *sparse.Matrix, s complex128, fscale, gscale float64) (*sparse.LU, error) {
-	sys.assembleScaledInto(scratch, s, fscale, gscale)
-	lu, err := scratch.FactorSharedInPlace(sys.detPlan)
+// the one MNA sparsity pattern). Once the plan is primed the replay
+// reuses sc's workspace and allocates nothing. A plan miss re-assembles
+// and runs a private full factorization without touching the plan.
+func (sys *System) factorAt(sc *evalScratch, s complex128, fscale, gscale float64) (*sparse.LU, error) {
+	sys.assembleScaledInto(sc.mat, s, fscale, gscale)
+	lu, err := sc.mat.FactorSharedInto(sys.detPlan, &sc.ws)
 	if err == sparse.ErrPlanMiss {
-		sys.assembleScaledInto(scratch, s, fscale, gscale)
-		lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+		sys.assembleScaledInto(sc.mat, s, fscale, gscale)
+		lu, err = sc.mat.FactorInPlace(sparse.DefaultThreshold)
 	}
 	return lu, err
 }
 
 // detAt evaluates D(s) = det Y_MNA(s), zero when singular.
-func (sys *System) detAt(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
-	lu, err := sys.factorAt(scratch, s, fscale, gscale)
+func (sys *System) detAt(sc *evalScratch, s complex128, fscale, gscale float64) xmath.XComplex {
+	lu, err := sys.factorAt(sc, s, fscale, gscale)
 	if err != nil {
 		return xmath.XComplex{}
 	}
@@ -82,38 +120,61 @@ func (sys *System) detAt(scratch *sparse.Matrix, s complex128, fscale, gscale fl
 
 // numAt evaluates N(s) = X_out(s)·det Y_MNA(s) per eqs. (8)–(10), with
 // one factorization serving both the determinant and the solve.
-func (sys *System) numAt(scratch *sparse.Matrix, idx int, s complex128, fscale, gscale float64) xmath.XComplex {
-	lu, err := sys.factorAt(scratch, s, fscale, gscale)
+func (sys *System) numAt(sc *evalScratch, idx int, s complex128, fscale, gscale float64) xmath.XComplex {
+	lu, err := sys.factorAt(sc, s, fscale, gscale)
 	if err != nil {
 		return xmath.XComplex{} // structurally singular: N ≡ 0 here
 	}
-	b := make([]complex128, sys.dim)
+	b := sc.rhs
+	for i := range b {
+		b[i] = 0
+	}
 	for i, v := range sys.rhs {
 		b[i] = complex(v, 0)
 	}
-	x, err := lu.Solve(b)
-	if err != nil || cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
+	if err := lu.SolveInto(sc.sol, b, &sc.ws); err != nil {
+		return xmath.XComplex{}
+	}
+	x := sc.sol
+	if cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
 		return xmath.XComplex{}
 	}
 	return lu.Det().MulComplex(x[idx])
 }
 
 // evaluator wraps a per-point function of (scratch, s, fscale, gscale)
-// as an interp.Evaluator whose EvalBatch fans out over per-worker
-// scratch matrices after serially priming the shared pivot plan.
-func (sys *System) evaluator(name string, bound int, at func(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex) interp.Evaluator {
+// as an interp.Evaluator: the serial Eval draws its scratch from the
+// system pool per point (allocation-free in the steady state), and
+// EvalBatch fans out over per-worker pooled scratches — returned when
+// the batch drains — after serially priming the shared pivot plan.
+func (sys *System) evaluator(name string, bound int, at func(sc *evalScratch, s complex128, fscale, gscale float64) xmath.XComplex) interp.Evaluator {
 	return interp.Evaluator{
 		Name:       name,
 		M:          0,
 		OrderBound: bound,
 		Eval: func(s complex128, fscale, gscale float64) xmath.XComplex {
-			return at(sparse.New(sys.dim), s, fscale, gscale)
+			sc := sys.getScratch()
+			v := at(sc, s, fscale, gscale)
+			sys.putScratch(sc)
+			return v
 		},
 		EvalBatch: func(ctx context.Context, points []complex128, fscale, gscale float64, workers int) []xmath.XComplex {
+			var mu sync.Mutex
+			var acquired []*evalScratch
+			// RunBatch returns only after every worker goroutine has
+			// exited, so the scratches are idle when released.
+			defer func() {
+				for _, sc := range acquired {
+					sys.putScratch(sc)
+				}
+			}()
 			return interp.RunBatch(ctx, points, workers, sys.detPlan.Primed, func() func(complex128) xmath.XComplex {
-				scratch := sparse.New(sys.dim)
+				sc := sys.getScratch()
+				mu.Lock()
+				acquired = append(acquired, sc)
+				mu.Unlock()
 				return func(s complex128) xmath.XComplex {
-					return at(scratch, s, fscale, gscale)
+					return at(sc, s, fscale, gscale)
 				}
 			})
 		},
@@ -164,8 +225,8 @@ func (sys *System) TransferEvaluators(out string) (*interp.TransferFunction, err
 		return nil, fmt.Errorf("mna: no independent source with nonzero AC value")
 	}
 	bound := sys.OrderBound()
-	num := sys.evaluator("numerator", bound, func(scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
-		return sys.numAt(scratch, idx, s, fscale, gscale)
+	num := sys.evaluator("numerator", bound, func(sc *evalScratch, s complex128, fscale, gscale float64) xmath.XComplex {
+		return sys.numAt(sc, idx, s, fscale, gscale)
 	})
 	tf := &interp.TransferFunction{
 		Name: fmt.Sprintf("V(%s)/source", out),
@@ -176,18 +237,25 @@ func (sys *System) TransferEvaluators(out string) (*interp.TransferFunction, err
 	// factorization that gives D = det Y_MNA, so EvalBoth is the numAt
 	// computation with the determinant reported alongside.
 	tf.EvalBoth = func(s complex128, fscale, gscale float64) (n, d xmath.XComplex) {
-		scratch := sparse.New(sys.dim)
-		lu, err := sys.factorAt(scratch, s, fscale, gscale)
+		sc := sys.getScratch()
+		defer sys.putScratch(sc)
+		lu, err := sys.factorAt(sc, s, fscale, gscale)
 		if err != nil {
 			return xmath.XComplex{}, xmath.XComplex{}
 		}
 		det := lu.Det()
-		b := make([]complex128, sys.dim)
+		b := sc.rhs
+		for i := range b {
+			b[i] = 0
+		}
 		for i, v := range sys.rhs {
 			b[i] = complex(v, 0)
 		}
-		x, err := lu.Solve(b)
-		if err != nil || cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
+		if err := lu.SolveInto(sc.sol, b, &sc.ws); err != nil {
+			return xmath.XComplex{}, det
+		}
+		x := sc.sol
+		if cmplx.IsNaN(x[idx]) || cmplx.IsInf(x[idx]) {
 			return xmath.XComplex{}, det
 		}
 		return det.MulComplex(x[idx]), det

@@ -105,9 +105,57 @@ func mergedRowsProjection(n, a, b, c int) projection {
 // sparsity pattern. The plan is primed by the first successful
 // factorization anywhere in a run and replayed read-only at every later
 // point — across all points of a frame and all frames of a Generate run.
+// The pattern also owns the free list of evaluation scratches for its
+// dimension, so steady-state evaluation reuses assembly matrices,
+// factorization workspaces and RHS vectors instead of allocating per
+// point.
 type pattern struct {
 	proj projection
 	plan sparse.SharedPlan
+
+	scratchMu sync.Mutex
+	free      []*evalScratch
+}
+
+// evalScratch is the per-worker reusable evaluation state of one
+// pattern: the assembly matrix (whose row maps keep their buckets across
+// Reset), the planned-factorization workspace, and the Cramer
+// RHS/solution vectors, all sized for the pattern's dimension.
+type evalScratch struct {
+	mat *sparse.Matrix
+	ws  sparse.Workspace
+	rhs []complex128
+	sol []complex128
+}
+
+// get pops a scratch from the pattern's free list, building one sized
+// for the pattern when the list is empty. The list is a mutex-guarded
+// stack rather than a sync.Pool on purpose: a sync.Pool may be emptied
+// by any GC cycle, which would make the steady state's allocation count
+// nondeterministic, while the stack guarantees zero allocations once one
+// scratch per concurrent evaluator exists.
+func (pat *pattern) get() *evalScratch {
+	pat.scratchMu.Lock()
+	if n := len(pat.free); n > 0 {
+		sc := pat.free[n-1]
+		pat.free = pat.free[:n-1]
+		pat.scratchMu.Unlock()
+		return sc
+	}
+	pat.scratchMu.Unlock()
+	dim := pat.proj.dim
+	return &evalScratch{
+		mat: sparse.New(dim),
+		rhs: make([]complex128, dim),
+		sol: make([]complex128, dim),
+	}
+}
+
+// put returns a scratch to the free list.
+func (pat *pattern) put(sc *evalScratch) {
+	pat.scratchMu.Lock()
+	pat.free = append(pat.free, sc)
+	pat.scratchMu.Unlock()
 }
 
 // assembleInto re-assembles the projected scaled matrix into dst,
@@ -131,17 +179,18 @@ func (sys *System) assembleInto(dst *sparse.Matrix, pr *projection, s complex128
 }
 
 // detAt evaluates the pattern's signed determinant at one point, using
-// scratch for the assembly. On a plan miss (the recorded pivot order
-// does not fit this matrix's values) it re-assembles and runs a private
-// full factorization — the shared plan itself is never mutated, so the
-// value at a point never depends on which points were evaluated before
-// it (beyond the one-time priming).
-func (sys *System) detAt(pat *pattern, scratch *sparse.Matrix, s complex128, fscale, gscale float64) xmath.XComplex {
-	sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
-	lu, err := scratch.FactorSharedInPlace(&pat.plan)
+// sc for the assembly and the planned-replay factorization — once the
+// shared plan is primed, the whole evaluation allocates nothing. On a
+// plan miss (the recorded pivot order does not fit this matrix's values)
+// it re-assembles and runs a private full factorization — the shared
+// plan itself is never mutated, so the value at a point never depends on
+// which points were evaluated before it (beyond the one-time priming).
+func (sys *System) detAt(pat *pattern, sc *evalScratch, s complex128, fscale, gscale float64) xmath.XComplex {
+	sys.assembleInto(sc.mat, &pat.proj, s, fscale, gscale)
+	lu, err := sc.mat.FactorSharedInto(&pat.plan, &sc.ws)
 	if err == sparse.ErrPlanMiss {
-		sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
-		lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+		sys.assembleInto(sc.mat, &pat.proj, s, fscale, gscale)
+		lu, err = sc.mat.FactorInPlace(sparse.DefaultThreshold)
 	}
 	if err != nil {
 		return xmath.XComplex{}
@@ -232,22 +281,38 @@ func (sys *System) pattern(key [2]int, mk func() projection) *pattern {
 }
 
 // evaluator builds an interp.Evaluator over one cached pattern: the
-// serial Eval assembles into a fresh scratch matrix per call, while
-// EvalBatch fans the frame's points out over a worker pool with one
-// scratch matrix per worker, serially priming the shared pivot plan
-// first so serial and parallel runs are bit-identical.
+// serial Eval evaluates with a pooled scratch (allocation-free in the
+// steady state), while EvalBatch fans the frame's points out over a
+// worker pool with one pooled scratch per worker — returned to the
+// pattern's free list when the batch drains — serially priming the
+// shared pivot plan first so serial and parallel runs are bit-identical.
 func (sys *System) evaluator(name string, m int, key [2]int, mk func() projection) interp.Evaluator {
 	pat := sys.pattern(key, mk)
 	return interp.Evaluator{
 		Name: name, M: m, OrderBound: sys.orderBound(m),
 		Eval: func(s complex128, f, g float64) xmath.XComplex {
-			return sys.detAt(pat, sparse.New(pat.proj.dim), s, f, g)
+			sc := pat.get()
+			det := sys.detAt(pat, sc, s, f, g)
+			pat.put(sc)
+			return det
 		},
 		EvalBatch: func(ctx context.Context, points []complex128, f, g float64, workers int) []xmath.XComplex {
+			var mu sync.Mutex
+			var acquired []*evalScratch
+			// RunBatch returns only after every worker goroutine has
+			// exited, so the scratches are idle when released.
+			defer func() {
+				for _, sc := range acquired {
+					pat.put(sc)
+				}
+			}()
 			return interp.RunBatch(ctx, points, workers, pat.plan.Primed, func() func(complex128) xmath.XComplex {
-				scratch := sparse.New(pat.proj.dim)
+				sc := pat.get()
+				mu.Lock()
+				acquired = append(acquired, sc)
+				mu.Unlock()
 				return func(s complex128) xmath.XComplex {
-					return sys.detAt(pat, scratch, s, f, g)
+					return sys.detAt(pat, sc, s, f, g)
 				}
 			})
 		},
@@ -269,23 +334,26 @@ func (sys *System) evaluator(name string, m int, key [2]int, mk func() projectio
 func (sys *System) jointCramer(in int, pick func(det xmath.XComplex, x []complex128) (num, den xmath.XComplex)) (func(s complex128, fscale, gscale float64) (num, den xmath.XComplex), func() bool) {
 	pat := sys.detPattern()
 	evalBoth := func(s complex128, fscale, gscale float64) (num, den xmath.XComplex) {
-		scratch := sparse.New(pat.proj.dim)
-		sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
-		lu, err := scratch.FactorSharedInPlace(&pat.plan)
+		sc := pat.get()
+		defer pat.put(sc)
+		sys.assembleInto(sc.mat, &pat.proj, s, fscale, gscale)
+		lu, err := sc.mat.FactorSharedInto(&pat.plan, &sc.ws)
 		if err == sparse.ErrPlanMiss {
-			sys.assembleInto(scratch, &pat.proj, s, fscale, gscale)
-			lu, err = scratch.FactorInPlace(sparse.DefaultThreshold)
+			sys.assembleInto(sc.mat, &pat.proj, s, fscale, gscale)
+			lu, err = sc.mat.FactorInPlace(sparse.DefaultThreshold)
 		}
 		if err != nil {
 			return xmath.XComplex{}, xmath.XComplex{}
 		}
-		b := make([]complex128, pat.proj.dim)
+		b := sc.rhs
+		for i := range b {
+			b[i] = 0
+		}
 		b[in] = 1
-		x, err := lu.Solve(b)
-		if err != nil {
+		if err := lu.SolveInto(sc.sol, b, &sc.ws); err != nil {
 			return xmath.XComplex{}, xmath.XComplex{}
 		}
-		return pick(lu.Det(), x)
+		return pick(lu.Det(), sc.sol)
 	}
 	return evalBoth, pat.plan.Primed
 }
@@ -398,8 +466,16 @@ func cofactorSign(r, c int) float64 {
 // C_rc(s) = (−1)^(r+c)·det(Y(s) with row r and column c deleted)
 // of the scaled matrix.
 func (sys *System) Cofactor(r, c int, s complex128, fscale, gscale float64) xmath.XComplex {
-	pat := sys.cofactorPattern(r, c)
-	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+	return sys.detPooled(sys.cofactorPattern(r, c), s, fscale, gscale)
+}
+
+// detPooled is detAt through the pattern's scratch pool — the shared
+// path of the public single-point evaluation methods.
+func (sys *System) detPooled(pat *pattern, s complex128, fscale, gscale float64) xmath.XComplex {
+	sc := pat.get()
+	det := sys.detAt(pat, sc, s, fscale, gscale)
+	pat.put(sc)
+	return det
 }
 
 func (sys *System) cofactorPattern(r, c int) *pattern {
@@ -408,8 +484,7 @@ func (sys *System) cofactorPattern(r, c int) *pattern {
 
 // Det evaluates det Y(s) of the scaled matrix.
 func (sys *System) Det(s complex128, fscale, gscale float64) xmath.XComplex {
-	pat := sys.detPattern()
-	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+	return sys.detPooled(sys.detPattern(), s, fscale, gscale)
 }
 
 func (sys *System) detPattern() *pattern {
@@ -422,8 +497,7 @@ func (sys *System) detPattern() *pattern {
 // C_aa + C_bb − C_ab − C_ba, but without the ~6-digit cancellation the
 // explicit sum suffers on weakly-coupled input pairs.
 func (sys *System) DetShorted(a, b int, s complex128, fscale, gscale float64) xmath.XComplex {
-	pat := sys.shortedPattern(a, b)
-	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+	return sys.detPooled(sys.shortedPattern(a, b), s, fscale, gscale)
 }
 
 func (sys *System) shortedPattern(a, b int) *pattern {
@@ -441,8 +515,7 @@ func (sys *System) shortedPattern(a, b int) *pattern {
 // difference). Verified against the explicit cofactor difference in
 // the package tests.
 func (sys *System) CofactorMergedRows(a, b, c int, s complex128, fscale, gscale float64) xmath.XComplex {
-	pat := sys.mergedRowsPattern(a, b, c)
-	return sys.detAt(pat, sparse.New(pat.proj.dim), s, fscale, gscale)
+	return sys.detPooled(sys.mergedRowsPattern(a, b, c), s, fscale, gscale)
 }
 
 func (sys *System) mergedRowsPattern(a, b, c int) *pattern {

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/cmplx"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/xmath"
@@ -202,13 +202,22 @@ type urowEntry struct {
 
 // sortedURow snapshots the active entries of a pivot row in column order.
 func sortedURow(row map[int]complex128, colActive []bool) []urowEntry {
-	u := make([]urowEntry, 0, len(row))
+	return sortedURowInto(make([]urowEntry, 0, len(row)), row, colActive)
+}
+
+// sortedURowInto is sortedURow appending into dst (truncated first), so a
+// reused per-step slice keeps its capacity across factorizations. Column
+// keys are map keys, hence unique, so the sorted order — and with it
+// every downstream rounded intermediate — does not depend on the sort
+// algorithm's stability.
+func sortedURowInto(dst []urowEntry, row map[int]complex128, colActive []bool) []urowEntry {
+	u := dst[:0]
 	for j, v := range row {
 		if colActive[j] {
 			u = append(u, urowEntry{col: j, val: v})
 		}
 	}
-	sort.Slice(u, func(a, b int) bool { return u[a].col < u[b].col })
+	slices.SortFunc(u, func(a, b urowEntry) int { return a.col - b.col })
 	return u
 }
 
@@ -635,11 +644,188 @@ func (m *Matrix) FactorSharedInPlace(sp *SharedPlan) (*LU, error) {
 	return f, nil
 }
 
+// Workspace holds reusable factorization and solve storage for the
+// steady-state planned-replay path: one LU whose per-step slices retain
+// their capacity across points, the active-row/column flags, and the
+// forward-substitution vector. A Workspace is not safe for concurrent
+// use; the batched evaluation layer keeps one per worker. The LU
+// returned by FactorSharedInto aliases the workspace and is valid only
+// until the next factorization through the same workspace.
+type Workspace struct {
+	lu        LU
+	rowActive []bool
+	colActive []bool
+	fwd       []complex128 // forward-substitution scratch for SolveInto
+	seen      []bool       // permutation-parity scratch
+}
+
+// ensure sizes the workspace for an n×n factorization, growing storage
+// only when the dimension exceeds every previous call.
+func (ws *Workspace) ensure(n int) {
+	if cap(ws.lu.urows) < n {
+		ws.lu.urows = make([][]urowEntry, n)
+		ws.lu.mults = make([][]multEntry, n)
+		ws.lu.pivVal = make([]complex128, 0, n)
+		ws.rowActive = make([]bool, n)
+		ws.colActive = make([]bool, n)
+		ws.fwd = make([]complex128, n)
+		ws.seen = make([]bool, n)
+	}
+	ws.lu.urows = ws.lu.urows[:n]
+	ws.lu.mults = ws.lu.mults[:n]
+	ws.rowActive = ws.rowActive[:n]
+	ws.colActive = ws.colActive[:n]
+	ws.fwd = ws.fwd[:n]
+	ws.seen = ws.seen[:n]
+}
+
+// FactorSharedInto is FactorSharedInPlace reusing ws for the planned
+// replay: once the shared plan is primed, the steady-state replay
+// allocates nothing (the returned LU aliases ws). The cold paths —
+// priming and the post-ErrPlanMiss full factorization — still allocate a
+// fresh LU, exactly as FactorSharedInPlace does. Like
+// FactorSharedInPlace it consumes the receiver's contents, and a failed
+// replay returns ErrPlanMiss with the matrix destroyed.
+func (m *Matrix) FactorSharedInto(sp *SharedPlan, ws *Workspace) (*LU, error) {
+	if sp == nil || ws == nil {
+		return m.FactorSharedInPlace(sp)
+	}
+	if plan, ok := sp.snapshot(); ok {
+		if len(plan.pivRow) != m.n {
+			return m.FactorInPlace(DefaultThreshold)
+		}
+		if f, ok2 := m.tryPlannedInto(&plan, ws); ok2 {
+			return f, nil
+		}
+		return nil, ErrPlanMiss
+	}
+	f, err := m.FactorInPlace(DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	sp.prime(f)
+	return f, nil
+}
+
+// tryPlannedInto is tryPlannedInPlace writing the factorization into the
+// workspace's reusable LU. The elimination is statement-for-statement
+// the same recurrence, so the produced pivots, U rows and multipliers
+// are bit-identical to the allocating path.
+func (w *Matrix) tryPlannedInto(plan *Plan, ws *Workspace) (*LU, bool) {
+	n := w.n
+	ws.ensure(n)
+	f := &ws.lu
+	f.n = n
+	f.pivRow = plan.pivRow
+	f.pivCol = plan.pivCol
+	f.pivVal = f.pivVal[:0]
+	f.detSign = 1
+	colActive := ws.colActive
+	rowActive := ws.rowActive
+	for i := range colActive {
+		colActive[i] = true
+		rowActive[i] = true
+	}
+	for step := 0; step < n; step++ {
+		bi, bj := plan.pivRow[step], plan.pivCol[step]
+		piv, ok := w.rows[bi][bj]
+		if !ok {
+			return nil, false
+		}
+		rowMax := 0.0
+		for j, v := range w.rows[bi] {
+			if colActive[j] {
+				if a := cmplx.Abs(v); a > rowMax {
+					rowMax = a
+				}
+			}
+		}
+		if cmplx.Abs(piv) < guardRatio*rowMax {
+			return nil, false
+		}
+		f.urows[step] = sortedURowInto(f.urows[step], w.rows[bi], colActive)
+		f.pivVal = append(f.pivVal, piv)
+		rowActive[bi] = false
+		colActive[bj] = false
+		stepMults := f.mults[step][:0]
+		for i, r := range w.rows {
+			if !rowActive[i] {
+				continue
+			}
+			fv, ok := r[bj]
+			if !ok {
+				continue
+			}
+			mult := fv / piv
+			stepMults = append(stepMults, multEntry{row: i, mult: mult})
+			delete(r, bj)
+			for j, v := range w.rows[bi] {
+				if !colActive[j] {
+					continue
+				}
+				nv := r[j] - mult*v
+				if nv == 0 {
+					delete(r, j)
+					continue
+				}
+				r[j] = nv
+			}
+		}
+		f.mults[step] = stepMults
+	}
+	if parityInto(f.pivRow, ws.seen)*parityInto(f.pivCol, ws.seen) < 0 {
+		f.detSign = -1
+	}
+	return f, true
+}
+
+// SolveInto solves A·x = b into dst without allocating, using ws.fwd as
+// the forward-substitution vector. dst and b may be the same slice; ws
+// must be the workspace sized by the factorization (any workspace whose
+// ensure dimension covers f.n works).
+func (f *LU) SolveInto(dst, b []complex128, ws *Workspace) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("sparse: rhs/dst length %d/%d, want %d", len(b), len(dst), f.n)
+	}
+	ws.ensure(f.n)
+	y := ws.fwd
+	copy(y, b)
+	for k := range f.pivRow {
+		pv := y[f.pivRow[k]]
+		if pv == 0 {
+			continue
+		}
+		for _, me := range f.mults[k] {
+			y[me.row] -= me.mult * pv
+		}
+	}
+	for k := f.n - 1; k >= 0; k-- {
+		sum := y[f.pivRow[k]]
+		for _, e := range f.urows[k] {
+			if e.col == f.pivCol[k] {
+				continue
+			}
+			sum -= e.val * dst[e.col]
+		}
+		dst[f.pivCol[k]] = sum / f.pivVal[k]
+	}
+	return nil
+}
+
 // parity returns the sign (+1/−1) of the permutation given as a sequence
 // of images, via cycle counting.
 func parity(perm []int) int {
+	return parityInto(perm, make([]bool, len(perm)))
+}
+
+// parityInto is parity with caller-provided cycle-marking scratch (len ≥
+// len(perm)); it clears the scratch itself.
+func parityInto(perm []int, seen []bool) int {
 	n := len(perm)
-	seen := make([]bool, n)
+	seen = seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
 	sign := 1
 	for i := 0; i < n; i++ {
 		if seen[i] {

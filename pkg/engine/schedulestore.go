@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ScheduleStore is a content-addressed on-disk store of converged scale
+// schedules: one file per generation request, named by the request's
+// CanonicalKey, holding the versioned schedule envelope (see
+// EncodeWarmStartJSON). It closes the warm-start loop across processes:
+// a result-cache miss whose request was ever generated before can still
+// replay the previously converged schedule instead of rediscovering it
+// frame by frame — refgen wires it through -schedule-cache, the server
+// through Config.ScheduleDir.
+//
+// The store is an optimization layer and fails soft by design: Load
+// never returns an error. Every defect — missing file, truncated or
+// malformed JSON, a version from a different build, a key recorded for
+// a different request, degraded provenance — yields a nil WarmStart
+// with the refusal reason, and the caller starts cold exactly as if
+// the store were empty. The replay itself is further guarded by the
+// generator's own schedule validation (window, precision, drift), so a
+// stale-but-parseable schedule degrades to a cold run, never to a
+// wrong result.
+type ScheduleStore struct {
+	dir string
+}
+
+// OpenScheduleStore opens (creating if needed) a schedule store rooted
+// at dir.
+func OpenScheduleStore(dir string) (*ScheduleStore, error) {
+	if dir == "" {
+		return nil, errors.New("engine: schedule store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: schedule store: %w", err)
+	}
+	return &ScheduleStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *ScheduleStore) Dir() string { return st.dir }
+
+// path maps a content address to its file. The key is a hex SHA-256
+// (CanonicalKey), so it is always a safe file name.
+func (st *ScheduleStore) path(key string) string {
+	return filepath.Join(st.dir, key+".schedule.json")
+}
+
+// Load returns the stored warm-start schedules for a content address,
+// or nil and the refusal reason. It never returns an error: every
+// rejection path is a cold start, not a failure.
+func (st *ScheduleStore) Load(key string) (*WarmStart, string) {
+	if st == nil {
+		return nil, "no schedule store"
+	}
+	raw, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return nil, "no stored schedule"
+	}
+	w, ws, err := DecodeWarmStartJSON(raw)
+	if err != nil {
+		return nil, fmt.Sprintf("stored schedule unreadable: %v", err)
+	}
+	if w.Version != ScheduleWireVersion {
+		return nil, fmt.Sprintf("stored schedule version %d, want %d", w.Version, ScheduleWireVersion)
+	}
+	if w.Key != key {
+		return nil, "stored schedule recorded for a different request"
+	}
+	if (ws.Num != nil && ws.Num.Degraded) || (ws.Den != nil && ws.Den.Degraded) {
+		return nil, "stored schedule has degraded provenance"
+	}
+	return ws, ""
+}
+
+// Save persists the warm-start schedules of a converged generation
+// under its content address. The write is atomic (temp file + rename),
+// so a concurrent Load sees either the old envelope or the new one,
+// never a truncation. Degraded schedules are refused: Load would reject
+// them anyway, and persisting one would evict a replayable predecessor.
+func (st *ScheduleStore) Save(key string, ws *WarmStart) error {
+	if st == nil {
+		return errors.New("engine: nil schedule store")
+	}
+	if ws != nil && ((ws.Num != nil && ws.Num.Degraded) || (ws.Den != nil && ws.Den.Degraded)) {
+		return errors.New("engine: refusing to store degraded schedule")
+	}
+	raw, err := EncodeWarmStartJSON(key, ws)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: schedule store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("engine: schedule store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("engine: schedule store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		return fmt.Errorf("engine: schedule store: %w", err)
+	}
+	return nil
+}

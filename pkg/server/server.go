@@ -61,6 +61,15 @@ type Config struct {
 	// generation. 0 selects 60 s and 5 min.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// ScheduleDir, when non-empty, roots a persistent schedule store
+	// (engine.ScheduleStore): flights that miss the result cache load a
+	// previously converged scale schedule for their content address and
+	// warm-start from it, and persist their own schedule on success.
+	// Replay is bit-identical at the coefficient level (and falls back
+	// to a cold run when the stored schedule is refused), so the store
+	// changes the iteration trail and solve counts of the body, never
+	// the generated reference. Empty disables the store.
+	ScheduleDir string
 }
 
 // Stats is the server's counter snapshot (GET /v1/stats).
@@ -77,6 +86,9 @@ type Stats struct {
 	// ServerErrors counts 5xx responses (handler panics).
 	ServerErrors  uint64 `json:"server_errors"`
 	MaxConcurrent int    `json:"max_concurrent"`
+	// ScheduleWarmStarts counts flights that replayed a schedule loaded
+	// from the persistent store (0 when Config.ScheduleDir is unset).
+	ScheduleWarmStarts uint64 `json:"schedule_warm_starts,omitempty"`
 }
 
 // Server implements the service. Create with New, serve Handler, Close
@@ -85,6 +97,7 @@ type Server struct {
 	cfg    Config
 	eng    *engine.Engine
 	cache  *cache
+	sched  *engine.ScheduleStore
 	group  *group
 	sem    chan struct{}
 	base   context.Context
@@ -97,6 +110,7 @@ type Server struct {
 	requests     atomic.Uint64
 	inflight     atomic.Int64
 	serverErrors atomic.Uint64
+	schedWarm    atomic.Uint64
 }
 
 // New validates the configuration and returns a ready server.
@@ -120,11 +134,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 5 * time.Minute
 	}
+	var sched *engine.ScheduleStore
+	if cfg.ScheduleDir != "" {
+		sched, err = engine.OpenScheduleStore(cfg.ScheduleDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	base, stop := context.WithCancel(context.Background())
 	return &Server{
 		cfg:   cfg,
 		eng:   eng,
 		cache: newCache(cfg.CacheEntries, cfg.CacheBytes),
+		sched: sched,
 		group: newGroup(),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		base:  base,
@@ -149,6 +171,7 @@ func (s *Server) Stats() Stats {
 		Inflight:           s.inflight.Load(),
 		ServerErrors:       s.serverErrors.Load(),
 		MaxConcurrent:      s.cfg.MaxConcurrent,
+		ScheduleWarmStarts: s.schedWarm.Load(),
 	}
 }
 
@@ -404,10 +427,35 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request) {
 
 	s.generations.Add(1)
 	ereq.Observer = func(it engine.Iteration) { fl.hub.publish(engine.IterationWire(it)) }
+	if s.sched != nil {
+		// A result-cache miss can still warm-start: replay the schedule a
+		// previous flight of this content address converged to. WarmStart
+		// is excluded from the address, and a refused or aborted replay
+		// falls back to a cold run, so the coefficients are bit-identical
+		// either way — only the iteration trail and solve count shrink.
+		if warm, _ := s.sched.Load(fl.key); warm != nil {
+			opts := s.cfg.Engine.Options
+			if ereq.Options != nil {
+				opts = *ereq.Options
+			}
+			opts.WarmStart = warm
+			ereq.Options = &opts
+		}
+	}
 	resp, err := s.eng.Generate(ctx, ereq)
 	if err != nil {
 		s.group.finish(fl, nil, err, errStatus(err))
 		return
+	}
+	if s.sched != nil && !resp.Degraded() {
+		if resp.Num != nil && resp.Num.WarmStarted && resp.Den != nil && resp.Den.WarmStarted {
+			s.schedWarm.Add(1)
+		}
+		if ws := resp.WarmState(); ws != nil {
+			// Best-effort persistence: a failed write costs the next
+			// process a warm start, nothing else.
+			_ = s.sched.Save(fl.key, ws)
+		}
 	}
 	wire := engine.ResponseWire(resp)
 	raw, err := engine.EncodeWireJSON(wire)
