@@ -143,6 +143,27 @@ func (h *harness) trial(ctx context.Context, rng *rand.Rand, o options, rep *che
 		check.VsPoly(num, oracle.ExactNum, 1e-4, 4, rep)
 		check.VsPoly(den, oracle.ExactDen, 1e-4, 4, rep)
 		check.VsRatio(num, den, oracle.ExactNum, oracle.ExactDen, 1e-4, rep)
+
+		// The accuracy certificates must be honest: every certified
+		// error bar has to bound the measured deviation from the oracle.
+		check.ErrorBars(num, oracle.ExactNum, rep)
+		check.ErrorBars(den, oracle.ExactDen, rep)
+
+		// Exact-recovery pass: rerun with the rational-snapping pass on;
+		// upgraded coefficients must reproduce the oracle's renderings
+		// bit for bit (check.ErrorBars enforces that for the exact tier),
+		// and the rest of the quality contract must survive the rewrite.
+		rec, rerr := h.eng.Generate(ctx, engine.Request{
+			Circuit: c, Spec: spec, Formulation: form,
+			Options: &engine.Options{Parallelism: 1, ExactRecovery: true},
+		})
+		if rerr != nil {
+			return nodes, fmt.Errorf("generate (exact recovery): %w", rerr)
+		}
+		check.ErrorBars(rec.Num, oracle.ExactNum, rep)
+		check.ErrorBars(rec.Den, oracle.ExactDen, rep)
+		rep.Merge(check.Result(rec.Num, tf.Num.M, check.Options{}))
+		rep.Merge(check.Result(rec.Den, tf.Den.M, check.Options{}))
 	}
 	check.BodeVsAC(c, "vgain", in, "", out, num, den, 0, 0, rep)
 	return nodes, nil

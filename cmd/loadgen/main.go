@@ -116,6 +116,7 @@ type sample struct {
 	latency time.Duration
 	status  int
 	source  string // X-Cache: hit, miss, shared; "" on error
+	tier    string // X-Quality-Tier (or the stream result's tier); "" on error
 	hot     bool
 	err     error
 }
@@ -151,13 +152,21 @@ func do(client *http.Client, url string, body []byte, stream, hot bool) sample {
 		return sample{latency: time.Since(start), hot: hot, err: err}
 	}
 	defer resp.Body.Close()
-	s := sample{status: resp.StatusCode, source: resp.Header.Get("X-Cache"), hot: hot}
+	s := sample{
+		status: resp.StatusCode,
+		source: resp.Header.Get("X-Cache"),
+		tier:   resp.Header.Get("X-Quality-Tier"),
+		hot:    hot,
+	}
 	if stream && resp.StatusCode == http.StatusOK {
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
 		var last struct {
-			Event string `json:"event"`
-			Cache string `json:"cache"`
+			Event  string `json:"event"`
+			Cache  string `json:"cache"`
+			Result struct {
+				Tier string `json:"tier"`
+			} `json:"result"`
 		}
 		for sc.Scan() {
 			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
@@ -171,6 +180,7 @@ func do(client *http.Client, url string, body []byte, stream, hot bool) sample {
 			s.err = fmt.Errorf("stream ended on %q, not result", last.Event)
 		}
 		s.source = last.Cache
+		s.tier = last.Result.Tier
 	} else {
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
@@ -189,23 +199,29 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 // report is the machine-readable outcome (-json, and the sweep
 // artifact).
 type report struct {
-	Mode        string       `json:"mode"`
-	Requests    int          `json:"requests"`
-	Errors      int          `json:"errors"`
-	Status5xx   int          `json:"status_5xx"`
-	Elapsed     float64      `json:"elapsed_s"`
-	Throughput  float64      `json:"throughput_rps"`
-	P50Ms       float64      `json:"p50_ms"`
-	P95Ms       float64      `json:"p95_ms"`
-	P99Ms       float64      `json:"p99_ms"`
-	HotRequests int          `json:"hot_requests"`
-	HotHitRate  float64      `json:"hot_hit_rate"`
-	Generations uint64       `json:"generations_delta"`
-	Shared      uint64       `json:"singleflight_shared_delta"`
-	CacheHits   uint64       `json:"cache_hits_delta"`
-	CacheMisses uint64       `json:"cache_misses_delta"`
-	Levels      []sweepLevel `json:"levels,omitempty"`
-	Knee        int          `json:"knee_concurrency,omitempty"`
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Status5xx   int     `json:"status_5xx"`
+	Elapsed     float64 `json:"elapsed_s"`
+	Throughput  float64 `json:"throughput_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	HotRequests int     `json:"hot_requests"`
+	HotHitRate  float64 `json:"hot_hit_rate"`
+	// Tiers counts successful responses by quality tier (exact,
+	// certified, numeric, degraded — see the service's X-Quality-Tier
+	// header); DegradedRate is the degraded fraction of tiered responses.
+	Tiers        map[string]int `json:"tiers,omitempty"`
+	Degraded     int            `json:"degraded_requests"`
+	DegradedRate float64        `json:"degraded_rate"`
+	Generations  uint64         `json:"generations_delta"`
+	Shared       uint64         `json:"singleflight_shared_delta"`
+	CacheHits    uint64         `json:"cache_hits_delta"`
+	CacheMisses  uint64         `json:"cache_misses_delta"`
+	Levels       []sweepLevel   `json:"levels,omitempty"`
+	Knee         int            `json:"knee_concurrency,omitempty"`
 }
 
 type sweepLevel struct {
@@ -215,9 +231,9 @@ type sweepLevel struct {
 }
 
 func summarize(mode string, samples []sample, elapsed time.Duration, before, after serverStats) report {
-	r := report{Mode: mode, Requests: len(samples), Elapsed: elapsed.Seconds()}
+	r := report{Mode: mode, Requests: len(samples), Elapsed: elapsed.Seconds(), Tiers: map[string]int{}}
 	var lats []time.Duration
-	hotEffective := 0
+	hotEffective, tiered := 0, 0
 	for _, s := range samples {
 		if s.err != nil {
 			r.Errors++
@@ -227,12 +243,22 @@ func summarize(mode string, samples []sample, elapsed time.Duration, before, aft
 		if s.status >= 500 {
 			r.Status5xx++
 		}
+		if s.status < 400 && s.tier != "" {
+			r.Tiers[s.tier]++
+			tiered++
+			if s.tier == "degraded" {
+				r.Degraded++
+			}
+		}
 		if s.hot {
 			r.HotRequests++
 			if s.source == "hit" || s.source == "shared" {
 				hotEffective++
 			}
 		}
+	}
+	if tiered > 0 {
+		r.DegradedRate = float64(r.Degraded) / float64(tiered)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	r.P50Ms = percentile(lats, 0.50).Seconds() * 1e3
@@ -304,6 +330,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "workload RNG seed")
 		minHitRate  = fs.Float64("min-hit-rate", -1, "gate: minimum hot-request cache-effective rate (0..1)")
 		max5xx      = fs.Int("max-5xx", -1, "gate: maximum tolerated 5xx responses")
+		maxDegraded = fs.Float64("max-degraded-rate", -1, "gate: maximum degraded fraction of tiered responses (0..1)")
 		burst       = fs.Int("burst", 0, "burst mode: this many concurrent identical cold requests")
 		expectGen   = fs.Int("expect-generations", -1, "gate (burst mode): exact server generations delta")
 		sweep       = fs.Bool("sweep", false, "saturation sweep mode: double concurrency up to -sweep-max")
@@ -368,6 +395,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *minHitRate >= 0 && rep.HotHitRate < *minHitRate {
 		fmt.Fprintf(stderr, "loadgen: GATE FAIL: hot-key cache-effective rate %.3f < %.3f\n",
 			rep.HotHitRate, *minHitRate)
+		code = 1
+	}
+	if *maxDegraded >= 0 && rep.DegradedRate > *maxDegraded {
+		fmt.Fprintf(stderr, "loadgen: GATE FAIL: degraded rate %.3f (%d requests) > %.3f\n",
+			rep.DegradedRate, rep.Degraded, *maxDegraded)
 		code = 1
 	}
 	if *burst > 0 && *expectGen >= 0 && rep.Generations != uint64(*expectGen) {
@@ -496,6 +528,19 @@ func printReport(w io.Writer, r report) {
 	fmt.Fprintf(w, "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", r.P50Ms, r.P95Ms, r.P99Ms)
 	if r.HotRequests > 0 {
 		fmt.Fprintf(w, "hot keys: %d requests, cache-effective %.1f%%\n", r.HotRequests, 100*r.HotHitRate)
+	}
+	if len(r.Tiers) > 0 {
+		names := make([]string, 0, len(r.Tiers))
+		for tier := range r.Tiers {
+			names = append(names, tier)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, tier := range names {
+			parts[i] = fmt.Sprintf("%s %d", tier, r.Tiers[tier])
+		}
+		fmt.Fprintf(w, "quality tiers: %s (degraded rate %.1f%%)\n",
+			strings.Join(parts, ", "), 100*r.DegradedRate)
 	}
 	fmt.Fprintf(w, "server deltas: generations +%d, singleflight-shared +%d, cache hits +%d misses +%d\n",
 		r.Generations, r.Shared, r.CacheHits, r.CacheMisses)

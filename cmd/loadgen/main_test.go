@@ -73,6 +73,7 @@ func TestSteadyModeGatesPass(t *testing.T) {
 		"-stream", "0.2",
 		"-min-hit-rate", "0.5",
 		"-max-5xx", "0",
+		"-max-degraded-rate", "0",
 		"-json", jsonPath,
 	}, &out, &errb)
 	if code != 0 {
@@ -94,6 +95,45 @@ func TestSteadyModeGatesPass(t *testing.T) {
 	}
 	if rep.HotRequests > 0 && rep.HotHitRate < 0.5 {
 		t.Errorf("hot hit rate %.3f below the gate the run supposedly passed", rep.HotHitRate)
+	}
+	// Every successful response carries a quality tier; a healthy biquad
+	// workload must grade certified-or-better with no degraded results.
+	tiered := 0
+	for tier, n := range rep.Tiers {
+		tiered += n
+		if tier == "degraded" || tier == "numeric" {
+			t.Errorf("clean workload reported %d %s responses", n, tier)
+		}
+	}
+	if tiered == 0 {
+		t.Error("report counted no quality tiers")
+	}
+	if rep.Degraded != 0 || rep.DegradedRate != 0 {
+		t.Errorf("degraded accounting = %d (rate %.3f), want zero", rep.Degraded, rep.DegradedRate)
+	}
+}
+
+// TestSummarizeTierAccounting pins the tier bookkeeping and the degraded
+// rate the -max-degraded-rate gate reads, without a server in the loop.
+func TestSummarizeTierAccounting(t *testing.T) {
+	samples := []sample{
+		{status: 200, tier: "certified"},
+		{status: 200, tier: "exact"},
+		{status: 200, tier: "degraded"},
+		{status: 200, tier: "degraded", hot: true, source: "hit"},
+		{status: 422, tier: ""},       // gate refusal: no tier counted
+		{status: 500},                 // server error: no tier
+		{err: os.ErrDeadlineExceeded}, // transport error: excluded entirely
+	}
+	rep := summarize("steady", samples, 0, serverStats{}, serverStats{})
+	if rep.Tiers["certified"] != 1 || rep.Tiers["exact"] != 1 || rep.Tiers["degraded"] != 2 {
+		t.Errorf("tier counts = %v", rep.Tiers)
+	}
+	if rep.Degraded != 2 {
+		t.Errorf("Degraded = %d, want 2", rep.Degraded)
+	}
+	if rep.DegradedRate != 0.5 {
+		t.Errorf("DegradedRate = %.3f, want 0.5 (2 of 4 tiered)", rep.DegradedRate)
 	}
 }
 

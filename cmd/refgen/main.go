@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		showPoles  = fs.Bool("poles", false, "extract poles and zeros from the generated references (adaptive method only)")
 		parallel   = fs.Int("parallel", 0, "evaluation worker count: 0 = all CPUs, 1 = serial (results are identical either way)")
 		allowDeg   = fs.Bool("allow-degraded", false, "return a degraded partial result instead of failing when frames or watchdogs give up")
+		exactRec   = fs.Bool("exact-recovery", false, "snap certified coefficients to rationals and verify them against the exact-arithmetic oracle, upgrading matches to the exact tier (adaptive method)")
+		minTier    = fs.String("min-tier", "", "fail (exit 1) unless the result reaches this quality tier: numeric, certified or exact (adaptive method)")
 		schedCache = fs.String("schedule-cache", "", "directory of the persistent scale-schedule store (adaptive method): warm-start from a previously converged schedule of this request, persist the converged one")
 		timeout    = fs.Duration("timeout", 0, "abort generation after this long (0 = no limit); partial results are printed")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
@@ -83,6 +85,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "refgen:", err)
 		return 1
+	}
+	var tierGate engine.Tier
+	gateTier := *minTier != ""
+	if gateTier {
+		t, err := engine.ParseTier(*minTier)
+		if err != nil {
+			fmt.Fprintln(stderr, "refgen: -min-tier:", err)
+			return 2
+		}
+		tierGate = t
 	}
 
 	if *cpuProfile != "" {
@@ -120,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := engine.Config{
 		Backend: *backend,
-		Options: engine.Options{SigDigits: *sigDigits, MaxIterations: *maxIter, NoReduce: *noReduce, Parallelism: *parallel, AllowDegraded: *allowDeg},
+		Options: engine.Options{SigDigits: *sigDigits, MaxIterations: *maxIter, NoReduce: *noReduce, Parallelism: *parallel, AllowDegraded: *allowDeg, ExactRecovery: *exactRec},
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
@@ -189,6 +201,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
+		if gateTier {
+			if got := resp.Tier(); got < tierGate {
+				return fail(fmt.Errorf("quality tier %s below required minimum %s", got, tierGate))
+			}
+		}
 		if *showPoles {
 			printRoots(stdout, "zeros", resp.Num.Poly())
 			printRoots(stdout, "poles", resp.Den.Poly())
@@ -222,38 +239,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func printResult(w io.Writer, r *engine.Result, verbose bool) {
 	fmt.Fprintln(w, r)
-	for _, d := range r.Diagnostics {
+	for _, d := range r.Warnings() {
 		fmt.Fprintf(w, "warning: %s\n", d)
 	}
 	if r.WarmStarted {
 		fmt.Fprintf(w, "warm start: replayed %d frames, %d adaptation iterations\n",
 			r.ReplayedFrames, len(r.Iterations)-r.ReplayedFrames)
-	} else if r.ColdFallback != "" {
-		fmt.Fprintf(w, "cold fallback: %s\n", r.ColdFallback)
+	} else if cf := r.ColdFallback(); cf != "" {
+		fmt.Fprintf(w, "cold fallback: %s\n", cf)
 	}
-	if r.Degraded {
-		fmt.Fprintf(w, "DEGRADED: %d failure events, %d frame retries, %d frames failed\n",
-			len(r.FailureLog), r.FrameRetries, r.FailedFrames)
+	faults := r.Faults()
+	if r.Degraded() {
+		fmt.Fprintf(w, "DEGRADED: %d fault events, %d frame retries, %d frames failed\n",
+			len(faults), r.FrameRetries, r.FailedFrames)
 	} else if r.FrameRetries > 0 {
-		fmt.Fprintf(w, "recovered: %d frame retries healed %d failure events\n",
-			r.FrameRetries, len(r.FailureLog))
+		fmt.Fprintf(w, "recovered: %d frame retries healed %d fault events\n",
+			r.FrameRetries, len(faults))
 	}
-	for _, ev := range r.FailureLog {
+	for _, ev := range faults {
 		fmt.Fprintf(w, "  failure: %s\n", ev)
+	}
+	if n := len(r.Quality.Events) - len(faults); n > 0 && verbose {
+		for _, ev := range r.Quality.Events {
+			if ev.Kind != engine.EventFault {
+				fmt.Fprintf(w, "  event: %s\n", ev)
+			}
+		}
+	}
+	if worst := r.Quality.WorstRelError(); worst > 0 {
+		fmt.Fprintf(w, "quality: tier %s, worst relative error %.1e\n", r.Quality.Tier, worst)
+	} else {
+		fmt.Fprintf(w, "quality: tier %s\n", r.Quality.Tier)
 	}
 	if r.CacheHits+r.CacheMisses > 0 {
 		fmt.Fprintf(w, "joint cache: %d hits, %d misses — %d effective factorizations for %d solves\n",
 			r.CacheHits, r.CacheMisses, r.TotalSolves-r.CacheHits, r.TotalSolves)
 	}
-	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits")
+	tb := tablefmt.New("", "s^i", "status", "coefficient", "digits", "tier", "rel err")
 	for i, c := range r.Coeffs {
+		tier, relErr := "", ""
+		if i < len(r.Quality.Coefficients) {
+			bar := r.Quality.Coefficients[i]
+			tier = bar.Tier.String()
+			if bar.RelError > 0 {
+				relErr = fmt.Sprintf("%.1e", bar.RelError)
+			}
+		}
 		switch c.Status {
 		case engine.Valid:
-			tb.Rowf(fmt.Sprintf("s^%d", i), "valid", c.Value, fmt.Sprintf("%.1f", float64(6)+c.Quality))
+			tb.Rowf(fmt.Sprintf("s^%d", i), "valid", c.Value, fmt.Sprintf("%.1f", float64(6)+c.Quality), tier, relErr)
 		case engine.Negligible:
-			tb.Rowf(fmt.Sprintf("s^%d", i), "negligible", fmt.Sprintf("|p| < %v", c.Bound), "")
+			tb.Rowf(fmt.Sprintf("s^%d", i), "negligible", fmt.Sprintf("|p| < %v", c.Bound), "", tier, relErr)
 		default:
-			tb.Rowf(fmt.Sprintf("s^%d", i), "UNRESOLVED", "", "")
+			tb.Rowf(fmt.Sprintf("s^%d", i), "UNRESOLVED", "", "", "", "")
 		}
 	}
 	fmt.Fprintln(w, tb)

@@ -196,6 +196,59 @@ func Result(res *core.Result, m int, opt Options) *Report {
 		}
 	}
 
+	// Quality contract: the report carries one error bar per
+	// coefficient, consistent with the classification; the result tier
+	// is the minimum coefficient tier (degraded dominates); and the
+	// event log is sorted by frame index — the determinism the wire
+	// format and the serial/parallel parity guarantee depend on.
+	q := &res.Quality
+	rep.assert(len(q.Coefficients) == len(res.Coeffs), "quality",
+		"%s: %d error bars for %d coefficients", res.Name, len(q.Coefficients), len(res.Coeffs))
+	certTol := math.Pow(10, float64(3-opt.SigDigits))
+	minTier := core.TierExact
+	for i, c := range res.Coeffs {
+		if i >= len(q.Coefficients) {
+			break
+		}
+		bar := q.Coefficients[i]
+		if bar.Tier < minTier {
+			minTier = bar.Tier
+		}
+		switch c.Status {
+		case core.Valid, core.Negligible:
+			if q.Tier != core.TierDegraded {
+				rep.assert(bar.Tier >= core.TierNumeric, "quality",
+					"%s s^%d: resolved coefficient graded %v in a non-degraded result", res.Name, i, bar.Tier)
+			}
+		default:
+			rep.assert(bar.Tier == core.TierDegraded, "quality",
+				"%s s^%d: unresolved coefficient graded %v", res.Name, i, bar.Tier)
+		}
+		rep.assert(bar.RelError >= 0 && !math.IsInf(bar.RelError, 0) && !math.IsNaN(bar.RelError),
+			"quality", "%s s^%d: relative error %g not finite and non-negative", res.Name, i, bar.RelError)
+		switch bar.Tier {
+		case core.TierExact:
+			rep.assert(bar.RelError == 0, "quality",
+				"%s s^%d: exact coefficient carries error bar %g", res.Name, i, bar.RelError)
+		case core.TierCertified:
+			rep.assert(bar.RelError <= certTol, "quality",
+				"%s s^%d: certified error bar %g above the certification tolerance %g",
+				res.Name, i, bar.RelError, certTol)
+		}
+	}
+	if q.Tier != core.TierDegraded && len(q.Coefficients) == len(res.Coeffs) && len(res.Coeffs) > 0 {
+		rep.assert(q.Tier == minTier, "quality",
+			"%s: report tier %v, minimum coefficient tier %v", res.Name, q.Tier, minTier)
+	}
+	for i := 1; i < len(q.Events); i++ {
+		rep.assert(q.Events[i-1].Frame <= q.Events[i].Frame, "quality",
+			"%s: quality events out of frame order at %d (%d after %d)",
+			res.Name, i, q.Events[i].Frame, q.Events[i-1].Frame)
+	}
+	for i, ev := range q.Events {
+		rep.assert(ev.Detail != "", "quality", "%s: event %d (%s) has no detail", res.Name, i, ev.Kind)
+	}
+
 	// Homogeneity (eq. 11): inside every iteration's valid region the
 	// normalized coefficient must equal the accepted denormalized value
 	// re-scaled by f^i·g^(M−i); deflated slots carry residue and are

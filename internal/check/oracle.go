@@ -45,6 +45,44 @@ func VsPoly(res *core.Result, want poly.XPoly, rel, boundSlack float64, rep *Rep
 		res.Name, want.Degree(), len(res.Coeffs)-1)
 }
 
+// ErrorBars verifies the per-coefficient accuracy certificates against
+// a reference polynomial (the exact Bareiss oracle's rendering): a
+// certified coefficient's error bar must bound its measured deviation
+// from the oracle, and an exact-tier coefficient must reproduce the
+// oracle's correctly-rounded rendering bit for bit. This is the
+// ground-truth audit of the conditioning model behind ErrorBar.RelError
+// — a certified bar that fails here is a broken certificate, not a
+// tolerance issue.
+func ErrorBars(res *core.Result, want poly.XPoly, rep *Report) {
+	for i, c := range res.Coeffs {
+		if i >= len(res.Quality.Coefficients) {
+			break
+		}
+		bar := res.Quality.Coefficients[i]
+		var w xmath.XFloat
+		if i < len(want) {
+			w = want[i]
+		}
+		switch {
+		case c.Status == core.Valid && bar.Tier == core.TierExact:
+			rep.assert(c.Value.Mant() == w.Mant() && c.Value.Exp() == w.Exp(), "errorbar-exact",
+				"%s s^%d: exact-tier value %v is not the oracle rendering %v", res.Name, i, c.Value, w)
+		case c.Status == core.Valid && bar.Tier == core.TierCertified && !c.Value.Zero():
+			if w.Zero() {
+				rep.assert(false, "errorbar",
+					"%s s^%d: certified nonzero %v where the oracle has an exact zero", res.Name, i, c.Value)
+				continue
+			}
+			rep.assert(c.Value.ApproxEqual(w, bar.RelError), "errorbar",
+				"%s s^%d: measured error vs oracle exceeds the certified bar %.3g (got %v, oracle %v)",
+				res.Name, i, bar.RelError, c.Value, w)
+		case c.Status == core.Negligible && bar.Tier == core.TierExact:
+			rep.assert(w.Zero(), "errorbar-exact",
+				"%s s^%d: exact-tier negligible but the oracle coefficient is %v", res.Name, i, w)
+		}
+	}
+}
+
 // VsRatio cross-checks H = num/den against an exact rational function up
 // to a common scalar factor, comparing cross products coefficient-wise
 // (exact.RatioEqual). This is the right form when the two formulations

@@ -46,6 +46,31 @@ func ParityResults(a, b *core.Result, rep *Report) {
 		rep.assert(ca.Iteration == cb.Iteration, "parity",
 			"%s s^%d: resolving iteration %d vs %d", a.Name, i, ca.Iteration, cb.Iteration)
 	}
+	// The quality report is part of the deterministic surface: tier,
+	// error bars and the event log (including its frame ordering) must
+	// be identical whichever worker count produced the result.
+	rep.assert(a.Quality.Tier == b.Quality.Tier, "parity",
+		"%s: quality tiers differ: %v vs %v", a.Name, a.Quality.Tier, b.Quality.Tier)
+	rep.assert(len(a.Quality.Coefficients) == len(b.Quality.Coefficients), "parity",
+		"%s: error bar counts differ: %d vs %d", a.Name, len(a.Quality.Coefficients), len(b.Quality.Coefficients))
+	for i := range a.Quality.Coefficients {
+		if i >= len(b.Quality.Coefficients) {
+			break
+		}
+		rep.assert(a.Quality.Coefficients[i] == b.Quality.Coefficients[i], "parity",
+			"%s s^%d: error bars differ: %+v vs %+v", a.Name, i,
+			a.Quality.Coefficients[i], b.Quality.Coefficients[i])
+	}
+	rep.assert(len(a.Quality.Events) == len(b.Quality.Events), "parity",
+		"%s: quality event counts differ: %d vs %d", a.Name, len(a.Quality.Events), len(b.Quality.Events))
+	for i := range a.Quality.Events {
+		if i >= len(b.Quality.Events) {
+			break
+		}
+		ea, eb := a.Quality.Events[i], b.Quality.Events[i]
+		rep.assert(ea.Kind == eb.Kind && ea.Frame == eb.Frame && ea.Target == eb.Target && ea.Detail == eb.Detail,
+			"parity", "%s: quality event %d differs: %v vs %v", a.Name, i, ea, eb)
+	}
 	for k := range a.Iterations {
 		if k >= len(b.Iterations) {
 			break

@@ -106,10 +106,10 @@ type Config struct {
 	// AllowDegraded converts generation-ending failures (frames that
 	// exhaust their retries, watchdog trips, iteration-budget exhaustion)
 	// into a degraded partial Result: Generate returns a nil error, the
-	// Result has Degraded set and a non-empty FailureLog, and the
-	// affected coefficients stay Unknown. Context cancellation still
-	// returns an error. Off by default: failures surface as the typed
-	// errors of the taxonomy in errors.go.
+	// Result's quality tier is TierDegraded with the fault events in
+	// Result.Quality.Events, and the affected coefficients stay Unknown.
+	// Context cancellation still returns an error. Off by default:
+	// failures surface as the typed errors of the taxonomy in errors.go.
 	AllowDegraded bool
 	// WatchdogStall is M, the number of consecutive completed frames that
 	// resolve no coefficient before the stall watchdog declares the run
@@ -128,18 +128,24 @@ type Config struct {
 	// two-factor policy and no bound under SingleFactor, which §3.2
 	// documents as exceeding it by design; negative disables the bound.
 	MaxScaleDriftLog10 float64
-	// OnFailure, when non-nil, receives every FailureEvent as it is
-	// recorded, before it is appended to Result.FailureLog. Like Observer
-	// it runs synchronously on the generation goroutine.
-	OnFailure func(FailureEvent)
+	// OnFailure, when non-nil, receives every fault QualityEvent as it is
+	// recorded, before it is merged into Result.Quality.Events. Like
+	// Observer it runs synchronously on the generation goroutine.
+	OnFailure func(QualityEvent)
 	// WarmStart, when non-nil, carries the converged schedules of a prior
 	// generation on a neighboring design point (see Result.Schedule). The
 	// run replays the matching schedule instead of rediscovering the
 	// scale sequence, and falls back to a full cold start — reason in
-	// Result.ColdFallback — when the schedule fails pre-validation
+	// Result.ColdFallback() — when the schedule fails pre-validation
 	// (degraded prior, window or precision mismatch, drift past
 	// MaxScaleDriftLog10) or its frames fail mid-replay.
 	WarmStart *WarmStart
+	// ExactRecovery requests the engine-level opt-in recovery pass that
+	// snaps certified coefficients to rationals and verifies them against
+	// the exact-arithmetic oracle, upgrading them to TierExact. The core
+	// generator ignores it (it has no oracle); it lives here so it is
+	// part of the canonical option set engine callers hash and serialize.
+	ExactRecovery bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -214,9 +220,10 @@ func GenerateContext(ctx context.Context, ev interp.Evaluator, cfg Config) (*Res
 		cold := cfg
 		cold.WarmStart = nil
 		g = newGenerator(ctx, ev, cold)
-		g.res.ColdFallback = reason
+		g.res.AddEvent(QualityEvent{Kind: EventColdFallback, Frame: -1, Target: -1, Detail: reason})
 		err = g.run()
 	}
+	g.res.finalizeQuality(g.degraded)
 	return g.res, err
 }
 
@@ -244,8 +251,8 @@ func newGenerator(ctx context.Context, ev interp.Evaluator, cfg Config) *generat
 // transfer function, seeding the first interpolation with the paper's
 // heuristic: frequency scale = 1/mean(C), conductance scale = 1/mean(G).
 // A circuit with no capacitors (or no conductances) has no mean to
-// invert; the factor falls back to 1.0 and the fallback is recorded in
-// both results' Diagnostics.
+// invert; the factor falls back to 1.0 and the fallback is recorded as a
+// warning quality event in both results.
 //
 // When the transfer function provides EvalBoth (and cfg.NoJoint is
 // unset), both polynomials are driven through a shared evaluation cache
@@ -288,9 +295,14 @@ func GenerateTransferFunctionContext(ctx context.Context, c *circuit.Circuit, tf
 		numEv = jc.evaluator(tf.Num, func(n, _ xmath.XComplex) xmath.XComplex { return n })
 		denEv = jc.evaluator(tf.Den, func(_, d xmath.XComplex) xmath.XComplex { return d })
 	}
+	warn := func(r *Result) {
+		for _, d := range diags {
+			r.AddEvent(QualityEvent{Kind: EventWarning, Frame: -1, Target: -1, Detail: d})
+		}
+	}
 	var numHits, numMisses int
 	num, err = GenerateContext(ctx, numEv, cfg)
-	num.Diagnostics = append(num.Diagnostics, diags...)
+	warn(num)
 	if jc != nil {
 		numHits, numMisses = jc.counters()
 		num.CacheHits, num.CacheMisses = numHits, numMisses
@@ -299,7 +311,7 @@ func GenerateTransferFunctionContext(ctx context.Context, c *circuit.Circuit, tf
 		return num, nil, fmt.Errorf("core: numerator of %s: %w", tf.Name, err)
 	}
 	den, err = GenerateContext(ctx, denEv, cfg)
-	den.Diagnostics = append(den.Diagnostics, diags...)
+	warn(den)
 	if jc != nil {
 		h, m := jc.counters()
 		den.CacheHits, den.CacheMisses = h-numHits, m-numMisses

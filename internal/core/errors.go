@@ -10,7 +10,8 @@ import (
 // dispatch with errors.Is and recover per-failure diagnostics with
 // errors.As on the concrete types below. Under Config.AllowDegraded the
 // same failures are converted into a degraded partial Result instead
-// (Result.Degraded with the events in Result.FailureLog).
+// (quality tier TierDegraded, with the fault events in
+// Result.Quality.Events).
 var (
 	// ErrSingularPoint marks a point evaluation that returned a
 	// non-finite value: the scaled unit-circle point landed on a system
@@ -159,23 +160,4 @@ func taxonomyError(err error) bool {
 		}
 	}
 	return false
-}
-
-// FailureEvent is one entry of Result.FailureLog: a fault, retry or
-// watchdog event recorded during generation. Err always carries one of
-// the taxonomy sentinels (dispatch with errors.Is, details with
-// errors.As).
-type FailureEvent struct {
-	// Frame is the count of evaluation frames (successful or failed)
-	// dispatched before the event — a deterministic position marker.
-	Frame int
-	// Target is the coefficient index being pursued, -1 for the initial
-	// frame.
-	Target int
-	// Err is the typed error describing the event.
-	Err error
-}
-
-func (e FailureEvent) String() string {
-	return fmt.Sprintf("frame %d (target s^%d): %v", e.Frame, e.Target, e.Err)
 }

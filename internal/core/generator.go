@@ -43,6 +43,9 @@ type generator struct {
 	// their frames exhausted every retry; nextTarget skips them. Nil
 	// until the first abandonment.
 	abandoned []bool
+	// degraded records that the run gave up on part of the range under
+	// AllowDegraded; finalizeQuality forces the report tier down from it.
+	degraded bool
 	// restart carries the reason a warm replay aborted mid-flight; when
 	// set, run returned errColdRestart and GenerateContext reruns the
 	// whole generation cold (see warmstart.go).
@@ -179,17 +182,17 @@ func (g *generator) failure(err error, target int) error {
 	}
 	g.logFailure(err, target)
 	if g.cfg.AllowDegraded {
-		g.res.Degraded = true
+		g.degraded = true
 		return nil
 	}
 	return err
 }
 
-// logFailure records a failure event and delivers it to the OnFailure
-// hook.
+// logFailure records a fault quality event and delivers it to the
+// OnFailure hook.
 func (g *generator) logFailure(err error, target int) {
-	ev := FailureEvent{Frame: g.frames, Target: target, Err: err}
-	g.res.FailureLog = append(g.res.FailureLog, ev)
+	ev := QualityEvent{Kind: EventFault, Frame: g.frames, Target: target, Err: err, Detail: err.Error()}
+	g.res.AddEvent(ev)
 	if g.cfg.OnFailure != nil {
 		g.cfg.OnFailure(ev)
 	}
@@ -202,7 +205,7 @@ func (g *generator) abandon(t int) {
 		g.abandoned = make([]bool, g.n+1)
 	}
 	g.abandoned[t] = true
-	g.res.Degraded = true
+	g.degraded = true
 }
 
 // unknownCount counts Unknown coefficients (abandoned ones included —
@@ -432,6 +435,17 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 	if defl != nil {
 		defl.apply(values, pts)
 	}
+	// Condition-estimate input: the largest magnitude entering the
+	// inverse transform (after deflation). The transform mixes every
+	// input into every output slot, so each slot's absolute error is
+	// bounded by the largest input's round-off — the Vandermonde/
+	// divided-difference growth the error bars must account for.
+	var maxVal xmath.XFloat
+	for _, v := range values {
+		if a := v.AbsX(); a.CmpAbs(maxVal) > 0 {
+			maxVal = a
+		}
+	}
 	var raw []xmath.XComplex
 	if half < kUse {
 		raw = dft.HermitianInverseInto(frameBuf(&g.raw, kUse), values, kUse, &g.dfts)
@@ -465,6 +479,10 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 			measured = excess
 		}
 	}
+	drift := math.Abs(math.Log10(f / g.cfg.InitFScale))
+	if d := math.Abs(math.Log10(gsc / g.cfg.InitGScale)); d > drift {
+		drift = d
+	}
 	it := Iteration{
 		Purpose:     purpose,
 		FScale:      f,
@@ -478,6 +496,7 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 		Solves:      half,
 		EvalElapsed: evalElapsed,
 		Attempt:     attempt,
+		DriftLog10:  drift,
 	}
 	fr := frame{f: f, g: gsc, normalized: normalized, lo: 1, hi: 0, maxIdx: -1, slotErr: slotErr, subtracted: subtracted}
 	// Round-off noise floor: relative to the largest magnitude the
@@ -497,6 +516,13 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 	errBase := maxNorm.Abs()
 	if maxKnown.CmpAbs(errBase) > 0 {
 		errBase = maxKnown
+	}
+	// Condition estimate: decades by which the transform inputs exceeded
+	// the error base the classifier's noise model is relative to. When
+	// positive, every output slot's absolute error can be this many
+	// decades above the modeled floor, and the error bars widen by it.
+	if !errBase.Zero() && maxVal.CmpAbs(errBase) > 0 {
+		it.CondLog10 = maxVal.Log10() - errBase.Log10()
 	}
 	fr.base = errBase.Mul(xmath.Pow10(interp.NoiseExp))
 	if m3 := measured.MulFloat(3); m3.CmpAbs(fr.base) > 0 {

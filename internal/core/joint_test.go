@@ -165,8 +165,8 @@ func TestJointCacheParallelBitIdentical(t *testing.T) {
 
 // TestInitScaleFallbackWarnings covers the small fix: circuits where the
 // mean-capacitance or mean-conductance heuristic is undefined fall back
-// to scale 1.0 and say so in Diagnostics instead of silently relying on
-// withDefaults.
+// to scale 1.0 and say so in a warning quality event instead of silently
+// relying on withDefaults.
 func TestInitScaleFallbackWarnings(t *testing.T) {
 	hasDiag := func(diags []string, substr string) bool {
 		for _, d := range diags {
@@ -193,11 +193,11 @@ func TestInitScaleFallbackWarnings(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range []*Result{num, den} {
-		if !hasDiag(r.Diagnostics, "InitFScale=1") {
-			t.Errorf("%s: no InitFScale fallback warning in %q", r.Name, r.Diagnostics)
+		if !hasDiag(r.Warnings(), "InitFScale=1") {
+			t.Errorf("%s: no InitFScale fallback warning in %q", r.Name, r.Warnings())
 		}
-		if hasDiag(r.Diagnostics, "InitGScale=1") {
-			t.Errorf("%s: unexpected InitGScale warning in %q", r.Name, r.Diagnostics)
+		if hasDiag(r.Warnings(), "InitGScale=1") {
+			t.Errorf("%s: unexpected InitGScale warning in %q", r.Name, r.Warnings())
 		}
 	}
 	if got := den.Poly(); len(got) == 0 || got[0].Zero() {
@@ -219,8 +219,8 @@ func TestInitScaleFallbackWarnings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hasDiag(cnum.Diagnostics, "InitGScale=1") {
-		t.Errorf("C-only: no InitGScale fallback warning in %q", cnum.Diagnostics)
+	if !hasDiag(cnum.Warnings(), "InitGScale=1") {
+		t.Errorf("C-only: no InitGScale fallback warning in %q", cnum.Warnings())
 	}
 
 	// Explicit scales suppress both warnings.
@@ -228,7 +228,7 @@ func TestInitScaleFallbackWarnings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(enum.Diagnostics) != 0 {
-		t.Errorf("explicit scales: unexpected diagnostics %q", enum.Diagnostics)
+	if len(enum.Warnings()) != 0 {
+		t.Errorf("explicit scales: unexpected diagnostics %q", enum.Warnings())
 	}
 }

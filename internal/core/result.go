@@ -85,6 +85,14 @@ type Iteration struct {
 	// Attempt is the retry-geometry index the frame succeeded with (0 on
 	// a first-try success; see Config.FrameRetries for the geometry).
 	Attempt int
+	// CondLog10 is the frame's condition estimate in decades: log10 of
+	// the largest magnitude entering the inverse transform over the error
+	// base the σ-classifier assumed (0 when the noise model held — see
+	// ErrorBar.CondLog10).
+	CondLog10 float64
+	// DriftLog10 is the frame's scale drift from the seed pair,
+	// max(|log10(f/f0)|, |log10(g/g0)|) in decades.
+	DriftLog10 float64
 	// Revised counts coefficients whose stored value this iteration
 	// changed beyond NewValid: quality-based replacements of Valid
 	// entries plus Negligible entries upgraded to Valid.
@@ -121,22 +129,11 @@ type Result struct {
 	EvalElapsed time.Duration
 	// Parallelism is the resolved worker count the run used (≥ 1).
 	Parallelism int
-	// Diagnostics carries non-fatal warnings from generation (e.g. an
-	// initial-scale heuristic that had to fall back to 1.0).
-	Diagnostics []string
-	// Degraded reports that generation gave up on part of the coefficient
-	// range under Config.AllowDegraded instead of returning an error: a
-	// frame exhausted its retries, a watchdog fired, or the iteration
-	// budget ran out. The affected coefficients stay Unknown and
-	// FailureLog explains why. Without AllowDegraded the same conditions
-	// surface as typed errors and Degraded stays false.
-	Degraded bool
-	// FailureLog records every fault, retry and watchdog event observed
-	// during generation, in order (also delivered live through
-	// Config.OnFailure). A Degraded result always carries at least one
-	// entry; a clean result may carry entries too when injected or
-	// transient faults healed on retry.
-	FailureLog []FailureEvent
+	// Quality is the unified quality-of-result contract: the earned tier,
+	// one error bar per coefficient, and every fault, warning and
+	// fallback event observed during generation sorted by frame index
+	// (faults are also delivered live through Config.OnFailure).
+	Quality QualityReport
 	// FrameRetries counts frame attempts that were re-dispatched with
 	// perturbed evaluation geometry after a singular point solve.
 	FrameRetries int
@@ -155,14 +152,11 @@ type Result struct {
 	SeedGScale float64
 	// WarmStarted reports that the run replayed a prior point's schedule
 	// (Config.WarmStart) instead of discovering its own; ReplayedFrames
-	// is the number of iterations the replay phase ran.
+	// is the number of iterations the replay phase ran. A refused or
+	// aborted warm start instead records an EventColdFallback quality
+	// event (see Result.ColdFallback).
 	WarmStarted    bool
 	ReplayedFrames int
-	// ColdFallback is the reason a requested warm start was refused or
-	// aborted ("" when no warm start was requested, or when it was taken —
-	// see WarmStarted). A non-empty value means this result was generated
-	// cold despite Config.WarmStart.
-	ColdFallback string
 }
 
 // Poly returns the coefficients as an extended-range polynomial
@@ -208,8 +202,10 @@ func (r *Result) String() string {
 	if unknown > 0 {
 		fmt.Fprintf(&b, ", %d UNRESOLVED", unknown)
 	}
-	if r.Degraded {
-		fmt.Fprintf(&b, ", DEGRADED (%d failure events)", len(r.FailureLog))
+	if r.Quality.Tier == TierDegraded {
+		fmt.Fprintf(&b, ", DEGRADED (%d fault events)", r.Quality.CountEvents(EventFault))
+	} else {
+		fmt.Fprintf(&b, ", tier %s", r.Quality.Tier)
 	}
 	if r.TotalSolves > 0 {
 		fmt.Fprintf(&b, ", %d solves in %v (×%d workers)", r.TotalSolves, r.EvalElapsed.Round(time.Microsecond), r.Parallelism)

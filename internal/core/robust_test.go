@@ -66,21 +66,22 @@ func TestRetryHealsPinnedSingularity(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkRecovery(t, res, want, 1e-10)
-	if res.Degraded {
+	if res.Degraded() {
 		t.Error("healed run reported as degraded")
 	}
 	if res.FrameRetries == 0 {
 		t.Error("no retries recorded although every frame's first attempt fails")
 	}
-	if len(res.FailureLog) == 0 {
+	if len(res.Faults()) == 0 {
 		t.Error("healed singular attempts left no failure events")
 	}
 	if res.FailedFrames != 0 {
 		t.Errorf("FailedFrames = %d on a healed run, want 0", res.FailedFrames)
 	}
+	faults := res.Faults()
 	var spe *SingularPointError
-	if !errors.As(res.FailureLog[0].Err, &spe) {
-		t.Fatalf("logged event %v is not a *SingularPointError", res.FailureLog[0].Err)
+	if !errors.As(faults[0].Err, &spe) {
+		t.Fatalf("logged event %v is not a *SingularPointError", faults[0].Err)
 	}
 	if !spe.NaN || !errors.Is(spe, ErrSingularPoint) {
 		t.Errorf("event diagnostics wrong: NaN=%v Is(ErrSingularPoint)=%v", spe.NaN, errors.Is(spe, ErrSingularPoint))
@@ -112,10 +113,10 @@ func TestRetryFaultSerialParallelParity(t *testing.T) {
 		t.Error("coefficients differ between serial and parallel evaluation under faults")
 	}
 	if a.FrameRetries != b.FrameRetries || a.FailedFrames != b.FailedFrames ||
-		a.Degraded != b.Degraded || len(a.FailureLog) != len(b.FailureLog) {
+		a.Degraded() != b.Degraded() || len(a.Quality.Events) != len(b.Quality.Events) {
 		t.Errorf("failure accounting differs: serial retries=%d failed=%d events=%d, parallel retries=%d failed=%d events=%d",
-			a.FrameRetries, a.FailedFrames, len(a.FailureLog),
-			b.FrameRetries, b.FailedFrames, len(b.FailureLog))
+			a.FrameRetries, a.FailedFrames, len(a.Quality.Events),
+			b.FrameRetries, b.FailedFrames, len(b.Quality.Events))
 	}
 	if a.FrameRetries == 0 {
 		t.Error("fault plan never triggered a retry; parity test is vacuous")
@@ -153,10 +154,10 @@ func TestAllSingularDegraded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AllowDegraded returned an error: %v", err)
 	}
-	if !res.Degraded {
+	if !res.Degraded() {
 		t.Error("result not marked degraded")
 	}
-	if len(res.FailureLog) == 0 {
+	if len(res.Faults()) == 0 {
 		t.Error("degraded result has an empty failure log")
 	}
 	if res.FailedFrames == 0 {
@@ -199,8 +200,8 @@ func TestBudgetTypedError(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AllowDegraded returned an error: %v", err)
 	}
-	if !res.Degraded || len(res.FailureLog) == 0 {
-		t.Errorf("budget exhaustion under AllowDegraded: Degraded=%v, %d events", res.Degraded, len(res.FailureLog))
+	if !res.Degraded() || len(res.Faults()) == 0 {
+		t.Errorf("budget exhaustion under AllowDegraded: Degraded=%v, %d events", res.Degraded(), len(res.Faults()))
 	}
 }
 
@@ -262,7 +263,7 @@ func TestStallWatchdog(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AllowDegraded returned an error: %v", err)
 	}
-	if !res.Degraded {
+	if !res.Degraded() {
 		t.Error("stalled result not marked degraded")
 	}
 	valid := 0
@@ -278,20 +279,23 @@ func TestStallWatchdog(t *testing.T) {
 
 func TestOnFailureHook(t *testing.T) {
 	want := poly.NewX(1, -2, 3, -4, 5)
-	var events []FailureEvent
+	var events []QualityEvent
 	ev := faultAt(interp.FromPoly("hooked", want, 5), 0, 1e-9)
-	res, err := Generate(ev, Config{OnFailure: func(e FailureEvent) { events = append(events, e) }})
+	res, err := Generate(ev, Config{OnFailure: func(e QualityEvent) { events = append(events, e) }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) == 0 || len(events) != len(res.FailureLog) {
-		t.Errorf("hook saw %d events, log has %d", len(events), len(res.FailureLog))
+	if len(events) == 0 || len(events) != len(res.Faults()) {
+		t.Errorf("hook saw %d events, log has %d", len(events), len(res.Faults()))
 	}
 	for i, e := range events {
 		if e.Err == nil {
 			t.Errorf("event %d has nil error", i)
 		}
-		if e.String() == "" {
+		if e.Kind != EventFault {
+			t.Errorf("event %d kind = %q, want %q", i, e.Kind, EventFault)
+		}
+		if e.String() == "" || e.Detail == "" {
 			t.Errorf("event %d has empty rendering", i)
 		}
 	}

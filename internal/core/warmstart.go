@@ -21,7 +21,7 @@ import (
 // drifted past Config.MaxScaleDriftLog10 from the current seed pair, a
 // degraded prior — is refused up front, and a replay whose frames start
 // failing is aborted; both paths fall back to a full cold start, with the
-// reason recorded in Result.ColdFallback.
+// reason recorded as a cold-fallback quality event (Result.ColdFallback).
 
 // ScheduleFrame is one contributing interpolation of a converged run: the
 // scale pair, the retry geometry it succeeded with, and the targets its
@@ -93,7 +93,7 @@ func (r *Result) Schedule() *Schedule {
 		SigDigits:  r.SigDigits,
 		SeedFScale: r.SeedFScale,
 		SeedGScale: r.SeedGScale,
-		Degraded:   r.Degraded,
+		Degraded:   r.Degraded(),
 	}
 	for i, it := range r.Iterations {
 		if i > 0 && it.NewValid == 0 && it.Revised == 0 && len(it.Negligible) == 0 {
@@ -123,14 +123,20 @@ func (g *generator) warmSchedule() *Schedule {
 	}
 	sched := g.cfg.WarmStart.forName(g.res.Name)
 	if sched == nil {
-		g.res.ColdFallback = fmt.Sprintf("no schedule for polynomial %q", g.res.Name)
+		g.coldFallback(fmt.Sprintf("no schedule for polynomial %q", g.res.Name))
 		return nil
 	}
 	if reason := g.checkSchedule(sched); reason != "" {
-		g.res.ColdFallback = reason
+		g.coldFallback(reason)
 		return nil
 	}
 	return sched
+}
+
+// coldFallback records the reason a requested warm start was refused and
+// the run proceeds cold.
+func (g *generator) coldFallback(reason string) {
+	g.res.AddEvent(QualityEvent{Kind: EventColdFallback, Frame: -1, Target: -1, Detail: reason})
 }
 
 // checkSchedule pre-validates a schedule against this run's evaluator and

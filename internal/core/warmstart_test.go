@@ -34,10 +34,10 @@ func TestWarmSelfReplayBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !warm.WarmStarted {
-		t.Fatalf("warm run did not warm-start (fallback: %q)", warm.ColdFallback)
+		t.Fatalf("warm run did not warm-start (fallback: %q)", warm.ColdFallback())
 	}
-	if warm.ColdFallback != "" {
-		t.Errorf("warm run recorded fallback reason %q", warm.ColdFallback)
+	if warm.ColdFallback() != "" {
+		t.Errorf("warm run recorded fallback reason %q", warm.ColdFallback())
 	}
 	if warm.ReplayedFrames == 0 {
 		t.Error("warm run recorded no replayed frames")
@@ -107,7 +107,7 @@ func TestWarmStartNegligibleReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !warm.WarmStarted {
-		t.Fatalf("steep profile did not warm-start (fallback: %q)", warm.ColdFallback)
+		t.Fatalf("steep profile did not warm-start (fallback: %q)", warm.ColdFallback())
 	}
 	if !CoefficientsEqual(warm.Coeffs, cold.Coeffs) {
 		t.Error("steep-profile replay coefficients differ from cold run")
@@ -183,8 +183,8 @@ func TestWarmStartFallbackTable(t *testing.T) {
 			if res.WarmStarted {
 				t.Fatalf("refused schedule still warm-started (wanted fallback %q)", tc.reason)
 			}
-			if !strings.Contains(res.ColdFallback, tc.reason) {
-				t.Errorf("ColdFallback = %q, want it to contain %q", res.ColdFallback, tc.reason)
+			if !strings.Contains(res.ColdFallback(), tc.reason) {
+				t.Errorf("ColdFallback = %q, want it to contain %q", res.ColdFallback(), tc.reason)
 			}
 			// A refused schedule must leave a run indistinguishable from
 			// cold — same coefficients, same iteration trace length.
@@ -243,8 +243,8 @@ func TestWarmReplayAbortRestartsCold(t *testing.T) {
 	if res.WarmStarted {
 		t.Error("aborted replay still reports WarmStarted")
 	}
-	if !strings.Contains(res.ColdFallback, "failed after retries") {
-		t.Errorf("ColdFallback = %q, want a replay-abort reason", res.ColdFallback)
+	if !strings.Contains(res.ColdFallback(), "failed after retries") {
+		t.Errorf("ColdFallback = %q, want a replay-abort reason", res.ColdFallback())
 	}
 	if !CoefficientsEqual(res.Coeffs, cold.Coeffs) {
 		t.Error("cold fallback after replay abort does not match the cold result")

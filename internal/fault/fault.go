@@ -254,7 +254,7 @@ func (b *Backend) Formulate(c *engine.Circuit, spec engine.Spec) (*engine.Formul
 // pinned to evaluation angle 0 — a point present in every un-rotated
 // frame — so every frame fails its first attempt and heals on its first
 // rotated retry. Deterministic, safe to run to completion, and visible
-// in the result as FrameRetries with a populated FailureLog.
+// in the result as FrameRetries with fault events on its QualityReport.
 func DefaultPlan() *Plan {
 	return &Plan{Seed: 1, AngleSet: true, SingularAngle: 0}
 }

@@ -84,9 +84,9 @@ func TestRegisteredWrapperHealsWithRetries(t *testing.T) {
 	if faulty.Degraded() {
 		t.Error("healed run reported degraded")
 	}
-	if faulty.Den.FrameRetries == 0 || len(faulty.Den.FailureLog) == 0 {
+	if faulty.Den.FrameRetries == 0 || len(faulty.Den.Faults()) == 0 {
 		t.Errorf("retries = %d, events = %d; the pinned pole should fail every frame once",
-			faulty.Den.FrameRetries, len(faulty.Den.FailureLog))
+			faulty.Den.FrameRetries, len(faulty.Den.Faults()))
 	}
 
 	clean, err := engine.New(engine.Config{})
@@ -129,10 +129,10 @@ func TestEverySolveSingularDegraded(t *testing.T) {
 		t.Error("response not degraded")
 	}
 	deg := resp.Num
-	if resp.Den != nil && resp.Den.Degraded {
+	if resp.Den != nil && resp.Den.Degraded() {
 		deg = resp.Den
 	}
-	if deg == nil || len(deg.FailureLog) == 0 {
+	if deg == nil || len(deg.Faults()) == 0 {
 		t.Error("degraded result has an empty failure log")
 	}
 }
@@ -204,12 +204,32 @@ func TestSerialParallelParityUnderFaults(t *testing.T) {
 		if !reflect.DeepEqual(pair.a.Coeffs, pair.b.Coeffs) {
 			t.Errorf("%s: coefficients differ between serial and parallel evaluation", pair.name)
 		}
-		if pair.a.Degraded != pair.b.Degraded || pair.a.FrameRetries != pair.b.FrameRetries ||
-			pair.a.FailedFrames != pair.b.FailedFrames || len(pair.a.FailureLog) != len(pair.b.FailureLog) {
+		if pair.a.Degraded() != pair.b.Degraded() || pair.a.FrameRetries != pair.b.FrameRetries ||
+			pair.a.FailedFrames != pair.b.FailedFrames || len(pair.a.Faults()) != len(pair.b.Faults()) {
 			t.Errorf("%s: failure accounting differs: serial (deg=%v r=%d f=%d e=%d) parallel (deg=%v r=%d f=%d e=%d)",
 				pair.name,
-				pair.a.Degraded, pair.a.FrameRetries, pair.a.FailedFrames, len(pair.a.FailureLog),
-				pair.b.Degraded, pair.b.FrameRetries, pair.b.FailedFrames, len(pair.b.FailureLog))
+				pair.a.Degraded(), pair.a.FrameRetries, pair.a.FailedFrames, len(pair.a.Faults()),
+				pair.b.Degraded(), pair.b.FrameRetries, pair.b.FailedFrames, len(pair.b.Faults()))
+		}
+		// The quality event log is ordered by frame index and must be
+		// identical event for event — the ordering pin that makes wire
+		// bodies deterministic regardless of worker count.
+		ea, eb := pair.a.Quality.Events, pair.b.Quality.Events
+		if len(ea) != len(eb) {
+			t.Errorf("%s: event counts differ: %d serial vs %d parallel", pair.name, len(ea), len(eb))
+			continue
+		}
+		for i := range ea {
+			if ea[i].Kind != eb[i].Kind || ea[i].Frame != eb[i].Frame ||
+				ea[i].Target != eb[i].Target || ea[i].Detail != eb[i].Detail {
+				t.Errorf("%s: event %d differs: serial %v, parallel %v", pair.name, i, ea[i], eb[i])
+			}
+		}
+		if pair.a.Quality.Tier != pair.b.Quality.Tier {
+			t.Errorf("%s: tier differs: %v serial vs %v parallel", pair.name, pair.a.Quality.Tier, pair.b.Quality.Tier)
+		}
+		if !reflect.DeepEqual(pair.a.Quality.Coefficients, pair.b.Quality.Coefficients) {
+			t.Errorf("%s: error bars differ between serial and parallel evaluation", pair.name)
 		}
 	}
 }
@@ -274,8 +294,8 @@ func TestZeroPlanInjectsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Degraded() || resp.Den.FrameRetries != 0 || len(resp.Den.FailureLog) != 0 {
+	if resp.Degraded() || resp.Den.FrameRetries != 0 || len(resp.Den.Faults()) != 0 {
 		t.Errorf("zero plan left traces: degraded=%v retries=%d events=%d",
-			resp.Degraded(), resp.Den.FrameRetries, len(resp.Den.FailureLog))
+			resp.Degraded(), resp.Den.FrameRetries, len(resp.Den.Faults()))
 	}
 }

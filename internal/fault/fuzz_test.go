@@ -103,14 +103,14 @@ func FuzzFaultGenerate(f *testing.F) {
 			if pair.a == nil {
 				continue
 			}
-			if pair.a.Degraded && len(pair.a.FailureLog) == 0 {
+			if pair.a.Degraded() && len(pair.a.Faults()) == 0 {
 				t.Fatalf("%s: degraded result with empty failure log", pair.name)
 			}
 			if !reflect.DeepEqual(pair.a.Coeffs, pair.b.Coeffs) {
 				t.Fatalf("%s: coefficients differ between serial and parallel evaluation", pair.name)
 			}
-			if pair.a.Degraded != pair.b.Degraded || pair.a.FrameRetries != pair.b.FrameRetries ||
-				pair.a.FailedFrames != pair.b.FailedFrames || len(pair.a.FailureLog) != len(pair.b.FailureLog) {
+			if pair.a.Degraded() != pair.b.Degraded() || pair.a.FrameRetries != pair.b.FrameRetries ||
+				pair.a.FailedFrames != pair.b.FailedFrames || len(pair.a.Faults()) != len(pair.b.Faults()) {
 				t.Fatalf("%s: failure accounting differs between serial and parallel evaluation", pair.name)
 			}
 		}

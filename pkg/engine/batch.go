@@ -207,9 +207,9 @@ func (e *Engine) GenerateBatch(ctx context.Context, req BatchRequest) (*BatchRes
 		}
 		pr.Degraded = r.Degraded()
 		pr.Warm = r.Num.WarmStarted && r.Den.WarmStarted
-		pr.ColdFallback = r.Num.ColdFallback
+		pr.ColdFallback = r.Num.ColdFallback()
 		if pr.ColdFallback == "" {
-			pr.ColdFallback = r.Den.ColdFallback
+			pr.ColdFallback = r.Den.ColdFallback()
 		}
 		if pr.Warm {
 			resp.WarmStarts++

@@ -150,7 +150,7 @@ func runBatchSweep(t *testing.T, ckt *Circuit, spec Spec, n int, tol float64) (w
 		}
 		if !replay.Num.WarmStarted || !replay.Den.WarmStarted {
 			t.Fatalf("point %d self-replay ran cold (num=%q den=%q)",
-				i, replay.Num.ColdFallback, replay.Den.ColdFallback)
+				i, replay.Num.ColdFallback(), replay.Den.ColdFallback())
 		}
 		if !core.CoefficientsEqual(replay.Num.Coeffs, warm.Points[i].Response.Num.Coeffs) ||
 			!core.CoefficientsEqual(replay.Den.Coeffs, warm.Points[i].Response.Den.Coeffs) {

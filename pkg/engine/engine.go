@@ -95,11 +95,46 @@ type Response struct {
 // Degraded reports whether either polynomial's generation was degraded:
 // under Options.AllowDegraded a failure (singular frames past their
 // retries, a watchdog trip, budget exhaustion) yields a partial Result
-// with Degraded set and the events in its FailureLog instead of an
-// error. Check it whenever AllowDegraded is on and you need to know the
-// response is complete.
+// at the degraded quality tier with the fault events in its
+// Result.Quality.Events instead of an error. Check it whenever
+// AllowDegraded is on and you need to know the response is complete.
 func (r *Response) Degraded() bool {
-	return (r.Num != nil && r.Num.Degraded) || (r.Den != nil && r.Den.Degraded)
+	return (r.Num != nil && r.Num.Degraded()) || (r.Den != nil && r.Den.Degraded())
+}
+
+// Tier is the response's quality tier: the minimum of the two
+// polynomials' tiers (degraded when neither polynomial is present).
+func (r *Response) Tier() Tier {
+	tier, any := TierExact, false
+	for _, res := range []*Result{r.Num, r.Den} {
+		if res == nil {
+			continue
+		}
+		any = true
+		if res.Quality.Tier < tier {
+			tier = res.Quality.Tier
+		}
+	}
+	if !any {
+		return TierDegraded
+	}
+	return tier
+}
+
+// WorstRelError is the largest per-coefficient relative-error estimate
+// across both polynomials (0 when every coefficient is exact, negligible
+// or unknown).
+func (r *Response) WorstRelError() float64 {
+	worst := 0.0
+	for _, res := range []*Result{r.Num, r.Den} {
+		if res == nil {
+			continue
+		}
+		if w := res.Quality.WorstRelError(); w > worst {
+			worst = w
+		}
+	}
+	return worst
 }
 
 // Formulate resolves the backend and builds the formulation for spec
@@ -162,8 +197,13 @@ func (e *Engine) Generate(ctx context.Context, req Request) (*Response, error) {
 			return nil, err
 		}
 	}
-	num, den, err := core.GenerateTransferFunctionContext(ctx, req.Circuit, f.TF, e.options(req, f))
-	return &Response{Formulation: f, Num: num, Den: den}, err
+	opts := e.options(req, f)
+	num, den, err := core.GenerateTransferFunctionContext(ctx, req.Circuit, f.TF, opts)
+	resp := &Response{Formulation: f, Num: num, Den: den}
+	if err == nil && opts.ExactRecovery {
+		e.exactRecovery(req, f, resp)
+	}
+	return resp, err
 }
 
 // Interpolate runs one fixed-scale interpolation per polynomial of a

@@ -94,5 +94,6 @@ func optionsKey(o Options) string {
 	btoa("degraded", o.AllowDegraded)
 	itoa("watchdog", o.WatchdogStall)
 	ftoa("drift", o.MaxScaleDriftLog10)
+	btoa("exactrec", o.ExactRecovery)
 	return strings.TrimSuffix(b.String(), "|")
 }

@@ -98,7 +98,7 @@ func TestCanonicalKeyOptions(t *testing.T) {
 		"Parallelism":  {Parallelism: 8},
 		"RetryBackoff": {RetryBackoff: time.Second},
 		"Observer":     {Observer: func(engine.Iteration) {}},
-		"OnFailure":    {OnFailure: func(engine.FailureEvent) {}},
+		"OnFailure":    {OnFailure: func(engine.QualityEvent) {}},
 	} {
 		if key(o) != base {
 			t.Errorf("execution-only option %s changed the key", name)

@@ -41,9 +41,19 @@ type (
 	InterpResult = interp.Result
 	// Poly is a polynomial with extended-range coefficients.
 	Poly = poly.XPoly
-	// FailureEvent is one entry of Result.FailureLog: a fault, retry or
-	// watchdog event recorded during generation.
-	FailureEvent = core.FailureEvent
+	// QualityReport is the unified quality-of-result contract attached to
+	// every Result: the earned tier, one error bar per coefficient, and
+	// the events observed during generation.
+	QualityReport = core.QualityReport
+	// ErrorBar is the per-coefficient accuracy certificate of a
+	// QualityReport.
+	ErrorBar = core.ErrorBar
+	// QualityEvent is one fault, warning or fallback event of a
+	// QualityReport (also the payload of the Options.OnFailure hook).
+	QualityEvent = core.QualityEvent
+	// Tier grades how much trust a result or coefficient has earned
+	// (TierDegraded < TierNumeric < TierCertified < TierExact).
+	Tier = core.Tier
 	// WarmStart carries the per-polynomial schedules of a prior
 	// generation for Options.WarmStart (see Response.WarmState and
 	// GenerateBatch).
@@ -69,7 +79,8 @@ type (
 // failure Generate can diagnose matches exactly one of these with
 // errors.Is (and carries a concrete *...Error with diagnostics for
 // errors.As). Under Options.AllowDegraded the same failures become a
-// degraded partial Result instead — see Response.Degraded.
+// degraded-tier partial Result instead — see Response.Degraded()
+// and the QualityReport on each Result.
 var (
 	ErrSingularPoint   = core.ErrSingularPoint
 	ErrFrameFailed     = core.ErrFrameFailed
@@ -84,6 +95,26 @@ const (
 	Valid      = core.Valid
 	Negligible = core.Negligible
 )
+
+// Quality tiers, ordered weakest to strongest.
+const (
+	TierDegraded  = core.TierDegraded
+	TierNumeric   = core.TierNumeric
+	TierCertified = core.TierCertified
+	TierExact     = core.TierExact
+)
+
+// Quality-event kinds.
+const (
+	EventFault         = core.EventFault
+	EventWarning       = core.EventWarning
+	EventColdFallback  = core.EventColdFallback
+	EventExactRecovery = core.EventExactRecovery
+)
+
+// ParseTier parses a tier name ("exact", "certified", "numeric",
+// "degraded") back into a Tier.
+func ParseTier(s string) (Tier, error) { return core.ParseTier(s) }
 
 // ValidRegion locates the contiguous run of normalized coefficients
 // carrying at least sigDigits significant digits in an InterpResult.

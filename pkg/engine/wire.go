@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/xmath"
 )
 
@@ -18,7 +19,9 @@ import (
 // (wall-clock timings, worker counts) are deliberately absent: the wire
 // form is a function of circuit × spec × options alone.
 
-// WireCoefficient is one network-function coefficient on the wire.
+// WireCoefficient is one network-function coefficient on the wire,
+// carrying its accuracy certificate (tier + error bar) alongside the
+// value.
 type WireCoefficient struct {
 	// Status is "valid", "negligible" or "unknown".
 	Status string `json:"status"`
@@ -31,8 +34,22 @@ type WireCoefficient struct {
 	Bound string `json:"bound,omitempty"`
 	// Quality is the digits above the validity threshold at acceptance.
 	Quality float64 `json:"quality,omitempty"`
-	// Iteration is the 0-based interpolation that resolved it.
+	// Iteration is the 0-based interpolation that resolved it (also the
+	// error bar's provenance frame).
 	Iteration int `json:"iteration"`
+	// Tier is the coefficient's accuracy tier: "exact", "certified",
+	// "numeric" or "degraded" (see core.Tier).
+	Tier string `json:"tier"`
+	// RelError is the certified relative-error estimate (0 for exact and
+	// proven-negligible coefficients).
+	RelError float64 `json:"rel_error,omitempty"`
+	// CondLog10 and DriftLog10 are the resolving frame's condition
+	// estimate and scale drift in decades (see core.ErrorBar).
+	CondLog10  float64 `json:"cond_log10,omitempty"`
+	DriftLog10 float64 `json:"drift_log10,omitempty"`
+	// Retries is the retry-geometry attempt the resolving frame succeeded
+	// with.
+	Retries int `json:"retries,omitempty"`
 }
 
 // WireIteration summarizes one interpolation run for streaming clients:
@@ -53,11 +70,13 @@ type WireIteration struct {
 	Negligible []int   `json:"negligible,omitempty"`
 }
 
-// WireFailure is one FailureLog entry on the wire.
-type WireFailure struct {
+// WireQualityEvent is one QualityReport event on the wire. The typed
+// error of fault events does not serialize; Detail carries its text.
+type WireQualityEvent struct {
+	Kind   string `json:"kind"`
 	Frame  int    `json:"frame"`
 	Target int    `json:"target"`
-	Error  string `json:"error"`
+	Detail string `json:"detail"`
 }
 
 // WireResult is the wire form of one polynomial's Result.
@@ -68,27 +87,51 @@ type WireResult struct {
 	SigDigits  int     `json:"sig_digits"`
 	SeedFScale float64 `json:"seed_fscale"`
 	SeedGScale float64 `json:"seed_gscale"`
-	Degraded   bool    `json:"degraded,omitempty"`
+	// Tier is the result's quality tier, the minimum over the
+	// coefficient tiers: "exact", "certified", "numeric" or "degraded".
+	Tier string `json:"tier"`
 	// Coeffs holds one entry per power of s, 0..OrderBound.
 	Coeffs []WireCoefficient `json:"coeffs"`
 	// Deterministic work counters (see Result).
-	TotalSolves  int             `json:"total_solves"`
-	CacheHits    int             `json:"cache_hits"`
-	CacheMisses  int             `json:"cache_misses"`
-	FrameRetries int             `json:"frame_retries,omitempty"`
-	FailedFrames int             `json:"failed_frames,omitempty"`
-	Diagnostics  []string        `json:"diagnostics,omitempty"`
-	Failures     []WireFailure   `json:"failures,omitempty"`
-	Iterations   []WireIteration `json:"iterations,omitempty"`
+	TotalSolves  int `json:"total_solves"`
+	CacheHits    int `json:"cache_hits"`
+	CacheMisses  int `json:"cache_misses"`
+	FrameRetries int `json:"frame_retries,omitempty"`
+	FailedFrames int `json:"failed_frames,omitempty"`
+	// Events are the quality events (faults, warnings, fallbacks) in
+	// frame order.
+	Events     []WireQualityEvent `json:"events,omitempty"`
+	Iterations []WireIteration    `json:"iterations,omitempty"`
 }
 
 // WireResponse is the wire form of a Response: the final payload of the
 // generation service, and the unit the result cache stores.
 type WireResponse struct {
-	Backend  string      `json:"backend,omitempty"`
-	Degraded bool        `json:"degraded,omitempty"`
-	Num      *WireResult `json:"num,omitempty"`
-	Den      *WireResult `json:"den,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// Tier is the response's quality tier: the minimum of the two
+	// polynomials' tiers.
+	Tier string      `json:"tier"`
+	Num  *WireResult `json:"num,omitempty"`
+	Den  *WireResult `json:"den,omitempty"`
+}
+
+// WorstRelError returns the largest per-coefficient relative error
+// estimate across both polynomials of the response — the wire-level
+// mirror of QualityReport.WorstRelError, computable from a cached body
+// without decoding back to a Response.
+func (w *WireResponse) WorstRelError() float64 {
+	worst := 0.0
+	for _, r := range []*WireResult{w.Num, w.Den} {
+		if r == nil {
+			continue
+		}
+		for _, c := range r.Coeffs {
+			if c.RelError > worst {
+				worst = c.RelError
+			}
+		}
+	}
+	return worst
 }
 
 // ResultWire converts a Result to its wire form.
@@ -103,17 +146,24 @@ func ResultWire(r *Result) *WireResult {
 		SigDigits:    r.SigDigits,
 		SeedFScale:   r.SeedFScale,
 		SeedGScale:   r.SeedGScale,
-		Degraded:     r.Degraded,
+		Tier:         r.Quality.Tier.String(),
 		Coeffs:       make([]WireCoefficient, len(r.Coeffs)),
 		TotalSolves:  r.TotalSolves,
 		CacheHits:    r.CacheHits,
 		CacheMisses:  r.CacheMisses,
 		FrameRetries: r.FrameRetries,
 		FailedFrames: r.FailedFrames,
-		Diagnostics:  r.Diagnostics,
 	}
 	for i, c := range r.Coeffs {
 		wc := WireCoefficient{Status: c.Status.String(), Quality: c.Quality, Iteration: c.Iteration}
+		if i < len(r.Quality.Coefficients) {
+			bar := r.Quality.Coefficients[i]
+			wc.Tier = bar.Tier.String()
+			wc.RelError = bar.RelError
+			wc.CondLog10 = bar.CondLog10
+			wc.DriftLog10 = bar.DriftLog10
+			wc.Retries = bar.Retries
+		}
 		switch c.Status {
 		case Valid:
 			wc.Value = xfloatText(c.Value)
@@ -124,8 +174,8 @@ func ResultWire(r *Result) *WireResult {
 		}
 		w.Coeffs[i] = wc
 	}
-	for _, ev := range r.FailureLog {
-		w.Failures = append(w.Failures, WireFailure{Frame: ev.Frame, Target: ev.Target, Error: ev.Err.Error()})
+	for _, ev := range r.Quality.Events {
+		w.Events = append(w.Events, WireQualityEvent{Kind: ev.Kind, Frame: ev.Frame, Target: ev.Target, Detail: ev.Detail})
 	}
 	for _, it := range r.Iterations {
 		w.Iterations = append(w.Iterations, IterationWire(it))
@@ -149,33 +199,39 @@ func ResponseWire(resp *Response) *WireResponse {
 	if resp == nil {
 		return nil
 	}
-	w := &WireResponse{Num: ResultWire(resp.Num), Den: ResultWire(resp.Den), Degraded: resp.Degraded()}
+	w := &WireResponse{Num: ResultWire(resp.Num), Den: ResultWire(resp.Den), Tier: resp.Tier().String()}
 	if resp.Formulation != nil {
 		w.Backend = resp.Formulation.Backend
 	}
 	return w
 }
 
-// Result converts the wire form back. Coefficient values, bounds and
-// every deterministic counter reconstruct exactly; the full Iteration
-// records (coefficient windows, timings) are not on the wire, so the
-// returned Result carries none.
+// Result converts the wire form back. Coefficient values, bounds, error
+// bars, events and every deterministic counter reconstruct exactly; the
+// full Iteration records (coefficient windows, timings) are not on the
+// wire, so the returned Result carries none, and the typed errors of
+// fault events survive only as their Detail text (QualityEvent.Err is
+// nil after decode).
 func (w *WireResult) Result() (*Result, error) {
+	tier, err := core.ParseTier(w.Tier)
+	if err != nil {
+		return nil, fmt.Errorf("engine: wire result %q: %w", w.Name, err)
+	}
 	r := &Result{
 		Name:         w.Name,
 		M:            w.M,
 		SigDigits:    w.SigDigits,
 		SeedFScale:   w.SeedFScale,
 		SeedGScale:   w.SeedGScale,
-		Degraded:     w.Degraded,
 		Coeffs:       make([]Coefficient, len(w.Coeffs)),
 		TotalSolves:  w.TotalSolves,
 		CacheHits:    w.CacheHits,
 		CacheMisses:  w.CacheMisses,
 		FrameRetries: w.FrameRetries,
 		FailedFrames: w.FailedFrames,
-		Diagnostics:  w.Diagnostics,
 	}
+	r.Quality.Tier = tier
+	r.Quality.Coefficients = make([]ErrorBar, len(w.Coeffs))
 	for i, wc := range w.Coeffs {
 		c := Coefficient{Quality: wc.Quality, Iteration: wc.Iteration}
 		switch wc.Status {
@@ -195,6 +251,23 @@ func (w *WireResult) Result() (*Result, error) {
 			return nil, fmt.Errorf("engine: wire coefficient s^%d has unknown status %q", i, wc.Status)
 		}
 		r.Coeffs[i] = c
+		barTier, err := core.ParseTier(wc.Tier)
+		if err != nil {
+			return nil, fmt.Errorf("engine: wire coefficient s^%d: %w", i, err)
+		}
+		r.Quality.Coefficients[i] = ErrorBar{
+			Tier:       barTier,
+			RelError:   wc.RelError,
+			CondLog10:  wc.CondLog10,
+			DriftLog10: wc.DriftLog10,
+			Retries:    wc.Retries,
+			Frame:      wc.Iteration,
+		}
+	}
+	for _, ev := range w.Events {
+		r.Quality.Events = append(r.Quality.Events, QualityEvent{
+			Kind: ev.Kind, Frame: ev.Frame, Target: ev.Target, Detail: ev.Detail,
+		})
 	}
 	return r, nil
 }

@@ -75,15 +75,17 @@ func TestWrapperInnerErrorPropagates(t *testing.T) {
 }
 
 func TestResponseDegraded(t *testing.T) {
+	clean := func() *Result { return &Result{Quality: QualityReport{Tier: TierCertified}} }
+	deg := func() *Result { return &Result{Quality: QualityReport{Tier: TierDegraded}} }
 	cases := []struct {
 		name string
 		resp Response
 		want bool
 	}{
 		{"empty", Response{}, false},
-		{"clean", Response{Num: &Result{}, Den: &Result{}}, false},
-		{"num degraded", Response{Num: &Result{Degraded: true}}, true},
-		{"den degraded", Response{Num: &Result{}, Den: &Result{Degraded: true}}, true},
+		{"clean", Response{Num: clean(), Den: clean()}, false},
+		{"num degraded", Response{Num: deg()}, true},
+		{"den degraded", Response{Num: clean(), Den: deg()}, true},
 	}
 	for _, tc := range cases {
 		if got := tc.resp.Degraded(); got != tc.want {

@@ -24,8 +24,13 @@
 // Failures keep their taxonomy: client mistakes are 400, generation
 // failures are 422 with the engine's error kind in the body, deadline
 // exhaustion is 504. 5xx means a bug (panic) — the CI load gate counts
-// them. Degraded partial results (Options.AllowDegraded) are 200s whose
-// body and X-Degraded header say so.
+// them. Every 200 carries the result's quality tier in the
+// X-Quality-Tier header and its worst certified relative error in
+// X-Worst-Rel-Error; a request may set min_tier to refuse (422,
+// below-min-tier) results under a quality floor, and min_tier keys the
+// result cache, so an exact-tier request never shares a numeric-tier
+// hit. Degraded partial results (Options.AllowDegraded) are 200s whose
+// body and tier header say so.
 package server
 
 import (
@@ -33,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -89,6 +95,19 @@ type Stats struct {
 	// ScheduleWarmStarts counts flights that replayed a schedule loaded
 	// from the persistent store (0 when Config.ScheduleDir is unset).
 	ScheduleWarmStarts uint64 `json:"schedule_warm_starts,omitempty"`
+	// Tiers counts completed generations by result quality tier.
+	Tiers TierCounts `json:"tiers"`
+	// WorstRelError is the largest certified relative error estimate
+	// any completed generation reported since the server started.
+	WorstRelError float64 `json:"worst_rel_error"`
+}
+
+// TierCounts is the per-tier generation tally of Stats.
+type TierCounts struct {
+	Exact     uint64 `json:"exact"`
+	Certified uint64 `json:"certified"`
+	Numeric   uint64 `json:"numeric"`
+	Degraded  uint64 `json:"degraded"`
 }
 
 // Server implements the service. Create with New, serve Handler, Close
@@ -111,6 +130,25 @@ type Server struct {
 	inflight     atomic.Int64
 	serverErrors atomic.Uint64
 	schedWarm    atomic.Uint64
+	tierCounts   [4]atomic.Uint64 // indexed by engine.Tier
+	worstRelBits atomic.Uint64    // math.Float64bits of the max seen
+}
+
+// recordQuality tallies a completed generation's tier and folds its
+// worst relative error into the running maximum.
+func (s *Server) recordQuality(tier engine.Tier, worst float64) {
+	if tier >= 0 && int(tier) < len(s.tierCounts) {
+		s.tierCounts[tier].Add(1)
+	}
+	for {
+		old := s.worstRelBits.Load()
+		if worst <= math.Float64frombits(old) {
+			return
+		}
+		if s.worstRelBits.CompareAndSwap(old, math.Float64bits(worst)) {
+			return
+		}
+	}
 }
 
 // New validates the configuration and returns a ready server.
@@ -172,6 +210,13 @@ func (s *Server) Stats() Stats {
 		ServerErrors:       s.serverErrors.Load(),
 		MaxConcurrent:      s.cfg.MaxConcurrent,
 		ScheduleWarmStarts: s.schedWarm.Load(),
+		Tiers: TierCounts{
+			Exact:     s.tierCounts[engine.TierExact].Load(),
+			Certified: s.tierCounts[engine.TierCertified].Load(),
+			Numeric:   s.tierCounts[engine.TierNumeric].Load(),
+			Degraded:  s.tierCounts[engine.TierDegraded].Load(),
+		},
+		WorstRelError: math.Float64frombits(s.worstRelBits.Load()),
 	}
 }
 
@@ -217,6 +262,13 @@ type GenerateRequest struct {
 	// Stream selects the response shape: "" (single JSON body),
 	// "ndjson" or "sse". The stream query parameter takes precedence.
 	Stream string `json:"stream,omitempty"`
+	// MinTier, when set ("numeric", "certified" or "exact"), refuses
+	// results under that quality tier with a 422 (kind below-min-tier)
+	// instead of answering 200. "exact" additionally switches on the
+	// engine's exact-recovery pass for the request. The requested tier
+	// is part of the cache identity: an exact-tier request never shares
+	// a cache entry with an untiered one.
+	MinTier string `json:"min_tier,omitempty"`
 }
 
 // SpecJSON mirrors engine.Spec on the wire.
@@ -246,6 +298,7 @@ type OptionsJSON struct {
 	AllowDegraded      bool    `json:"allow_degraded,omitempty"`
 	WatchdogStall      int     `json:"watchdog_stall,omitempty"`
 	MaxScaleDriftLog10 float64 `json:"max_scale_drift_log10,omitempty"`
+	ExactRecovery      bool    `json:"exact_recovery,omitempty"`
 	Parallelism        int     `json:"parallelism,omitempty"`
 }
 
@@ -265,6 +318,7 @@ func (o *OptionsJSON) engineOptions() engine.Options {
 		AllowDegraded:      o.AllowDegraded,
 		WatchdogStall:      o.WatchdogStall,
 		MaxScaleDriftLog10: o.MaxScaleDriftLog10,
+		ExactRecovery:      o.ExactRecovery,
 		Parallelism:        o.Parallelism,
 	}
 }
@@ -282,8 +336,23 @@ func writeError(w http.ResponseWriter, status int, kind string, err error) {
 	_ = json.NewEncoder(w).Encode(errorBody{Status: status, Kind: kind, Error: err.Error()})
 }
 
+// tierError reports a generated result that fell short of the
+// request's min_tier floor. It is a 422: the generation itself
+// succeeded, the quality contract was not met.
+type tierError struct {
+	got, want engine.Tier
+}
+
+func (e *tierError) Error() string {
+	return fmt.Sprintf("quality tier %s below requested minimum %s", e.got, e.want)
+}
+
 // errKind names a generation failure with the engine taxonomy.
 func errKind(err error) string {
+	var te *tierError
+	if errors.As(err, &te) {
+		return "below-min-tier"
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
@@ -351,10 +420,37 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		opts := req.Options.engineOptions()
 		ereq.Options = &opts
 	}
+	var minTier engine.Tier
+	gateTier := req.MinTier != ""
+	if gateTier {
+		minTier, err = engine.ParseTier(req.MinTier)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err)
+			return
+		}
+		if minTier == engine.TierExact {
+			// The exact floor is only reachable through the recovery
+			// pass; switch it on rather than refuse every request.
+			opts := s.cfg.Engine.Options
+			if ereq.Options != nil {
+				opts = *ereq.Options
+			}
+			opts.ExactRecovery = true
+			ereq.Options = &opts
+		}
+	}
 	key, err := engine.RequestKey(ereq, s.cfg.Engine)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad-netlist", err)
 		return
+	}
+	// The requested tier joins the cache/single-flight identity (the
+	// schedule store keeps the content address alone): a min_tier=exact
+	// request must never be answered with a cached numeric-tier body,
+	// and a tier-gated flight's 422 must not poison untiered waiters.
+	cacheKey := key
+	if gateTier {
+		cacheKey = key + "+tier-" + req.MinTier
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -374,15 +470,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if e, ok := s.cache.get(key); ok {
+	if e, ok := s.cache.get(cacheKey); ok {
 		s.respondEntry(w, mode, "hit", e)
 		return
 	}
 
-	fl, leader := s.group.join(key)
+	fl, leader := s.group.join(cacheKey)
 	if leader {
 		s.wg.Add(1)
-		go s.runFlight(fl, ereq)
+		go s.runFlight(fl, ereq, key, minTier, gateTier)
 	} else {
 		s.shared.Add(1)
 	}
@@ -412,7 +508,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // runFlight is the leader's generation goroutine. It runs under the
 // server's lifetime context — never a request's — bounded by
 // MaxTimeout, so waiter cancellation can never abort shared work.
-func (s *Server) runFlight(fl *flight, ereq engine.Request) {
+// schedKey is the bare content address for the schedule store (the
+// flight key may carry a tier suffix); minTier/gateTier carry the
+// request's quality floor.
+func (s *Server) runFlight(fl *flight, ereq engine.Request, schedKey string, minTier engine.Tier, gateTier bool) {
 	defer s.wg.Done()
 	select {
 	case s.sem <- struct{}{}:
@@ -433,7 +532,7 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request) {
 		// is excluded from the address, and a refused or aborted replay
 		// falls back to a cold run, so the coefficients are bit-identical
 		// either way — only the iteration trail and solve count shrink.
-		if warm, _ := s.sched.Load(fl.key); warm != nil {
+		if warm, _ := s.sched.Load(schedKey); warm != nil {
 			opts := s.cfg.Engine.Options
 			if ereq.Options != nil {
 				opts = *ereq.Options
@@ -447,6 +546,8 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request) {
 		s.group.finish(fl, nil, err, errStatus(err))
 		return
 	}
+	tier := resp.Tier()
+	s.recordQuality(tier, resp.WorstRelError())
 	if s.sched != nil && !resp.Degraded() {
 		if resp.Num != nil && resp.Num.WarmStarted && resp.Den != nil && resp.Den.WarmStarted {
 			s.schedWarm.Add(1)
@@ -454,8 +555,12 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request) {
 		if ws := resp.WarmState(); ws != nil {
 			// Best-effort persistence: a failed write costs the next
 			// process a warm start, nothing else.
-			_ = s.sched.Save(fl.key, ws)
+			_ = s.sched.Save(schedKey, ws)
 		}
+	}
+	if gateTier && tier < minTier {
+		s.group.finish(fl, nil, &tierError{got: tier, want: minTier}, http.StatusUnprocessableEntity)
+		return
 	}
 	wire := engine.ResponseWire(resp)
 	raw, err := engine.EncodeWireJSON(wire)
@@ -481,9 +586,8 @@ func (s *Server) respondEntry(w http.ResponseWriter, mode, source string, e *ent
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", source)
-	if e.wire.Degraded {
-		w.Header().Set("X-Degraded", "true")
-	}
+	w.Header().Set("X-Quality-Tier", e.wire.Tier)
+	w.Header().Set("X-Worst-Rel-Error", fmt.Sprintf("%.6g", e.wire.WorstRelError()))
 	_, _ = w.Write(e.body)
 }
 

@@ -97,8 +97,11 @@ func TestGenerateMissThenHit(t *testing.T) {
 	if err := json.Unmarshal(raw, &w); err != nil {
 		t.Fatal(err)
 	}
-	if w.Num == nil || w.Den == nil || w.Degraded {
+	if w.Num == nil || w.Den == nil || w.Tier == engine.TierDegraded.String() {
 		t.Fatalf("malformed wire response: %s", raw)
+	}
+	if got := resp.Header.Get("X-Quality-Tier"); got != w.Tier {
+		t.Errorf("X-Quality-Tier = %q, body tier %q", got, w.Tier)
 	}
 
 	// The respelled netlist must land on the same content address and
@@ -221,18 +224,29 @@ func TestDegradedSurfaced(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (%s)", resp.StatusCode, raw)
 	}
-	if resp.Header.Get("X-Degraded") != "true" {
-		t.Error("degraded response missing X-Degraded header")
+	if got := resp.Header.Get("X-Quality-Tier"); got != engine.TierDegraded.String() {
+		t.Errorf("X-Quality-Tier = %q, want degraded", got)
 	}
 	var w engine.WireResponse
 	if err := json.Unmarshal(raw, &w); err != nil {
 		t.Fatal(err)
 	}
-	if !w.Degraded {
+	if w.Tier != engine.TierDegraded.String() {
 		t.Error("body does not mark the response degraded")
 	}
-	if w.Num == nil || (len(w.Num.Failures) == 0 && len(w.Den.Failures) == 0) {
-		t.Error("degraded response carries no failure taxonomy")
+	faults := 0
+	for _, r := range []*engine.WireResult{w.Num, w.Den} {
+		if r == nil {
+			continue
+		}
+		for _, ev := range r.Events {
+			if ev.Kind == engine.EventFault {
+				faults++
+			}
+		}
+	}
+	if w.Num == nil || faults == 0 {
+		t.Error("degraded response carries no fault events")
 	}
 }
 
@@ -575,7 +589,7 @@ func TestScheduleStoreWarmStart(t *testing.T) {
 			t.Errorf("%s: warm replay solved %d points, cold only %d", pair.label, pair.warm.TotalSolves, pair.cold.TotalSolves)
 		}
 	}
-	if wB.Degraded {
+	if wB.Tier == engine.TierDegraded.String() {
 		t.Error("warm replay degraded")
 	}
 }
