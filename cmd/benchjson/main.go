@@ -68,6 +68,12 @@ var deterministicUnits = map[string]bool{
 	"cold-fallbacks/op":      true,
 	"solves/point":           true,
 	"singleflight-shared/op": true,
+	// Overload-path counters from BenchmarkServerShed: every op is an
+	// immediate refusal, so sheds/op is exactly 1 and queue-wait-ns/op
+	// exactly 0 — despite the ns suffix it is not a timing, it is the
+	// invariant that the shed fast path never queues.
+	"sheds/op":         true,
+	"queue-wait-ns/op": true,
 }
 
 // allocGated matches the benchmarks whose allocs/op is deterministic:

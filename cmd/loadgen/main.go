@@ -9,6 +9,12 @@
 //	                  server ran exactly -expect-generations generations
 //	-sweep            a saturation sweep over doubling concurrency levels,
 //	                  reporting the throughput knee as JSON
+//	-chaos            spawn refserve itself (-chaos-bin) and crash it with
+//	                  SIGTERM mid-burst for -chaos-cycles cycles, mixing in
+//	                  disk faults, malformed payloads, oversized bodies and
+//	                  slow-loris connections; gates that every exit is clean,
+//	                  no 5xx other than intentional sheds escapes, and the
+//	                  persistent stores hold zero corrupt entries at the end
 //
 // The workload draws from the repo's reference fixtures (biquad, a
 // 40-section RC ladder, the µA741) rendered to netlist text. Hot
@@ -115,9 +121,10 @@ func requestBody(fx fixture, perturb int64, stream bool, timeoutMs int) []byte {
 type sample struct {
 	latency time.Duration
 	status  int
-	source  string // X-Cache: hit, miss, shared; "" on error
+	source  string // X-Cache: hit, miss, shared, disk; "" on error
 	tier    string // X-Quality-Tier (or the stream result's tier); "" on error
 	hot     bool
+	shed    bool // 503 carrying Retry-After: an intentional overload shed, not a failure
 	err     error
 }
 
@@ -127,9 +134,27 @@ type serverStats struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 	} `json:"cache"`
+	DiskCache struct {
+		Hits        uint64 `json:"hits"`
+		Quarantines uint64 `json:"quarantines"`
+	} `json:"disk_cache"`
 	Generations        uint64 `json:"generations"`
 	SingleflightShared uint64 `json:"singleflight_shared"`
 	ServerErrors       uint64 `json:"server_errors"`
+	Admission          struct {
+		Admitted       uint64  `json:"admitted"`
+		ShedsQueueFull uint64  `json:"sheds_queue_full"`
+		ShedsDeadline  uint64  `json:"sheds_deadline"`
+		ShedsDraining  uint64  `json:"sheds_draining"`
+		QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	} `json:"admission"`
+	BudgetDegraded      uint64 `json:"budget_degraded"`
+	ScheduleQuarantines uint64 `json:"schedule_quarantines"`
+}
+
+// sheds is the total across shed reasons.
+func (st serverStats) sheds() uint64 {
+	return st.Admission.ShedsQueueFull + st.Admission.ShedsDeadline + st.Admission.ShedsDraining
 }
 
 func getStats(client *http.Client, url string) (serverStats, error) {
@@ -157,6 +182,7 @@ func do(client *http.Client, url string, body []byte, stream, hot bool) sample {
 		source: resp.Header.Get("X-Cache"),
 		tier:   resp.Header.Get("X-Quality-Tier"),
 		hot:    hot,
+		shed:   resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "",
 	}
 	if stream && resp.StatusCode == http.StatusOK {
 		sc := bufio.NewScanner(resp.Body)
@@ -199,10 +225,13 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 // report is the machine-readable outcome (-json, and the sweep
 // artifact).
 type report struct {
-	Mode        string  `json:"mode"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
+	Mode     string `json:"mode"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Status5xx counts unintentional server failures only; load sheds
+	// (503 + Retry-After) are accounted separately in Sheds.
 	Status5xx   int     `json:"status_5xx"`
+	Sheds       int     `json:"sheds"`
 	Elapsed     float64 `json:"elapsed_s"`
 	Throughput  float64 `json:"throughput_rps"`
 	P50Ms       float64 `json:"p50_ms"`
@@ -220,6 +249,9 @@ type report struct {
 	Shared       uint64         `json:"singleflight_shared_delta"`
 	CacheHits    uint64         `json:"cache_hits_delta"`
 	CacheMisses  uint64         `json:"cache_misses_delta"`
+	DiskHits     uint64         `json:"disk_cache_hits_delta"`
+	ServerSheds  uint64         `json:"server_sheds_delta"`
+	Quarantines  uint64         `json:"store_quarantines_delta"`
 	Levels       []sweepLevel   `json:"levels,omitempty"`
 	Knee         int            `json:"knee_concurrency,omitempty"`
 }
@@ -240,7 +272,10 @@ func summarize(mode string, samples []sample, elapsed time.Duration, before, aft
 			continue
 		}
 		lats = append(lats, s.latency)
-		if s.status >= 500 {
+		switch {
+		case s.shed:
+			r.Sheds++
+		case s.status >= 500:
 			r.Status5xx++
 		}
 		if s.status < 400 && s.tier != "" {
@@ -252,7 +287,9 @@ func summarize(mode string, samples []sample, elapsed time.Duration, before, aft
 		}
 		if s.hot {
 			r.HotRequests++
-			if s.source == "hit" || s.source == "shared" {
+			// The disk tier answers from persistent state without a
+			// generation, so it is cache-effective like a memory hit.
+			if s.source == "hit" || s.source == "shared" || s.source == "disk" {
 				hotEffective++
 			}
 		}
@@ -274,6 +311,10 @@ func summarize(mode string, samples []sample, elapsed time.Duration, before, aft
 	r.Shared = after.SingleflightShared - before.SingleflightShared
 	r.CacheHits = after.Cache.Hits - before.Cache.Hits
 	r.CacheMisses = after.Cache.Misses - before.Cache.Misses
+	r.DiskHits = after.DiskCache.Hits - before.DiskCache.Hits
+	r.ServerSheds = after.sheds() - before.sheds()
+	r.Quarantines = (after.DiskCache.Quarantines + after.ScheduleQuarantines) -
+		(before.DiskCache.Quarantines + before.ScheduleQuarantines)
 	return r
 }
 
@@ -335,10 +376,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		expectGen   = fs.Int("expect-generations", -1, "gate (burst mode): exact server generations delta")
 		sweep       = fs.Bool("sweep", false, "saturation sweep mode: double concurrency up to -sweep-max")
 		sweepMax    = fs.Int("sweep-max", 32, "sweep mode: maximum concurrency")
+		maxSheds    = fs.Int("max-sheds", -1, "gate: maximum tolerated load sheds (503 + Retry-After)")
 		jsonPath    = fs.String("json", "", "write the report JSON to this file")
+
+		chaos             = fs.Bool("chaos", false, "chaos mode: spawn -chaos-bin and crash it mid-burst for -chaos-cycles")
+		chaosBin          = fs.String("chaos-bin", "", "chaos mode: path to the refserve binary to spawn")
+		chaosCycles       = fs.Int("chaos-cycles", 10, "chaos mode: crash/restart cycles")
+		chaosDir          = fs.String("chaos-dir", "", "chaos mode: state directory for the persistent stores (empty = temp dir)")
+		chaosFaultOneIn   = fs.Int("chaos-fault-one-in", 16, "chaos mode: disk-fault rate passed to refserve on fault cycles (0 = never inject)")
+		chaosDrainTimeout = fs.Duration("chaos-drain-timeout", 1*time.Second, "chaos mode: refserve -drain-timeout")
+		chaosShedGateMs   = fs.Float64("chaos-shed-p50-gate-ms", 50, "chaos mode: gate on median shed latency in ms (0 = report but do not gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *chaos {
+		rep, err := runChaos(chaosConfig{
+			bin:          *chaosBin,
+			cycles:       *chaosCycles,
+			dir:          *chaosDir,
+			faultOneIn:   *chaosFaultOneIn,
+			drainTimeout: *chaosDrainTimeout,
+			seed:         *seed,
+			shedGateMs:   *chaosShedGateMs,
+		}, stdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: chaos: %v\n", err)
+			return 1
+		}
+		if *jsonPath != "" {
+			raw, _ := json.MarshalIndent(rep, "", "  ")
+			if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				return 1
+			}
+		}
+		return rep.gate(stderr)
 	}
 	if *url == "" {
 		fmt.Fprintln(stderr, "loadgen: -url is required")
@@ -390,6 +463,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *max5xx >= 0 && rep.Status5xx > *max5xx {
 		fmt.Fprintf(stderr, "loadgen: GATE FAIL: %d 5xx responses (max %d)\n", rep.Status5xx, *max5xx)
+		code = 1
+	}
+	if *maxSheds >= 0 && rep.Sheds > *maxSheds {
+		fmt.Fprintf(stderr, "loadgen: GATE FAIL: %d load sheds (max %d)\n", rep.Sheds, *maxSheds)
 		code = 1
 	}
 	if *minHitRate >= 0 && rep.HotHitRate < *minHitRate {
@@ -523,8 +600,8 @@ func runSweep(client *http.Client, url string, fxs []fixture, hotKeys, sweepMax 
 }
 
 func printReport(w io.Writer, r report) {
-	fmt.Fprintf(w, "loadgen %s: %d requests in %.1fs (%.1f rps), %d errors, %d 5xx\n",
-		r.Mode, r.Requests, r.Elapsed, r.Throughput, r.Errors, r.Status5xx)
+	fmt.Fprintf(w, "loadgen %s: %d requests in %.1fs (%.1f rps), %d errors, %d 5xx, %d sheds\n",
+		r.Mode, r.Requests, r.Elapsed, r.Throughput, r.Errors, r.Status5xx, r.Sheds)
 	fmt.Fprintf(w, "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", r.P50Ms, r.P95Ms, r.P99Ms)
 	if r.HotRequests > 0 {
 		fmt.Fprintf(w, "hot keys: %d requests, cache-effective %.1f%%\n", r.HotRequests, 100*r.HotHitRate)
@@ -542,8 +619,8 @@ func printReport(w io.Writer, r report) {
 		fmt.Fprintf(w, "quality tiers: %s (degraded rate %.1f%%)\n",
 			strings.Join(parts, ", "), 100*r.DegradedRate)
 	}
-	fmt.Fprintf(w, "server deltas: generations +%d, singleflight-shared +%d, cache hits +%d misses +%d\n",
-		r.Generations, r.Shared, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(w, "server deltas: generations +%d, singleflight-shared +%d, cache hits +%d misses +%d disk +%d, sheds +%d, quarantines +%d\n",
+		r.Generations, r.Shared, r.CacheHits, r.CacheMisses, r.DiskHits, r.ServerSheds, r.Quarantines)
 	for _, lvl := range r.Levels {
 		fmt.Fprintf(w, "sweep c=%-3d  %.1f rps  p95 %.2fms\n", lvl.Concurrency, lvl.Throughput, lvl.P95Ms)
 	}

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/pkg/engine"
 	"repro/pkg/server"
 )
 
@@ -134,6 +137,122 @@ func TestSummarizeTierAccounting(t *testing.T) {
 	}
 	if rep.DegradedRate != 0.5 {
 		t.Errorf("DegradedRate = %.3f, want 0.5 (2 of 4 tiered)", rep.DegradedRate)
+	}
+}
+
+// TestSummarizeShedAccounting pins the overload taxonomy: a 503 with
+// Retry-After is a shed (the contract working), not a 5xx failure, and
+// a disk-tier answer is cache-effective for the hot-key gate.
+func TestSummarizeShedAccounting(t *testing.T) {
+	samples := []sample{
+		{status: 503, shed: true},
+		{status: 503, shed: true, hot: true},
+		{status: 503}, // no Retry-After: an actual failure
+		{status: 500},
+		{status: 200, tier: "exact", hot: true, source: "disk"},
+		{status: 200, tier: "exact", hot: true, source: "hit"},
+		{status: 200, tier: "exact", hot: true, source: "miss"},
+	}
+	rep := summarize("steady", samples, 0, serverStats{}, serverStats{})
+	if rep.Sheds != 2 {
+		t.Errorf("Sheds = %d, want 2", rep.Sheds)
+	}
+	if rep.Status5xx != 2 {
+		t.Errorf("Status5xx = %d, want 2 (bare 503 + 500; sheds excluded)", rep.Status5xx)
+	}
+	if rep.HotRequests != 4 {
+		t.Errorf("HotRequests = %d, want 4", rep.HotRequests)
+	}
+	if got := rep.HotHitRate; got != 0.5 {
+		t.Errorf("HotHitRate = %.3f, want 0.5 (disk and hit effective, miss and shed not)", got)
+	}
+}
+
+// TestAuditSchedules: a valid envelope passes, a torn one is detected
+// and (with fix) quarantined aside rather than deleted.
+func TestAuditSchedules(t *testing.T) {
+	dir := t.TempDir()
+	key := "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	raw, err := engine.EncodeWarmStartJSON(key, &engine.WarmStart{Num: &engine.Schedule{
+		Name: "numerator", M: 1, OrderBound: 1, SigDigits: 6,
+		SeedFScale: 1, SeedGScale: 1,
+		Frames: []engine.ScheduleFrame{{FScale: 1, GScale: 1, Purpose: "initial"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".schedule.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+	if err := os.WriteFile(filepath.Join(dir, torn+".schedule.json"), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, bad, err := auditSchedules(dir, false)
+	if err != nil || ok != 1 || bad != 1 {
+		t.Fatalf("dry audit = (%d ok, %d bad, %v), want (1, 1, nil)", ok, bad, err)
+	}
+	if _, q, err := auditSchedules(dir, true); err != nil || q != 1 {
+		t.Fatalf("fix audit quarantined %d (%v), want 1", q, err)
+	}
+	ok, bad, err = auditSchedules(dir, false)
+	if err != nil || ok != 1 || bad != 0 {
+		t.Fatalf("post-fix audit = (%d ok, %d bad, %v), want (1, 0, nil)", ok, bad, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	var quarantined int
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".quarantined-") {
+			quarantined++
+		}
+	}
+	if quarantined != 1 {
+		t.Errorf("quarantine evidence files = %d, want 1 (rename, never delete)", quarantined)
+	}
+}
+
+// TestChaosModeEndToEnd builds the real refserve binary and runs two
+// crash/restart cycles through the chaos harness — the same invariants
+// CI gates on, at smoke scale.
+func TestChaosModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes real server processes")
+	}
+	bin := filepath.Join(t.TempDir(), "refserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/refserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building refserve: %v\n%s", err, out)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "chaos.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-chaos",
+		"-chaos-bin", bin,
+		"-chaos-cycles", "2",
+		// The timing gate stays on in CI's dedicated chaos job; here the
+		// box is saturated by the rest of the test suite, so a wall-clock
+		// median would measure the scheduler, not the shed path.
+		"-chaos-shed-p50-gate-ms", "0",
+		"-chaos-dir", t.TempDir(),
+		"-json", jsonPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("chaos exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DirtyExits != 0 || rep.Status5xx != 0 || rep.CacheCorrupt != 0 || rep.SchedCorrupt != 0 {
+		t.Fatalf("chaos invariants violated: %+v", rep)
+	}
+	if rep.OK200 == 0 || rep.Requests == 0 {
+		t.Fatalf("chaos never exercised the server: %+v", rep)
 	}
 }
 

@@ -6,6 +6,13 @@
 //
 //	refserve -addr :8080
 //	refserve -addr 127.0.0.1:0 -portfile port.txt   # CI: random port, written to a file
+//
+// On SIGTERM (or SIGINT) the server drains: admission sheds new
+// generations with 503 + Retry-After, /healthz answers 503, in-flight
+// generations finish and persist their schedules, and the process exits
+// 0 — or, at -drain-timeout, cancels what is left (streaming clients
+// get a terminal error event) and still exits 0. Crash-safety of the
+// disk stores does not depend on the drain succeeding.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/pkg/engine"
 	"repro/pkg/server"
 
@@ -49,9 +57,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 		cacheEntries  = fs.Int("cache-entries", 0, "result cache entry bound (0 = default 512, negative = unbounded)")
 		cacheBytes    = fs.Int64("cache-bytes", 0, "result cache byte bound (0 = default 64 MiB, negative = unbounded)")
 		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent generation bound (0 = GOMAXPROCS)")
+		maxQueue      = fs.Int("max-queue", 0, "admission queue bound; beyond it requests shed with 503 (0 = 4x max-concurrent, negative = unbounded)")
+		maxBodyBytes  = fs.Int64("max-body-bytes", 0, "request body cap, larger bodies answer 413 (0 = 4 MiB)")
 		timeout       = fs.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
 		maxTimeout    = fs.Duration("max-timeout", 0, "deadline and generation-time ceiling (0 = 5m)")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline after SIGTERM before in-flight work is canceled")
 		schedCache    = fs.String("schedule-cache", "", "directory of the persistent scale-schedule store (empty = disabled)")
+		cacheDir      = fs.String("cache-dir", "", "directory of the persistent result-cache tier (empty = disabled)")
+		iterBudget    = fs.Int("iteration-budget", 0, "server-enforced per-request frame budget; exhaustion degrades the result (0 = off)")
+		solveBudget   = fs.Int("solve-budget", 0, "server-enforced per-request point-solve budget (0 = off)")
+		memoryBudget  = fs.Int64("memory-budget", 0, "server-enforced per-request arena-size budget, bytes (0 = off)")
+		faultSeed     = fs.Int64("store-fault-seed", 0, "seed for the deterministic disk-fault injector under the stores")
+		faultOneIn    = fs.Int("store-fault-one-in", 0, "inject a disk fault (torn write / bit flip / rename / read failure) into roughly 1 in N store operations (0 = off); chaos testing only")
 		debugAddr     = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on the serving port)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,14 +79,33 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 		return 2
 	}
 
+	var storeFS engine.FS
+	if *faultOneIn > 0 {
+		storeFS = faultfs.New(&faultfs.Plan{
+			Seed:           *faultSeed,
+			TornWriteOneIn: *faultOneIn,
+			BitFlipOneIn:   *faultOneIn,
+			RenameOneIn:    *faultOneIn,
+			ReadOneIn:      *faultOneIn,
+		})
+		fmt.Fprintf(stdout, "refserve: disk-fault injection armed (seed %d, 1 in %d)\n", *faultSeed, *faultOneIn)
+	}
+
 	srv, err := server.New(server.Config{
-		Engine:         engineConfig(*backend),
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		MaxConcurrent:  *maxConcurrent,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		ScheduleDir:    *schedCache,
+		Engine:          engineConfig(*backend),
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		MaxBodyBytes:    *maxBodyBytes,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		ScheduleDir:     *schedCache,
+		CacheDir:        *cacheDir,
+		StoreFS:         storeFS,
+		IterationBudget: *iterBudget,
+		SolveBudget:     *solveBudget,
+		MemoryBudget:    *memoryBudget,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "refserve: %v\n", err)
@@ -106,7 +142,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 		}
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// Header and idle timeouts bound slow-loris connections; request
+	// bodies are separately capped by MaxBodyBytes and the per-request
+	// deadline.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, unnotify := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer unnotify()
 
@@ -124,11 +167,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- net.Addr, stop <-
 	case <-ctx.Done():
 	case <-stop:
 	}
-	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+
+	// Drain sequence: stop admitting (sheds + unhealthy healthz) first,
+	// so load balancers rotate away while in-flight work finishes; then
+	// wait out the HTTP server up to the drain deadline; then cancel
+	// whatever is left — in-flight streaming clients get a terminal
+	// error event through the flight teardown, and the crash-safe
+	// stores need no cooperation.
+	srv.StartDrain()
+	shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(stderr, "refserve: shutdown: %v\n", err)
-		return 1
+	if err := hs.Shutdown(shctx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "refserve: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "refserve: drain deadline (%s) hit; canceling in-flight work\n", *drainTimeout)
+		srv.Close()    // cancels flights; streaming handlers emit their terminal event
+		_ = hs.Close() // force-closes whatever connections remain
 	}
 	fmt.Fprintln(stdout, "refserve: drained")
 	return 0

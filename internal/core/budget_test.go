@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/xmath"
+)
+
+// The execution-side resource budgets (Config.MaxSolves and
+// Config.MemoryBudget) bound the work of one generation without changing
+// its identity: a run that stays under its grants is bit-identical to an
+// unbudgeted run, and a run that trips a grant either surfaces a typed
+// *BudgetError or — under DegradeOnBudget — degrades into a labeled
+// partial Result that never exceeded the grant.
+
+func TestSolveBudgetTrips(t *testing.T) {
+	want := ua741Profile()
+	ev := interp.FromPoly("ua741-like", want, 49)
+	res, err := Generate(ev, Config{InitFScale: 1e8, MaxSolves: 40})
+	if err == nil {
+		t.Fatal("want solve-budget error, got nil")
+	}
+	if !errors.Is(err, ErrIterationBudget) {
+		t.Fatalf("error %v does not match ErrIterationBudget", err)
+	}
+	var berr *BudgetError
+	if !errors.As(err, &berr) {
+		t.Fatalf("error %v carries no *BudgetError", err)
+	}
+	if berr.Kind != "solves" {
+		t.Fatalf("Kind = %q, want solves", berr.Kind)
+	}
+	if berr.Limit != 40 || berr.Used <= berr.Limit {
+		t.Errorf("Used/Limit = %d/%d, want Used > Limit = 40", berr.Used, berr.Limit)
+	}
+	if !strings.Contains(err.Error(), "solve budget") {
+		t.Errorf("message %q does not name the solve budget", err)
+	}
+	// The refused frame performed none of its solves: the partial result
+	// never exceeds its grant.
+	if res.TotalSolves > 40 {
+		t.Errorf("TotalSolves = %d exceeds the grant of 40", res.TotalSolves)
+	}
+	if res.TotalSolves == 0 {
+		t.Error("no solves performed at all; the budget should admit the first frame")
+	}
+}
+
+func TestMemoryBudgetTrips(t *testing.T) {
+	want := ua741Profile()
+	ev := interp.FromPoly("ua741-like", want, 49)
+	res, err := Generate(ev, Config{InitFScale: 1e8, MemoryBudget: 100_000})
+	var berr *BudgetError
+	if !errors.As(err, &berr) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if berr.Kind != "bytes" {
+		t.Fatalf("Kind = %q, want bytes", berr.Kind)
+	}
+	if !strings.Contains(err.Error(), "memory budget") {
+		t.Errorf("message %q does not name the memory budget", err)
+	}
+	if res.EstimatedBytes > 100_000 {
+		t.Errorf("EstimatedBytes = %d exceeds the 100000-byte grant", res.EstimatedBytes)
+	}
+	if res.EstimatedBytes == 0 {
+		t.Error("EstimatedBytes = 0; the ceiling should admit the first frame")
+	}
+}
+
+func TestDegradeOnBudgetYieldsLabeledPartial(t *testing.T) {
+	want := ua741Profile()
+	ev := interp.FromPoly("ua741-like", want, 49)
+	res, err := Generate(ev, Config{InitFScale: 1e8, MaxSolves: 40, DegradeOnBudget: true})
+	if err != nil {
+		t.Fatalf("DegradeOnBudget should absorb the budget trip, got %v", err)
+	}
+	if res.Quality.Tier != TierDegraded {
+		t.Fatalf("tier = %v, want degraded", res.Quality.Tier)
+	}
+	found := false
+	for _, ev := range res.Quality.Events {
+		if ev.Kind == EventFault && strings.Contains(ev.Detail, "solve budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fault event naming the solve budget in %v", res.Quality.Events)
+	}
+	unknown := 0
+	for _, c := range res.Coeffs {
+		if c.Status == Unknown {
+			unknown++
+		}
+	}
+	if unknown == 0 {
+		t.Error("budget-degraded run resolved everything; the trip should leave coefficients Unknown")
+	}
+	if res.TotalSolves > 40 {
+		t.Errorf("TotalSolves = %d exceeds the grant of 40", res.TotalSolves)
+	}
+}
+
+func TestDegradeOnBudgetDoesNotMaskOtherFailures(t *testing.T) {
+	// An evaluator that always produces NaN exhausts its frame retries;
+	// under DegradeOnBudget alone that must still surface as the typed
+	// frame failure, not silently degrade.
+	ev := interp.Evaluator{
+		Name: "nan", M: 2, OrderBound: 3,
+		Eval: func(s complex128, f, g float64) xmath.XComplex {
+			return xmath.CNaN()
+		},
+	}
+	_, err := Generate(ev, Config{DegradeOnBudget: true})
+	if err == nil {
+		t.Fatal("want frame failure, got nil")
+	}
+	if !errors.Is(err, ErrFrameFailed) {
+		t.Fatalf("error %v does not match ErrFrameFailed", err)
+	}
+}
+
+func TestBudgetsDoNotPerturbGeneration(t *testing.T) {
+	want := ua741Profile()
+	ev := interp.FromPoly("ua741-like", want, 49)
+	free, err := Generate(ev, Config{InitFScale: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := Generate(ev, Config{
+		InitFScale: 1e8, MaxSolves: 1 << 30, MemoryBudget: 1 << 40, DegradeOnBudget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CoefficientsEqual(free.Coeffs, granted.Coeffs) {
+		t.Error("generous budgets perturbed the generated coefficients")
+	}
+	if free.TotalSolves != granted.TotalSolves {
+		t.Errorf("solve counts differ: %d vs %d", free.TotalSolves, granted.TotalSolves)
+	}
+	if granted.EstimatedBytes == 0 || free.EstimatedBytes != granted.EstimatedBytes {
+		t.Errorf("EstimatedBytes tracking differs: %d vs %d", free.EstimatedBytes, granted.EstimatedBytes)
+	}
+}
+
+func TestWarmReplayHonorsSolveBudget(t *testing.T) {
+	want := ua741Profile()
+	ev := interp.FromPoly("ua741-like", want, 49)
+	cold, err := Generate(ev, Config{InitFScale: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := Config{
+		InitFScale: 1e8, MaxSolves: 40, DegradeOnBudget: true,
+		WarmStart: &WarmStart{Num: cold.Schedule()},
+	}
+	warm, err := Generate(ev, warmCfg)
+	if err != nil {
+		t.Fatalf("budget trip mid-replay should degrade, got %v", err)
+	}
+	if warm.Quality.Tier != TierDegraded {
+		t.Fatalf("tier = %v, want degraded", warm.Quality.Tier)
+	}
+	if warm.TotalSolves > 40 {
+		t.Errorf("TotalSolves = %d exceeds the grant of 40", warm.TotalSolves)
+	}
+
+	// Without the degrade knob the same replay surfaces the typed error.
+	warmCfg.DegradeOnBudget = false
+	_, err = Generate(ev, warmCfg)
+	var berr *BudgetError
+	if !errors.As(err, &berr) || berr.Kind != "solves" {
+		t.Fatalf("want solves *BudgetError from replay, got %v", err)
+	}
+}

@@ -140,6 +140,30 @@ type Config struct {
 	// (degraded prior, window or precision mismatch, drift past
 	// MaxScaleDriftLog10) or its frames fail mid-replay.
 	WarmStart *WarmStart
+	// MaxSolves bounds the total number of evaluation-point solves across
+	// all frames of one polynomial (Result.TotalSolves). The bound is
+	// checked before each frame dispatches its batch: a frame that would
+	// cross it trips ErrIterationBudget (a *BudgetError with Kind
+	// "solves") without performing any of its solves. 0 disables the
+	// bound. Unlike MaxIterations this is an execution-side budget —
+	// engine callers exclude it from the request content address, so a
+	// server can clamp it per request without changing request identity.
+	MaxSolves int
+	// MemoryBudget is a soft ceiling, in bytes, on the generator's
+	// cumulative arena estimate (Result.EstimatedBytes): evaluation
+	// points, solved extended-range values and one factorization plan
+	// per frame. A frame whose estimate would cross the ceiling trips
+	// ErrIterationBudget (a *BudgetError with Kind "bytes") before
+	// dispatching any solves. 0 disables the ceiling. Execution-only
+	// like MaxSolves: excluded from the content address.
+	MemoryBudget int64
+	// DegradeOnBudget converts budget exhaustion — and only budget
+	// exhaustion (failures matching ErrIterationBudget) — into a
+	// degraded partial Result, exactly as AllowDegraded does for the
+	// whole taxonomy. Servers use it to turn an enforced resource
+	// budget into a labeled partial answer under the tier contract
+	// without masking genuine generation failures.
+	DegradeOnBudget bool
 	// ExactRecovery requests the engine-level opt-in recovery pass that
 	// snaps certified coefficients to rationals and verifies them against
 	// the exact-arithmetic oracle, upgrading them to TierExact. The core

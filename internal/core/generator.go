@@ -87,7 +87,10 @@ func (g *generator) run() error {
 			lastF, lastG = 0, 0
 		}
 		if g.frames >= g.cfg.MaxIterations {
-			return g.failure(&BudgetError{Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: t}, t)
+			return g.failure(&BudgetError{
+				Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: t,
+				Kind: "iterations", Used: int64(g.frames), Limit: int64(g.cfg.MaxIterations),
+			}, t)
 		}
 		lower, upper := bracket(frames, t)
 		// Consecutive stalls on the same target widen the directed jump so
@@ -181,7 +184,7 @@ func (g *generator) failure(err error, target int) error {
 		return err
 	}
 	g.logFailure(err, target)
-	if g.cfg.AllowDegraded {
+	if g.cfg.AllowDegraded || (g.cfg.DegradeOnBudget && errors.Is(err, ErrIterationBudget)) {
 		g.degraded = true
 		return nil
 	}
@@ -196,6 +199,41 @@ func (g *generator) logFailure(err error, target int) {
 	if g.cfg.OnFailure != nil {
 		g.cfg.OnFailure(ev)
 	}
+}
+
+// checkWorkBudget enforces the execution-side resource budgets before a
+// frame dispatches its point solves: the solve budget (Config.MaxSolves)
+// over Result.TotalSolves and the soft memory ceiling
+// (Config.MemoryBudget) over the cumulative arena estimate. A passing
+// frame charges its estimate to Result.EstimatedBytes; a failing one
+// charges nothing and performs no solves, so a budget-degraded partial
+// Result never exceeds its grant.
+func (g *generator) checkWorkBudget(kUse, half int) *BudgetError {
+	if g.cfg.MaxSolves > 0 && g.res.TotalSolves+half > g.cfg.MaxSolves {
+		return &BudgetError{
+			Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: -1,
+			Kind: "solves", Used: int64(g.res.TotalSolves + half), Limit: int64(g.cfg.MaxSolves),
+		}
+	}
+	est := g.res.EstimatedBytes + frameArenaBytes(g.ev.M, kUse, half)
+	if g.cfg.MemoryBudget > 0 && est > g.cfg.MemoryBudget {
+		return &BudgetError{
+			Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: -1,
+			Kind: "bytes", Used: est, Limit: g.cfg.MemoryBudget,
+		}
+	}
+	g.res.EstimatedBytes = est
+	return nil
+}
+
+// frameArenaBytes is the coarse per-frame arena estimate: kUse complex
+// evaluation points (16 bytes each), half solved extended-range values
+// (32 bytes each: mantissa pair plus exponent pair) and one dense
+// factorization plan over the evaluator's matrix order M (M² complex
+// entries). Coarse, but deterministic and monotone in the work actually
+// performed — which is all a shed-or-degrade decision needs.
+func frameArenaBytes(m, kUse, half int) int64 {
+	return int64(kUse)*16 + int64(half)*32 + int64(m)*int64(m)*16
 }
 
 // abandon marks a target as given up under AllowDegraded; it stays
@@ -409,6 +447,9 @@ func (g *generator) interpolate(f, gsc float64, purpose string, attempt int) (fr
 	half := kUse
 	if !g.cfg.NoMirror {
 		half = dft.HermitianHalf(kUse)
+	}
+	if berr := g.checkWorkBudget(kUse, half); berr != nil {
+		return frame{}, berr
 	}
 	evalStart := time.Now()
 	values, err := g.ev.EvalPointsInto(g.ctx, frameBuf(&g.vals, half), pts[:half], f, gsc, g.cfg.Parallelism)

@@ -185,7 +185,10 @@ func (g *generator) checkSchedule(s *Schedule) string {
 func (g *generator) replay(sched *Schedule) (frames []frame, done bool, err error) {
 	for fi, wf := range sched.Frames {
 		if g.frames >= g.cfg.MaxIterations {
-			return nil, true, g.failure(&BudgetError{Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: -1}, -1)
+			return nil, true, g.failure(&BudgetError{
+				Name: g.res.Name, Budget: g.cfg.MaxIterations, Target: -1,
+				Kind: "iterations", Used: int64(g.frames), Limit: int64(g.cfg.MaxIterations),
+			}, -1)
 		}
 		fr, err := g.interpolateRetry(wf.FScale, wf.GScale, wf.Purpose, -1, wf.Attempt)
 		if err != nil {
@@ -193,6 +196,12 @@ func (g *generator) replay(sched *Schedule) (frames []frame, done bool, err erro
 			if errors.As(err, &ferr) {
 				g.restart = fmt.Sprintf("replay frame %d/%d (%s) failed after retries", fi+1, len(sched.Frames), wf.Purpose)
 				return nil, false, errColdRestart
+			}
+			if errors.Is(err, ErrIterationBudget) {
+				// A solve or memory budget tripped mid-replay: resolve it
+				// exactly as a cold run would (degrade or surface) rather
+				// than bypassing the AllowDegraded/DegradeOnBudget path.
+				return nil, true, g.failure(err, -1)
 			}
 			return nil, false, err
 		}

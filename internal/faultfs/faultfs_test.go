@@ -1,0 +1,160 @@
+package faultfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDeterminism: two plans with identical seeds and rates inject the
+// identical fault sequence — the property that lets a failing chaos run
+// replay from its seed.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		plan := &Plan{Seed: seed, TornWriteOneIn: 3}
+		fsys := New(plan)
+		dir := t.TempDir()
+		payload := bytes.Repeat([]byte("abcdefgh"), 64)
+		var torn []bool
+		for i := 0; i < 32; i++ {
+			name := filepath.Join(dir, "f")
+			if err := fsys.WriteFile(name, payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			torn = append(torn, len(got) != len(payload))
+		}
+		return torn
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical fault sequence")
+	}
+	tornCount := 0
+	for _, v := range a {
+		if v {
+			tornCount++
+		}
+	}
+	if tornCount == 0 || tornCount == len(a) {
+		t.Errorf("rate 1-in-3 tore %d/%d writes; the hash selection looks broken", tornCount, len(a))
+	}
+}
+
+// TestTornWriteReportsSuccess: the torn write is silent — success to
+// the caller, a strict prefix on disk.
+func TestTornWriteReportsSuccess(t *testing.T) {
+	plan := &Plan{Seed: 1, TornWriteOneIn: 1}
+	fsys := New(plan)
+	name := filepath.Join(t.TempDir(), "torn")
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := fsys.WriteFile(name, payload, 0o644); err != nil {
+		t.Fatalf("torn write surfaced an error: %v", err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(payload) {
+		t.Errorf("write was not torn: %d bytes on disk", len(got))
+	}
+	if torn, _, _, _ := plan.Stats(); torn != 1 {
+		t.Errorf("Stats torn = %d, want 1", torn)
+	}
+}
+
+// TestBitFlip: exactly one bit differs, and the caller's buffer is
+// never mutated.
+func TestBitFlip(t *testing.T) {
+	plan := &Plan{Seed: 5, BitFlipOneIn: 1}
+	fsys := New(plan)
+	name := filepath.Join(t.TempDir(), "flip")
+	payload := bytes.Repeat([]byte{0x00}, 512)
+	if err := fsys.WriteFile(name, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range payload {
+		if b != 0 {
+			t.Fatal("injector mutated the caller's buffer")
+		}
+	}
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range got {
+		for b := got[i] ^ payload[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", diffBits)
+	}
+}
+
+// TestInjectedErrorsAreTyped: rename and read faults surface as
+// injector-typed errors, distinguishable from real filesystem failures.
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	plan := &Plan{Seed: 9, RenameOneIn: 1, ReadOneIn: 1}
+	fsys := New(plan)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(src, filepath.Join(dir, "dst")); !IsInjected(err) {
+		t.Errorf("rename error %v is not typed as injected", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Error("injected rename failure still moved the file")
+	}
+	if _, err := fsys.ReadFile(src); !IsInjected(err) {
+		t.Errorf("read error %v is not typed as injected", err)
+	}
+	_, _, renames, readFails := plan.Stats()
+	if renames != 1 || readFails != 1 {
+		t.Errorf("Stats = (renames %d, readFails %d), want (1, 1)", renames, readFails)
+	}
+}
+
+// TestZeroPlanIsTransparent: the zero plan is byte-transparent.
+func TestZeroPlanIsTransparent(t *testing.T) {
+	fsys := New(&Plan{})
+	dir := t.TempDir()
+	name := filepath.Join(dir, "clean")
+	payload := []byte("payload bytes")
+	if err := fsys.WriteFile(name, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(name)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("transparent round trip failed: %q, %v", got, err)
+	}
+	if err := fsys.Rename(name, name+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(name + "2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("directory not empty after remove: %v, %v", ents, err)
+	}
+}

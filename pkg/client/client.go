@@ -1,0 +1,389 @@
+// Package client is the Go client for the reference-generation service
+// (pkg/server). It wraps POST /v1/generate with the retry discipline
+// the server's overload behavior is designed for:
+//
+//   - sheds (503 + Retry-After) and transport failures retry with
+//     exponential backoff and seeded jitter, honoring the server's
+//     Retry-After estimate when it is longer than the backoff;
+//   - an optional hedge sends a second identical request once the first
+//     has been outstanding longer than the observed p95 latency, and
+//     cancels the loser — trading a little duplicate work for tail
+//     latency when a server instance is slow or draining;
+//   - a quality floor (MinTier) treats a degraded answer below the
+//     floor as possibly transient — the server may have degraded it
+//     under a resource budget — and retries exactly once before
+//     surfacing it with a typed error.
+//
+// Client errors (400/413/422) never retry: the request will not get
+// better by asking again.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/pkg/engine"
+	"repro/pkg/server"
+)
+
+// Config configures a Client. BaseURL is required; the zero value of
+// everything else selects 3 retries, 100 ms base / 5 s cap backoff, no
+// hedging and no quality floor.
+type Config struct {
+	// BaseURL roots the service, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient, when non-nil, replaces http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retryable re-sends after the first attempt.
+	// 0 selects 3; negative disables retries.
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the exponential backoff: attempt
+	// n waits jitter(BaseBackoff·2ⁿ) capped at MaxBackoff. A server
+	// Retry-After longer than the computed backoff wins (that is the
+	// point of the header). 0 selects 100 ms and 5 s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the backoff jitter, so a failing run replays exactly.
+	// 0 selects a fixed default seed.
+	Seed int64
+	// Hedge enables the tail-latency hedge: when an attempt has been
+	// outstanding longer than the observed p95 (or HedgeAfter, if set),
+	// an identical second request races it and the loser is canceled.
+	Hedge bool
+	// HedgeAfter, when positive, replaces the observed-p95 trigger with
+	// a fixed delay. Useful under test and for callers with a latency
+	// budget in hand.
+	HedgeAfter time.Duration
+	// MinTier, when set ("degraded", "numeric", "certified", "exact"),
+	// is the client-side quality floor: a 200 whose tier is below it
+	// (or a below-min-tier 422 from a server-side floor) retries once —
+	// budget degradation may be transient — then surfaces as a
+	// *QualityError alongside the result.
+	MinTier string
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	cfg     Config
+	http    *http.Client
+	minTier engine.Tier
+	gated   bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// latNs is a ring of successful-attempt latencies for the hedge
+	// trigger's p95 estimate.
+	latMu  sync.Mutex
+	latNs  [128]int64
+	latSeq uint64
+}
+
+// New validates cfg and returns a ready client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: BaseURL required")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c := &Client{
+		cfg:  cfg,
+		http: cfg.HTTPClient,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	if cfg.MinTier != "" {
+		tier, err := engine.ParseTier(cfg.MinTier)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		c.minTier, c.gated = tier, true
+	}
+	return c, nil
+}
+
+// Result is a successful generation answer.
+type Result struct {
+	// Wire is the decoded deterministic wire response.
+	Wire *engine.WireResponse
+	// Body is the raw response body (byte-identical across cache tiers).
+	Body []byte
+	// Source is the X-Cache header: hit, disk, miss or shared.
+	Source string
+	// Tier is the result's quality tier.
+	Tier engine.Tier
+	// Attempts counts HTTP requests spent, hedges included.
+	Attempts int
+	// Hedged reports that the winning response came from a hedge.
+	Hedged bool
+}
+
+// APIError is a structured non-200 answer from the service.
+type APIError struct {
+	Status     int
+	Kind       string
+	Message    string
+	RetryAfter time.Duration // populated on sheds
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d (%s): %s", e.Status, e.Kind, e.Message)
+}
+
+// retryable reports whether another attempt can help: sheds and
+// gateway timeouts can, client mistakes cannot.
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusServiceUnavailable || e.Status == http.StatusGatewayTimeout
+}
+
+// QualityError reports a result under the client's MinTier floor after
+// the single quality retry. The Result it accompanies is still usable —
+// the error is the label, not a refusal.
+type QualityError struct {
+	Got, Want engine.Tier
+}
+
+func (e *QualityError) Error() string {
+	return fmt.Sprintf("client: quality tier %s below requested minimum %s", e.Got, e.Want)
+}
+
+// Generate runs one generation request through the retry, hedge and
+// quality-floor machinery. On a below-floor answer the returned Result
+// is non-nil alongside the *QualityError.
+func (c *Client) Generate(ctx context.Context, req server.GenerateRequest) (*Result, error) {
+	attempts := 0
+	qualityRetried := false
+	var lastShed *APIError
+	for try := 0; ; try++ {
+		res, err := c.attempt(ctx, req, &attempts)
+		if err == nil {
+			if c.gated && res.Tier < c.minTier && !qualityRetried {
+				// The degradation may be a transient server budget trip;
+				// one more try, then surface what we get.
+				qualityRetried = true
+				try = -1 // restart the backoff schedule for the fresh attempt
+				continue
+			}
+			res.Attempts = attempts
+			if c.gated && res.Tier < c.minTier {
+				return res, &QualityError{Got: res.Tier, Want: c.minTier}
+			}
+			return res, nil
+		}
+
+		var ae *APIError
+		if errors.As(err, &ae) {
+			if ae.Status == http.StatusUnprocessableEntity && ae.Kind == "below-min-tier" && !qualityRetried {
+				qualityRetried = true
+				try = -1
+				continue
+			}
+			if !ae.retryable() {
+				return nil, err
+			}
+			lastShed = ae
+		}
+		if try >= c.cfg.MaxRetries {
+			return nil, err
+		}
+		wait := c.backoff(try)
+		if lastShed != nil && lastShed.RetryAfter > wait {
+			wait = lastShed.RetryAfter
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// backoff computes the jittered exponential delay for retry number try
+// (full jitter: uniform in (0, base·2^try], capped at MaxBackoff).
+func (c *Client) backoff(try int) time.Duration {
+	ceil := c.cfg.BaseBackoff << uint(try)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(1 + c.rng.Int63n(int64(ceil)))
+}
+
+// attempt performs one logical attempt: a single request, or a hedged
+// pair when the hedge is armed. attempts counts real HTTP requests.
+func (c *Client) attempt(ctx context.Context, req server.GenerateRequest, attempts *int) (*Result, error) {
+	if !c.cfg.Hedge {
+		*attempts++
+		return c.do(ctx, req, false)
+	}
+	delay := c.hedgeDelay()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser
+	results := make(chan outcome, 2)
+	launch := func(hedged bool) {
+		go func() {
+			res, err := c.do(ctx, req, hedged)
+			results <- outcome{res, err}
+		}()
+	}
+	*attempts++
+	launch(false)
+	hedgeTimer := time.NewTimer(delay)
+	defer hedgeTimer.Stop()
+
+	outstanding, hedgeLaunched := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-hedgeTimer.C:
+			if !hedgeLaunched {
+				hedgeLaunched = true
+				*attempts++
+				outstanding++
+				launch(true)
+			}
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				cancel() // the loser unwinds on the shared context
+				return out.res, nil
+			}
+			if firstErr == nil || !isCancel(out.err) {
+				firstErr = out.err
+			}
+			if outstanding == 0 {
+				// Hedging covers slowness, not failure: a leg that failed
+				// before the hedge fired returns immediately — the retry
+				// loop above owns failure recovery.
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// hedgeDelay is the hedge trigger: HedgeAfter when fixed, otherwise the
+// observed p95 attempt latency (with a floor before enough samples).
+func (c *Client) hedgeDelay() time.Duration {
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	c.latMu.Lock()
+	n := c.latSeq
+	if n > uint64(len(c.latNs)) {
+		n = uint64(len(c.latNs))
+	}
+	lats := make([]int64, n)
+	copy(lats, c.latNs[:n])
+	c.latMu.Unlock()
+	if len(lats) < 8 {
+		return 100 * time.Millisecond
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(float64(len(lats))*0.95) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return time.Duration(lats[idx])
+}
+
+// observeLatency folds a successful attempt into the p95 ring.
+func (c *Client) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	c.latNs[c.latSeq%uint64(len(c.latNs))] = d.Nanoseconds()
+	c.latSeq++
+	c.latMu.Unlock()
+}
+
+// do performs one HTTP request.
+func (c *Client) do(ctx context.Context, req server.GenerateRequest, hedged bool) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "POST", c.cfg.BaseURL+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: resp.StatusCode}
+		var eb struct {
+			Kind  string `json:"kind"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &eb) == nil {
+			ae.Kind, ae.Message = eb.Kind, eb.Error
+		} else {
+			ae.Message = string(raw)
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, ae
+	}
+
+	wire, _, _, err := engine.DecodeResponseJSON(raw)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	tier, err := engine.ParseTier(wire.Tier)
+	if err != nil {
+		return nil, fmt.Errorf("client: response tier: %w", err)
+	}
+	c.observeLatency(time.Since(start))
+	return &Result{
+		Wire:   wire,
+		Body:   raw,
+		Source: resp.Header.Get("X-Cache"),
+		Tier:   tier,
+		Hedged: hedged,
+	}, nil
+}

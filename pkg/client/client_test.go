@@ -1,0 +1,415 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/engine"
+	"repro/pkg/server"
+)
+
+const rcNetlist = "rc\nR1 in n1 1k\nC1 n1 0 1n\nRl n1 0 1meg\n.end\n"
+
+func rcRequest() server.GenerateRequest {
+	return server.GenerateRequest{
+		Netlist: rcNetlist,
+		Spec:    server.SpecJSON{Kind: "vgain", In: "in", Out: "n1"},
+	}
+}
+
+// realService spins a full pkg/server instance.
+func realService(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// TestGenerateEndToEnd: a real round trip against the real server —
+// decode, tier, cache source and attempt accounting.
+func TestGenerateEndToEnd(t *testing.T) {
+	ts := realService(t, server.Config{})
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "miss" || res.Attempts != 1 || res.Wire == nil {
+		t.Errorf("first call = source %q, attempts %d", res.Source, res.Attempts)
+	}
+	if res.Tier < engine.TierNumeric {
+		t.Errorf("tier = %s, want at least numeric", res.Tier)
+	}
+	res2, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Source != "hit" {
+		t.Errorf("second call source = %q, want hit", res2.Source)
+	}
+	if string(res.Body) != string(res2.Body) {
+		t.Error("cache hit is not byte-identical")
+	}
+}
+
+// validBody is a minimal decodable wire response at a given tier.
+func validBody(tier string) string {
+	return `{"tier":"` + tier + `","num":null,"den":null}`
+}
+
+// TestRetriesShedsHonoringRetryAfter: a 503 with Retry-After: 1 must
+// hold the retry for at least that long, even though the configured
+// backoff is microscopic.
+func TestRetriesShedsHonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":503,"kind":"shed","error":"overloaded (queue-full), retry after 1s"}`))
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte(validBody("certified")))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || res.Attempts != 2 {
+		t.Errorf("calls = %d, attempts = %d, want 2 and 2", calls.Load(), res.Attempts)
+	}
+	if g := time.Duration(gap.Load()); g < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the shed; Retry-After: 1 was not honored", g)
+	}
+}
+
+// TestClientErrorsDoNotRetry: a 400 answers once, typed.
+func TestClientErrorsDoNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"status":400,"kind":"bad-netlist","error":"no such node"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Generate(context.Background(), rcRequest())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 || ae.Kind != "bad-netlist" {
+		t.Fatalf("err = %v, want typed 400 bad-netlist", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("client retried a 400 (%d calls)", calls.Load())
+	}
+}
+
+// TestRetriesExhaustSurfaceShed: permanent overload surfaces the shed
+// after MaxRetries+1 attempts.
+func TestRetriesExhaustSurfaceShed(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":503,"kind":"shed","error":"overloaded (draining), retry after 50ms"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Generate(context.Background(), rcRequest())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Kind != "shed" {
+		t.Fatalf("err = %v, want the shed surfaced", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want MaxRetries+1 = 3", calls.Load())
+	}
+}
+
+// TestBackoffDeterministicWithSeed: same seed, same jitter schedule —
+// the property that makes a failed chaos run replayable.
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://x", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []time.Duration
+		for try := 0; try < 6; try++ {
+			seq = append(seq, c.backoff(try))
+		}
+		return seq
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff schedule diverged at retry %d: %v vs %v", i, a[i], b[i])
+		}
+		ceil := 100 * time.Millisecond << uint(i)
+		if ceil > 5*time.Second {
+			ceil = 5 * time.Second
+		}
+		if a[i] <= 0 || a[i] > ceil {
+			t.Errorf("retry %d backoff %v outside (0, %v]", i, a[i], ceil)
+		}
+	}
+	diverged := false
+	for i, d := range mk(8) {
+		if d != a[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced the identical jitter schedule")
+	}
+}
+
+// TestHedgeWinsAndCancelsLoser: the first request is slow; the hedge
+// fires, answers fast, and the slow loser sees its context canceled.
+func TestHedgeWinsAndCancelsLoser(t *testing.T) {
+	var calls atomic.Int64
+	canceled := make(chan struct{}, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body: the net/http server only watches for client
+		// disconnects once the request body is consumed (the real
+		// service always decodes it).
+		io.Copy(io.Discard, r.Body)
+		if calls.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+				canceled <- struct{}{}
+			case <-time.After(5 * time.Second):
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Cache", "hit")
+		w.Write([]byte(validBody("exact")))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Hedge: true, HedgeAfter: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged || res.Attempts != 2 {
+		t.Errorf("hedged = %v, attempts = %d, want the hedge to win as request 2", res.Hedged, res.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("hedged answer took %v; the slow leg was awaited, not raced", elapsed)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Error("losing request was never canceled")
+	}
+}
+
+// TestHedgeNotFiredWhenFast: answers faster than the hedge delay spend
+// exactly one request.
+func TestHedgeNotFiredWhenFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(validBody("numeric")))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Hedge: true, HedgeAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || calls.Load() != 1 {
+		t.Errorf("fast answer spent %d attempts / %d calls, want 1", res.Attempts, calls.Load())
+	}
+}
+
+// TestMinTierRetriesOnceThenSurfaces: a degraded answer below the floor
+// retries exactly once, then comes back with the typed QualityError and
+// the (usable) result.
+func TestMinTierRetriesOnceThenSurfaces(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte(validBody("degraded")))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MinTier: "numeric", BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	var qe *QualityError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want *QualityError", err)
+	}
+	if qe.Got != engine.TierDegraded || qe.Want != engine.TierNumeric {
+		t.Errorf("QualityError = %v/%v", qe.Got, qe.Want)
+	}
+	if res == nil || res.Tier != engine.TierDegraded {
+		t.Error("below-floor result must still be returned alongside the error")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want exactly one quality retry (2 total)", calls.Load())
+	}
+}
+
+// TestMinTierRecoversOnRetry: when the degradation was transient (a
+// budget trip on a loaded server), the quality retry wins cleanly.
+func TestMinTierRecoversOnRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Write([]byte(validBody("degraded")))
+			return
+		}
+		w.Write([]byte(validBody("certified")))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MinTier: "numeric", BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != engine.TierCertified || calls.Load() != 2 {
+		t.Errorf("tier %s after %d calls, want certified after 2", res.Tier, calls.Load())
+	}
+}
+
+// TestBelowMinTier422RetriesOnce: the server-side floor's 422 gets the
+// same single quality retry before surfacing.
+func TestBelowMinTier422RetriesOnce(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"status":422,"kind":"below-min-tier","error":"quality tier numeric below requested minimum exact"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Generate(context.Background(), rcRequest())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Kind != "below-min-tier" {
+		t.Fatalf("err = %v, want below-min-tier surfaced", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want exactly one quality retry (2 total)", calls.Load())
+	}
+}
+
+// TestTransportErrorsRetry: a connection refused retries up to the
+// budget instead of failing the first attempt.
+func TestTransportErrorsRetry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c, err := New(Config{BaseURL: url, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Generate(context.Background(), rcRequest())
+	if err == nil {
+		t.Fatal("connect to a dead server succeeded")
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("no backoff between transport-error retries")
+	}
+}
+
+// TestShedRecoveryAgainstRealServer: a draining real server sheds; a
+// fresh (recovered) server then answers — the client rides through with
+// its retry loop.
+func TestShedRecoveryAgainstRealServer(t *testing.T) {
+	drainSrv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSrv.StartDrain()
+	healthySrv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { drainSrv.Close(); healthySrv.Close() })
+
+	var calls atomic.Int64
+	drain, healthy := drainSrv.Handler(), healthySrv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			drain.ServeHTTP(w, r) // sheds: draining
+			return
+		}
+		healthy.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Generate(context.Background(), rcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Errorf("attempts = %d, want the drain shed retried", res.Attempts)
+	}
+	if res.Tier < engine.TierNumeric {
+		t.Errorf("recovered answer tier = %s", res.Tier)
+	}
+}

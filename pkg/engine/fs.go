@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the disk-backed stores use
+// (ScheduleStore here, the server's disk result cache downstream). It
+// exists so crash and corruption behavior is testable: production wires
+// OsFS, tests and the chaos harness wire a deterministic fault injector
+// (internal/faultfs) that tears writes, flips bits and fails renames on
+// a seeded plan. The surface is whole-file on purpose — the stores'
+// atomicity comes from write-temp-then-rename, not from streaming.
+type FS interface {
+	// ReadFile reads the named file in full.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to the named file, creating or truncating it.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OsFS is the default FS: the process's real filesystem via the os
+// package.
+type OsFS struct{}
+
+func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OsFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OsFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OsFS) Remove(name string) error                     { return os.Remove(name) }
+func (OsFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OsFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // ScheduleStore is a content-addressed on-disk store of converged scale
@@ -25,24 +26,54 @@ import (
 // generator's own schedule validation (window, precision, drift), so a
 // stale-but-parseable schedule degrades to a cold run, never to a
 // wrong result.
+//
+// Corrupt entries — unparseable bytes, or an envelope recorded under a
+// different content address (a torn write or bit flip from a crashed
+// process or dirty disk) — are additionally quarantined: renamed aside
+// with a ".quarantined-" suffix, never deleted, so the evidence
+// survives for diagnosis while the address falls back cold and can be
+// rewritten by the next converged generation. Quarantines() counts
+// them. All file operations go through an injectable FS so the crash
+// paths are testable (internal/faultfs).
 type ScheduleStore struct {
-	dir string
+	dir         string
+	fs          FS
+	tmpSeq      atomic.Uint64
+	quarantines atomic.Uint64
 }
 
 // OpenScheduleStore opens (creating if needed) a schedule store rooted
-// at dir.
+// at dir, backed by the real filesystem.
 func OpenScheduleStore(dir string) (*ScheduleStore, error) {
+	return OpenScheduleStoreFS(dir, OsFS{})
+}
+
+// OpenScheduleStoreFS is OpenScheduleStore with an explicit filesystem —
+// the seam the chaos harness uses to inject disk faults.
+func OpenScheduleStoreFS(dir string, fsys FS) (*ScheduleStore, error) {
 	if dir == "" {
 		return nil, errors.New("engine: schedule store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OsFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: schedule store: %w", err)
 	}
-	return &ScheduleStore{dir: dir}, nil
+	return &ScheduleStore{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
 func (st *ScheduleStore) Dir() string { return st.dir }
+
+// Quarantines returns the number of corrupt entries this store has
+// quarantined since it was opened.
+func (st *ScheduleStore) Quarantines() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.quarantines.Load()
+}
 
 // path maps a content address to its file. The key is a hex SHA-256
 // (CanonicalKey), so it is always a safe file name.
@@ -50,26 +81,43 @@ func (st *ScheduleStore) path(key string) string {
 	return filepath.Join(st.dir, key+".schedule.json")
 }
 
+// quarantine moves a corrupt entry aside — rename, never delete — so the
+// bytes survive for diagnosis and the address reads as absent from here
+// on. A failed rename leaves the file in place; the caller still starts
+// cold, and the next Save overwrites the corruption atomically.
+func (st *ScheduleStore) quarantine(key string) {
+	p := st.path(key)
+	dst := fmt.Sprintf("%s.quarantined-%d-%d", p, os.Getpid(), st.tmpSeq.Add(1))
+	if err := st.fs.Rename(p, dst); err == nil {
+		st.quarantines.Add(1)
+	}
+}
+
 // Load returns the stored warm-start schedules for a content address,
 // or nil and the refusal reason. It never returns an error: every
-// rejection path is a cold start, not a failure.
+// rejection path is a cold start, not a failure. Corrupt entries
+// (unreadable bytes, or an envelope recorded for a different request)
+// are quarantined as a side effect; benign refusals — a version from
+// another build, degraded provenance — leave the file in place.
 func (st *ScheduleStore) Load(key string) (*WarmStart, string) {
 	if st == nil {
 		return nil, "no schedule store"
 	}
-	raw, err := os.ReadFile(st.path(key))
+	raw, err := st.fs.ReadFile(st.path(key))
 	if err != nil {
 		return nil, "no stored schedule"
 	}
 	w, ws, err := DecodeWarmStartJSON(raw)
 	if err != nil {
-		return nil, fmt.Sprintf("stored schedule unreadable: %v", err)
+		st.quarantine(key)
+		return nil, fmt.Sprintf("stored schedule unreadable (quarantined): %v", err)
 	}
 	if w.Version != ScheduleWireVersion {
 		return nil, fmt.Sprintf("stored schedule version %d, want %d", w.Version, ScheduleWireVersion)
 	}
 	if w.Key != key {
-		return nil, "stored schedule recorded for a different request"
+		st.quarantine(key)
+		return nil, "stored schedule recorded for a different request (quarantined)"
 	}
 	if (ws.Num != nil && ws.Num.Degraded) || (ws.Den != nil && ws.Den.Degraded) {
 		return nil, "stored schedule has degraded provenance"
@@ -82,6 +130,9 @@ func (st *ScheduleStore) Load(key string) (*WarmStart, string) {
 // so a concurrent Load sees either the old envelope or the new one,
 // never a truncation. Degraded schedules are refused: Load would reject
 // them anyway, and persisting one would evict a replayable predecessor.
+// Temp names are deterministic (pid + sequence), so a crashed process
+// leaves at most a recognizable ".tmp-" residue that never shadows a
+// live entry.
 func (st *ScheduleStore) Save(key string, ws *WarmStart) error {
 	if st == nil {
 		return errors.New("engine: nil schedule store")
@@ -93,19 +144,12 @@ func (st *ScheduleStore) Save(key string, ws *WarmStart) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(st.dir, key+".tmp-*")
-	if err != nil {
+	tmp := filepath.Join(st.dir, fmt.Sprintf("%s.tmp-%d-%d", key, os.Getpid(), st.tmpSeq.Add(1)))
+	if err := st.fs.WriteFile(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("engine: schedule store: %w", err)
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		return fmt.Errorf("engine: schedule store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("engine: schedule store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+	if err := st.fs.Rename(tmp, st.path(key)); err != nil {
+		st.fs.Remove(tmp)
 		return fmt.Errorf("engine: schedule store: %w", err)
 	}
 	return nil

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// shedError is the typed outcome of a refused admission: the request
+// was never started, the server is telling the client when to come
+// back. It maps to 503 + Retry-After.
+type shedError struct {
+	// Reason is "queue-full", "deadline" or "draining".
+	Reason string
+	// RetryAfter is the server's estimate of when a retry is worth
+	// making (the Retry-After header, rounded up to whole seconds on
+	// the wire).
+	RetryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// waitRingSize bounds the queue-wait percentile memory (power of two).
+const waitRingSize = 4096
+
+// admission is the bounded, deadline-aware wait queue in front of the
+// generation slots. It replaces a bare semaphore with three invariants:
+//
+//   - at most maxConcurrent generations run at once (the slots);
+//   - at most maxQueue flights wait for a slot; one more is shed
+//     immediately (queue-full) instead of accumulating without bound;
+//   - a flight whose leader deadline cannot be met — the expected
+//     generation time (latency EWMA) no longer fits before the deadline
+//     even if a slot freed right now — is shed immediately (deadline)
+//     instead of burning queue time it cannot convert into an answer.
+//
+// Sheds are cheap by design (no slot, no engine work, an answer in
+// microseconds) and carry a Retry-After computed from the observed
+// generation-latency EWMA and the queue depth ahead of the caller.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+
+	queued   atomic.Int64  // flights currently waiting
+	ewmaNs   atomic.Uint64 // generation-latency EWMA, ns (0 = no sample yet)
+	admitted atomic.Uint64
+	sheds    [3]atomic.Uint64 // indexed by shedReason
+
+	// waitNs is a ring of queue-wait samples (admitted flights only) for
+	// the /v1/stats percentiles. waitSeq is the running sample count.
+	waitSeq atomic.Uint64
+	waitNs  [waitRingSize]atomic.Int64
+}
+
+// shed-reason indexes of admission.sheds.
+const (
+	shedQueueFull = iota
+	shedDeadline
+	shedDraining
+)
+
+var shedReasonNames = [3]string{"queue-full", "deadline", "draining"}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: maxQueue,
+	}
+}
+
+// expectedGen is the latency EWMA, or a floor estimate before the first
+// sample (nothing has completed yet, so promise a quick retry).
+func (a *admission) expectedGen() time.Duration {
+	if ns := a.ewmaNs.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return 50 * time.Millisecond
+}
+
+// retryAfter estimates when a slot is worth asking for again: the work
+// ahead of a new arrival (queued flights plus one in-service round),
+// spread over the slot count.
+func (a *admission) retryAfter() time.Duration {
+	gen := a.expectedGen()
+	ahead := a.queued.Load() + 1
+	d := time.Duration(ahead) * gen / time.Duration(cap(a.slots))
+	if d < gen {
+		d = gen
+	}
+	return d
+}
+
+// shed records a refusal and returns its typed error.
+func (a *admission) shed(reason int) *shedError {
+	a.sheds[reason].Add(1)
+	return &shedError{Reason: shedReasonNames[reason], RetryAfter: a.retryAfter()}
+}
+
+// tryAcquire takes a free slot without waiting.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire admits the caller to a generation slot or sheds it. deadline
+// is the flight leader's response deadline (zero means none); draining
+// and cancel come from the server lifecycle. The returned wait is how
+// long the caller queued (0 on the fast path).
+func (a *admission) acquire(deadline time.Time, draining func() bool, cancel <-chan struct{}) (wait time.Duration, err error) {
+	if draining() {
+		return 0, a.shed(shedDraining)
+	}
+	if a.tryAcquire() {
+		a.observeWait(0)
+		return 0, nil
+	}
+	// No free slot: decide whether waiting can possibly pay off before
+	// entering the queue.
+	var budget time.Duration // how long we may wait for a slot
+	if !deadline.IsZero() {
+		budget = time.Until(deadline) - a.expectedGen()
+		if budget <= 0 {
+			return 0, a.shed(shedDeadline)
+		}
+	}
+	if n := a.queued.Add(1); a.maxQueue > 0 && n > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		return 0, a.shed(shedQueueFull)
+	}
+	defer a.queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if budget > 0 {
+		tm := time.NewTimer(budget)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		wait = time.Since(start)
+		a.admitted.Add(1)
+		a.observeWait(wait)
+		return wait, nil
+	case <-timeout:
+		return 0, a.shed(shedDeadline)
+	case <-cancel:
+		return 0, a.shed(shedDraining)
+	}
+}
+
+// release frees a slot.
+func (a *admission) release() { <-a.slots }
+
+// observeGen folds a completed generation's wall time into the latency
+// EWMA (α = 0.2; the first sample seeds it).
+func (a *admission) observeGen(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	for {
+		old := a.ewmaNs.Load()
+		next := ns
+		switch {
+		case old == 0: // first sample seeds
+		case ns >= old:
+			next = old + (ns-old)/5
+		default:
+			next = old - (old-ns)/5
+		}
+		if a.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// observeWait records an admitted flight's queue wait in the ring.
+func (a *admission) observeWait(d time.Duration) {
+	i := (a.waitSeq.Add(1) - 1) % waitRingSize
+	a.waitNs[i].Store(d.Nanoseconds())
+}
+
+// AdmissionStats is the admission-control section of Stats.
+type AdmissionStats struct {
+	// QueueDepth is the number of flights waiting for a slot right now.
+	QueueDepth int64 `json:"queue_depth"`
+	// MaxQueue is the configured queue bound (0 = unbounded).
+	MaxQueue int `json:"max_queue"`
+	// Admitted counts flights granted a generation slot.
+	Admitted uint64 `json:"admitted"`
+	// Sheds counts refused admissions by reason.
+	ShedsQueueFull uint64 `json:"sheds_queue_full"`
+	ShedsDeadline  uint64 `json:"sheds_deadline"`
+	ShedsDraining  uint64 `json:"sheds_draining"`
+	// GenLatencyEWMAMs is the generation-latency EWMA driving Retry-After
+	// (0 until the first generation completes).
+	GenLatencyEWMAMs float64 `json:"gen_latency_ewma_ms"`
+	// Queue-wait percentiles over the last waitRingSize admissions, ms.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP90Ms float64 `json:"queue_wait_p90_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	st := AdmissionStats{
+		QueueDepth:       a.queued.Load(),
+		MaxQueue:         a.maxQueue,
+		Admitted:         a.admitted.Load(),
+		ShedsQueueFull:   a.sheds[shedQueueFull].Load(),
+		ShedsDeadline:    a.sheds[shedDeadline].Load(),
+		ShedsDraining:    a.sheds[shedDraining].Load(),
+		GenLatencyEWMAMs: float64(a.ewmaNs.Load()) / 1e6,
+	}
+	n := a.waitSeq.Load()
+	if n == 0 {
+		return st
+	}
+	if n > waitRingSize {
+		n = waitRingSize
+	}
+	waits := make([]int64, n)
+	for i := range waits {
+		waits[i] = a.waitNs[i].Load()
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(waits)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(waits[idx]) / 1e6
+	}
+	st.QueueWaitP50Ms = pct(0.50)
+	st.QueueWaitP90Ms = pct(0.90)
+	st.QueueWaitP99Ms = pct(0.99)
+	return st
+}

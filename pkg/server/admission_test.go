@@ -1,0 +1,162 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func drainingYes() bool { return true }
+
+func notDraining() bool { return false }
+
+// TestAdmissionFastPath: free slots admit without queuing and record a
+// zero wait sample.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 4)
+	for i := 0; i < 2; i++ {
+		wait, err := a.acquire(time.Time{}, notDraining, nil)
+		if err != nil || wait != 0 {
+			t.Fatalf("acquire %d = (%v, %v), want free slot", i, wait, err)
+		}
+	}
+	st := a.stats()
+	if st.Admitted != 2 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want 2 admitted, empty queue", st)
+	}
+}
+
+// TestAdmissionQueueFullSheds: arrival maxQueue+1 is refused
+// immediately with the queue-full reason.
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := newAdmission(1, 1)
+	if _, err := a.acquire(time.Time{}, notDraining, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single queue slot with a waiter that times out on a
+	// deadline far enough out to stay queued for the whole test.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(time.Now().Add(time.Minute), notDraining, nil)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := a.acquire(time.Now().Add(time.Minute), notDraining, nil)
+	var se *shedError
+	if !errors.As(err, &se) || se.Reason != "queue-full" {
+		t.Fatalf("overflow arrival got %v, want queue-full shed", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Error("shed carries no Retry-After estimate")
+	}
+
+	a.release() // the queued waiter takes the slot
+	if err := <-errc; err != nil {
+		t.Fatalf("queued waiter should have been admitted, got %v", err)
+	}
+	if st := a.stats(); st.ShedsQueueFull != 1 || st.Admitted != 2 {
+		t.Errorf("stats = %+v, want 1 queue-full shed, 2 admitted", st)
+	}
+}
+
+// TestAdmissionDeadlineSheds: a caller whose deadline cannot outlast
+// the expected generation time is shed without queuing at all.
+func TestAdmissionDeadlineSheds(t *testing.T) {
+	a := newAdmission(1, 8)
+	if _, err := a.acquire(time.Time{}, notDraining, nil); err != nil {
+		t.Fatal(err)
+	}
+	a.observeGen(100 * time.Millisecond) // seed the EWMA
+
+	_, err := a.acquire(time.Now().Add(10*time.Millisecond), notDraining, nil)
+	var se *shedError
+	if !errors.As(err, &se) || se.Reason != "deadline" {
+		t.Fatalf("hopeless deadline got %v, want deadline shed", err)
+	}
+	if st := a.stats(); st.ShedsDeadline != 1 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want 1 deadline shed and an empty queue", st)
+	}
+}
+
+// TestAdmissionDrainingSheds: drain mode refuses before touching the
+// slots, and a cancel channel firing mid-queue unblocks the waiter.
+func TestAdmissionDrainingSheds(t *testing.T) {
+	a := newAdmission(1, 8)
+	if _, err := a.acquire(time.Time{}, drainingYes, nil); err == nil {
+		t.Fatal("draining acquire was admitted")
+	}
+
+	// A waiter already queued when the server closes gets released by
+	// the cancel channel.
+	if _, err := a.acquire(time.Time{}, notDraining, nil); err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(time.Now().Add(time.Minute), notDraining, cancel)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(cancel)
+	var se *shedError
+	if err := <-errc; !errors.As(err, &se) || se.Reason != "draining" {
+		t.Fatalf("canceled waiter got %v, want draining shed", err)
+	}
+	if st := a.stats(); st.ShedsDraining != 2 {
+		t.Errorf("ShedsDraining = %d, want 2", st.ShedsDraining)
+	}
+}
+
+// TestAdmissionEWMAAndRetryAfter: the EWMA tracks samples and scales
+// Retry-After with the queue depth ahead of a new arrival.
+func TestAdmissionEWMAAndRetryAfter(t *testing.T) {
+	a := newAdmission(2, 8)
+	if got := a.expectedGen(); got != 50*time.Millisecond {
+		t.Errorf("pre-sample floor = %v, want 50ms", got)
+	}
+	a.observeGen(100 * time.Millisecond)
+	if got := a.expectedGen(); got != 100*time.Millisecond {
+		t.Errorf("first sample should seed the EWMA, got %v", got)
+	}
+	a.observeGen(200 * time.Millisecond)
+	got := a.expectedGen()
+	if got <= 100*time.Millisecond || got >= 200*time.Millisecond {
+		t.Errorf("EWMA after 100ms,200ms = %v, want strictly between", got)
+	}
+	// Empty queue: retryAfter is one expected generation.
+	if ra := a.retryAfter(); ra != got {
+		t.Errorf("empty-queue retryAfter = %v, want one generation (%v)", ra, got)
+	}
+	// Deeper queues promise longer waits.
+	a.queued.Store(7)
+	if ra := a.retryAfter(); ra <= got {
+		t.Errorf("deep-queue retryAfter = %v, want > %v", ra, got)
+	}
+}
+
+// TestAdmissionWaitPercentiles: the percentile ring orders samples.
+func TestAdmissionWaitPercentiles(t *testing.T) {
+	a := newAdmission(1, 1)
+	for i := 1; i <= 100; i++ {
+		a.observeWait(time.Duration(i) * time.Millisecond)
+	}
+	st := a.stats()
+	if st.QueueWaitP50Ms != 50 || st.QueueWaitP90Ms != 90 || st.QueueWaitP99Ms != 99 {
+		t.Errorf("percentiles = %v/%v/%v, want 50/90/99",
+			st.QueueWaitP50Ms, st.QueueWaitP90Ms, st.QueueWaitP99Ms)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // The service benchmarks report deterministic per-op counters next to
@@ -90,6 +91,59 @@ func BenchmarkServerCold(b *testing.B) {
 	after := s.cache.stats()
 	b.ReportMetric(float64(after.Hits-before.Hits)/float64(b.N), "cache-hits/op")
 	b.ReportMetric(float64(after.Misses-before.Misses)/float64(b.N), "cache-misses/op")
+}
+
+// BenchmarkServerShed is the overload fast path: the only slot is held
+// and the queue is full, so every op is refused at the admission gate
+// without ever queueing. Both counters are exact: sheds/op = 1, and
+// queue-wait-ns/op = 0 — an immediate shed that spent any time waiting
+// would mean the shed path started queueing, which is the regression
+// this gate exists to catch.
+func BenchmarkServerShed(b *testing.B) {
+	s, err := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	notDraining := func() bool { return false }
+
+	// Hold the slot for the whole benchmark.
+	if _, err := s.adm.acquire(time.Time{}, notDraining, nil); err != nil {
+		b.Fatal(err)
+	}
+	defer s.adm.release()
+	// Fill the queue with one waiter; it unblocks (as a draining shed)
+	// when the cancel channel closes at cleanup.
+	cancelc := make(chan struct{})
+	waiting := make(chan struct{})
+	go func() {
+		close(waiting)
+		s.adm.acquire(time.Time{}, notDraining, cancelc)
+	}()
+	<-waiting
+	for s.adm.stats().QueueDepth == 0 {
+		// Spin until the waiter is counted in the queue.
+	}
+	defer close(cancelc)
+
+	before := s.adm.stats()
+	var totalWait time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := s.adm.acquire(time.Time{}, notDraining, nil)
+		if err == nil {
+			s.adm.release()
+			b.Fatal("over-capacity acquire was admitted")
+		}
+		totalWait += wait
+	}
+	b.StopTimer()
+	after := s.adm.stats()
+	sheds := (after.ShedsQueueFull + after.ShedsDeadline + after.ShedsDraining) -
+		(before.ShedsQueueFull + before.ShedsDeadline + before.ShedsDraining)
+	b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
+	b.ReportMetric(float64(totalWait.Nanoseconds())/float64(b.N), "queue-wait-ns/op")
 }
 
 // BenchmarkServerSingleflight measures the dedup layer directly with a

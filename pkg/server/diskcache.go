@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/pkg/engine"
+)
+
+// diskCache is the persistent tier of the result cache: one file per
+// cache key holding the deterministic wire body behind an explicit
+// content-hash frame, so results survive restarts and torn or
+// bit-flipped entries are detected — quarantined aside, never served
+// and never deleted. Like the schedule store it fails soft: every
+// defect is a cache miss, and all file operations go through the
+// injectable engine.FS so the chaos harness can tear its writes.
+//
+// On-disk framing: "sha256:<hex>\n" + body. The hash covers the body
+// bytes exactly; the frame is what turns silent disk corruption into a
+// detectable (and quarantinable) event, independent of whether the
+// body would still parse.
+type diskCache struct {
+	dir         string
+	fs          engine.FS
+	tmpSeq      atomic.Uint64
+	quarantines atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+}
+
+func openDiskCache(dir string, fsys engine.FS) (*diskCache, error) {
+	if fsys == nil {
+		fsys = engine.OsFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: disk cache: %w", err)
+	}
+	return &diskCache{dir: dir, fs: fsys}, nil
+}
+
+// path maps a cache key to its file. Keys are a hex content address
+// optionally suffixed with "+tier-<name>" — every rune is path-safe.
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key+".result.json")
+}
+
+// frame prefixes body with its content hash.
+func frame(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	out := make([]byte, 0, len(body)+7+hex.EncodedLen(len(sum))+1)
+	out = append(out, "sha256:"...)
+	out = hex.AppendEncode(out, sum[:])
+	out = append(out, '\n')
+	return append(out, body...)
+}
+
+// unframe verifies the hash frame and returns the body, or reports the
+// defect.
+func unframe(raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 || !bytes.HasPrefix(raw, []byte("sha256:")) {
+		return nil, fmt.Errorf("missing content-hash frame")
+	}
+	want, err := hex.DecodeString(string(raw[7:nl]))
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("malformed content hash")
+	}
+	body := raw[nl+1:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("content hash mismatch")
+	}
+	return body, nil
+}
+
+// quarantine moves a corrupt entry aside — rename, never delete.
+func (d *diskCache) quarantine(key string) {
+	p := d.path(key)
+	dst := fmt.Sprintf("%s.quarantined-%d-%d", p, os.Getpid(), d.tmpSeq.Add(1))
+	if err := d.fs.Rename(p, dst); err == nil {
+		d.quarantines.Add(1)
+	}
+}
+
+// get returns the verified body for key, or nil. Corrupt entries are
+// quarantined as a side effect and read as misses.
+func (d *diskCache) get(key string) []byte {
+	if d == nil {
+		return nil
+	}
+	raw, err := d.fs.ReadFile(d.path(key))
+	if err != nil {
+		d.misses.Add(1)
+		return nil
+	}
+	body, err := unframe(raw)
+	if err != nil {
+		d.quarantine(key)
+		d.misses.Add(1)
+		return nil
+	}
+	d.hits.Add(1)
+	return body
+}
+
+// put persists a finished entry (atomic temp + rename, deterministic
+// temp names). Best effort: a failed write costs the next process a
+// cache miss, nothing else.
+func (d *diskCache) put(key string, body []byte) {
+	if d == nil {
+		return
+	}
+	tmp := filepath.Join(d.dir, fmt.Sprintf("%s.tmp-%d-%d", key, os.Getpid(), d.tmpSeq.Add(1)))
+	if err := d.fs.WriteFile(tmp, frame(body), 0o644); err != nil {
+		return
+	}
+	if err := d.fs.Rename(tmp, d.path(key)); err != nil {
+		d.fs.Remove(tmp)
+		return
+	}
+	d.writes.Add(1)
+}
+
+// DiskCacheStats is the persistent-tier section of Stats.
+type DiskCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	Quarantines uint64 `json:"quarantines"`
+}
+
+func (d *diskCache) stats() DiskCacheStats {
+	if d == nil {
+		return DiskCacheStats{}
+	}
+	return DiskCacheStats{
+		Hits:        d.hits.Load(),
+		Misses:      d.misses.Load(),
+		Writes:      d.writes.Load(),
+		Quarantines: d.quarantines.Load(),
+	}
+}
+
+// VerifyDiskCache scans a disk-cache directory offline and reports how
+// many live entries verify against their content-hash frame and how
+// many are corrupt — the loadgen chaos harness's post-crash invariant
+// check ("zero corrupted entries escape quarantine"). Quarantined and
+// temp files are skipped: they are already out of the serving path.
+func VerifyDiskCache(dir string) (ok, corrupt int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !isLiveResultFile(name) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return ok, corrupt, err
+		}
+		if _, err := unframe(raw); err != nil {
+			corrupt++
+			continue
+		}
+		ok++
+	}
+	return ok, corrupt, nil
+}
+
+// ScrubDiskCache walks a disk-cache directory offline and quarantines
+// every live entry that fails its content-hash frame — the same rename,
+// never delete, that the serving path applies lazily on read. The chaos
+// harness runs it between crash cycles so torn writes left by a killed
+// process are counted and moved out of the serving path immediately
+// instead of on their next read.
+func ScrubDiskCache(dir string) (ok, quarantined int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	var seq uint64
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !isLiveResultFile(name) {
+			continue
+		}
+		p := filepath.Join(dir, name)
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return ok, quarantined, err
+		}
+		if _, err := unframe(raw); err != nil {
+			seq++
+			dst := fmt.Sprintf("%s.quarantined-%d-%d", p, os.Getpid(), seq)
+			if err := os.Rename(p, dst); err != nil {
+				return ok, quarantined, err
+			}
+			quarantined++
+			continue
+		}
+		ok++
+	}
+	return ok, quarantined, nil
+}
+
+// isLiveResultFile reports whether name is a servable disk-cache entry
+// (as opposed to quarantine evidence or crashed-writer temp residue,
+// which carry ".quarantined-" / ".tmp-" suffixes after the extension).
+func isLiveResultFile(name string) bool {
+	return strings.HasSuffix(name, ".result.json")
+}

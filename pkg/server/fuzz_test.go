@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzServerRequest drives arbitrary bytes through the full HTTP JSON
+// decode path of POST /v1/generate. The invariants are taxonomy, not
+// success: every answer is one of the documented statuses, every error
+// body is well-formed JSON with a kind, and nothing panics (a panic
+// would surface as a counted 500, which the fuzzer rejects).
+func FuzzServerRequest(f *testing.F) {
+	f.Add([]byte(`{"netlist":"rc\nR1 in n1 1k\nC1 n1 0 1n\n.end\n","spec":{"kind":"vgain","in":"in","out":"n1"}}`))
+	f.Add([]byte(`{"netlist":"","spec":{"kind":"vgain"}}`))
+	f.Add([]byte(`{"netlist":"x\nR1 a b 1k\n.end\n","spec":{"kind":"vgain","in":"a","out":"b"},"options":{"max_iterations":-3,"sig_digits":99},"timeout_ms":1,"min_tier":"exact"}`))
+	f.Add([]byte(`{"netlist":"x\nR1 a b 1k\n.end\n","spec":{"kind":"nope"},"stream":"ndjson"}`))
+	f.Add([]byte(`{"netlist":42}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	s, err := New(Config{
+		MaxBodyBytes:   8 << 10,
+		DefaultTimeout: 2 * time.Second,
+		MaxTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/generate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK,
+			http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge,
+			http.StatusUnprocessableEntity,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("undocumented status %d for body %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusOK {
+			return
+		}
+		// Error answers are structured unless the request chose a stream
+		// framing, where the failure may arrive as a terminal event.
+		ct := rec.Header().Get("Content-Type")
+		if ct != "application/json" {
+			return
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("status %d body is not an errorBody: %q", rec.Code, rec.Body.Bytes())
+		}
+		if eb.Kind == "" || eb.Status != rec.Code {
+			t.Fatalf("malformed error body for status %d: %q", rec.Code, rec.Body.Bytes())
+		}
+		if n := s.Stats().ServerErrors; n != 0 {
+			t.Fatalf("handler panicked (%d server errors) on body %q", n, body)
+		}
+	})
+}

@@ -41,6 +41,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,15 @@ type Config struct {
 	// generation. 0 selects 60 s and 5 min.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxQueue bounds flights waiting for a generation slot: arrival
+	// MaxQueue+1 is shed immediately with 503 + Retry-After instead of
+	// queuing without bound. 0 selects 4×MaxConcurrent; negative makes
+	// the queue unbounded (the pre-admission-control behavior).
+	MaxQueue int
+	// MaxBodyBytes caps the request body; larger bodies answer 413
+	// (kind body-too-large) as soon as the limit is crossed. 0 selects
+	// 4 MiB.
+	MaxBodyBytes int64
 	// ScheduleDir, when non-empty, roots a persistent schedule store
 	// (engine.ScheduleStore): flights that miss the result cache load a
 	// previously converged scale schedule for their content address and
@@ -76,11 +86,48 @@ type Config struct {
 	// changes the iteration trail and solve counts of the body, never
 	// the generated reference. Empty disables the store.
 	ScheduleDir string
+	// CacheDir, when non-empty, roots the persistent tier of the result
+	// cache: finished non-degraded bodies are written through (atomic
+	// rename, content-hash framed) and a restarted server serves them
+	// without regenerating. Corrupt entries are quarantined, never
+	// served. Empty disables the tier.
+	CacheDir string
+	// StoreFS, when non-nil, replaces the real filesystem under both
+	// disk stores (schedule store and persistent result cache) — the
+	// seam the chaos harness uses to inject torn writes and rename
+	// failures (internal/faultfs). Nil selects the real filesystem.
+	StoreFS engine.FS
+	// IterationBudget, SolveBudget and MemoryBudget are server-enforced
+	// per-request resource budgets, applied to every generation
+	// regardless of what the request's options ask for: the frame
+	// budget is clamped to IterationBudget, and SolveBudget /
+	// MemoryBudget bound each polynomial's point solves and arena-size
+	// estimate (engine.Options.MaxSolves / MemoryBudget). Budget
+	// exhaustion yields a degraded partial result under the tier
+	// contract — served to the flight's waiters with its tier labeled,
+	// but never cached, so the next request regenerates. All three are
+	// execution-only: they never change a request's content address. 0
+	// disables each.
+	IterationBudget int
+	SolveBudget     int
+	MemoryBudget    int64
 }
 
-// Stats is the server's counter snapshot (GET /v1/stats).
+// Stats is the server's counter snapshot (GET /v1/stats). Field order
+// is the wire order — encoding/json emits struct fields in declaration
+// order and Backends is sorted by name, so the document is byte-
+// deterministic for a given counter state (golden-file testable).
 type Stats struct {
-	Cache CacheStats `json:"cache"`
+	// Since is the instant the counters started accumulating (RFC 3339,
+	// UTC): the window worst_rel_error and the tier tallies cover.
+	Since string `json:"since"`
+	// Draining reports drain mode: new generations are being shed and
+	// /healthz answers 503 while in-flight work finishes.
+	Draining bool       `json:"draining"`
+	Cache    CacheStats `json:"cache"`
+	// DiskCache is the persistent result-cache tier (all zeros when
+	// Config.CacheDir is unset).
+	DiskCache DiskCacheStats `json:"disk_cache"`
 	// Generations counts engine generations actually run — the number
 	// the single-flight and cache layers exist to minimize.
 	Generations uint64 `json:"generations"`
@@ -89,17 +136,32 @@ type Stats struct {
 	SingleflightShared uint64 `json:"singleflight_shared"`
 	Requests           uint64 `json:"requests"`
 	Inflight           int64  `json:"inflight"`
-	// ServerErrors counts 5xx responses (handler panics).
+	// ServerErrors counts 5xx responses from handler panics. Sheds are
+	// 503s but are counted under Admission, not here: they are the
+	// service protecting itself, not failing.
 	ServerErrors  uint64 `json:"server_errors"`
 	MaxConcurrent int    `json:"max_concurrent"`
+	// Admission is the wait-queue picture: depth, shed counts by
+	// reason, queue-wait percentiles and the latency EWMA behind
+	// Retry-After.
+	Admission AdmissionStats `json:"admission"`
+	// BudgetDegraded counts generations the server's resource budgets
+	// degraded into labeled partial results (never cached).
+	BudgetDegraded uint64 `json:"budget_degraded"`
 	// ScheduleWarmStarts counts flights that replayed a schedule loaded
 	// from the persistent store (0 when Config.ScheduleDir is unset).
 	ScheduleWarmStarts uint64 `json:"schedule_warm_starts,omitempty"`
+	// ScheduleQuarantines counts corrupt schedule-store entries moved
+	// aside (see engine.ScheduleStore).
+	ScheduleQuarantines uint64 `json:"schedule_quarantines"`
 	// Tiers counts completed generations by result quality tier.
 	Tiers TierCounts `json:"tiers"`
 	// WorstRelError is the largest certified relative error estimate
-	// any completed generation reported since the server started.
+	// any completed generation reported since Since.
 	WorstRelError float64 `json:"worst_rel_error"`
+	// Backends breaks generations, tiers and worst error down by the
+	// backend that formulated them, sorted by name.
+	Backends []BackendStats `json:"backends"`
 }
 
 // TierCounts is the per-tier generation tally of Stats.
@@ -110,44 +172,88 @@ type TierCounts struct {
 	Degraded  uint64 `json:"degraded"`
 }
 
-// Server implements the service. Create with New, serve Handler, Close
-// when done (Close waits for in-flight generations to unwind).
-type Server struct {
-	cfg    Config
-	eng    *engine.Engine
-	cache  *cache
-	sched  *engine.ScheduleStore
-	group  *group
-	sem    chan struct{}
-	base   context.Context
-	stop   context.CancelFunc
-	wg     sync.WaitGroup
-	closed atomic.Bool
+// BackendStats is one backend's slice of the quality tallies.
+type BackendStats struct {
+	Name          string     `json:"name"`
+	Generations   uint64     `json:"generations"`
+	Tiers         TierCounts `json:"tiers"`
+	WorstRelError float64    `json:"worst_rel_error"`
+}
 
-	generations  atomic.Uint64
-	shared       atomic.Uint64
-	requests     atomic.Uint64
-	inflight     atomic.Int64
-	serverErrors atomic.Uint64
-	schedWarm    atomic.Uint64
-	tierCounts   [4]atomic.Uint64 // indexed by engine.Tier
-	worstRelBits atomic.Uint64    // math.Float64bits of the max seen
+// Server implements the service. Create with New, serve Handler, Close
+// when done (Close waits for in-flight generations to unwind). For a
+// graceful exit call StartDrain first: new generations shed with 503 +
+// Retry-After and /healthz flips to 503 while in-flight flights finish
+// and persist their schedules; Close then cancels whatever remains.
+type Server struct {
+	cfg      Config
+	eng      *engine.Engine
+	cache    *cache
+	disk     *diskCache
+	sched    *engine.ScheduleStore
+	group    *group
+	adm      *admission
+	base     context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	draining atomic.Bool
+	started  time.Time
+
+	generations    atomic.Uint64
+	shared         atomic.Uint64
+	requests       atomic.Uint64
+	inflight       atomic.Int64
+	serverErrors   atomic.Uint64
+	schedWarm      atomic.Uint64
+	budgetDegraded atomic.Uint64
+	tierCounts     [4]atomic.Uint64 // indexed by engine.Tier
+	worstRelBits   atomic.Uint64    // math.Float64bits of the max seen
+
+	backendMu sync.Mutex
+	backends  map[string]*backendCounters
+}
+
+// backendCounters is the per-backend quality tally behind
+// Stats.Backends.
+type backendCounters struct {
+	generations uint64
+	tiers       [4]uint64
+	worstRel    float64
 }
 
 // recordQuality tallies a completed generation's tier and folds its
-// worst relative error into the running maximum.
-func (s *Server) recordQuality(tier engine.Tier, worst float64) {
+// worst relative error into the running maximum, globally and for the
+// backend that formulated it.
+func (s *Server) recordQuality(backend string, tier engine.Tier, worst float64) {
 	if tier >= 0 && int(tier) < len(s.tierCounts) {
 		s.tierCounts[tier].Add(1)
 	}
 	for {
 		old := s.worstRelBits.Load()
 		if worst <= math.Float64frombits(old) {
-			return
+			break
 		}
 		if s.worstRelBits.CompareAndSwap(old, math.Float64bits(worst)) {
-			return
+			break
 		}
+	}
+	if backend == "" {
+		return
+	}
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	bc := s.backends[backend]
+	if bc == nil {
+		bc = &backendCounters{}
+		s.backends[backend] = bc
+	}
+	bc.generations++
+	if tier >= 0 && int(tier) < len(bc.tiers) {
+		bc.tiers[tier]++
+	}
+	if worst > bc.worstRel {
+		bc.worstRel = worst
 	}
 }
 
@@ -172,28 +278,59 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 5 * time.Minute
 	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	} else if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0 // unbounded
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
 	var sched *engine.ScheduleStore
 	if cfg.ScheduleDir != "" {
-		sched, err = engine.OpenScheduleStore(cfg.ScheduleDir)
+		sched, err = engine.OpenScheduleStoreFS(cfg.ScheduleDir, cfg.StoreFS)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var disk *diskCache
+	if cfg.CacheDir != "" {
+		disk, err = openDiskCache(cfg.CacheDir, cfg.StoreFS)
 		if err != nil {
 			return nil, err
 		}
 	}
 	base, stop := context.WithCancel(context.Background())
 	return &Server{
-		cfg:   cfg,
-		eng:   eng,
-		cache: newCache(cfg.CacheEntries, cfg.CacheBytes),
-		sched: sched,
-		group: newGroup(),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		base:  base,
-		stop:  stop,
+		cfg:      cfg,
+		eng:      eng,
+		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes),
+		disk:     disk,
+		sched:    sched,
+		group:    newGroup(),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		base:     base,
+		stop:     stop,
+		started:  time.Now().UTC(),
+		backends: make(map[string]*backendCounters),
 	}, nil
 }
 
+// StartDrain flips the server into drain mode: every admission from
+// here on is shed immediately (503 + Retry-After, reason draining),
+// /healthz answers 503 so load balancers rotate the instance out, and
+// cache hits keep being served. In-flight flights are unaffected — they
+// finish, answer their waiters and persist their schedules. Call Close
+// (after the HTTP server's own Shutdown) to cancel whatever is still
+// running at the drain deadline.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close cancels every running flight and waits for their goroutines.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.closed.Store(true)
 	s.stop()
 	s.wg.Wait()
@@ -201,15 +338,21 @@ func (s *Server) Close() {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Cache:              s.cache.stats(),
-		Generations:        s.generations.Load(),
-		SingleflightShared: s.shared.Load(),
-		Requests:           s.requests.Load(),
-		Inflight:           s.inflight.Load(),
-		ServerErrors:       s.serverErrors.Load(),
-		MaxConcurrent:      s.cfg.MaxConcurrent,
-		ScheduleWarmStarts: s.schedWarm.Load(),
+	st := Stats{
+		Since:               s.started.Format(time.RFC3339Nano),
+		Draining:            s.draining.Load(),
+		Cache:               s.cache.stats(),
+		DiskCache:           s.disk.stats(),
+		Generations:         s.generations.Load(),
+		SingleflightShared:  s.shared.Load(),
+		Requests:            s.requests.Load(),
+		Inflight:            s.inflight.Load(),
+		ServerErrors:        s.serverErrors.Load(),
+		MaxConcurrent:       s.cfg.MaxConcurrent,
+		Admission:           s.adm.stats(),
+		BudgetDegraded:      s.budgetDegraded.Load(),
+		ScheduleWarmStarts:  s.schedWarm.Load(),
+		ScheduleQuarantines: s.sched.Quarantines(),
 		Tiers: TierCounts{
 			Exact:     s.tierCounts[engine.TierExact].Load(),
 			Certified: s.tierCounts[engine.TierCertified].Load(),
@@ -217,17 +360,40 @@ func (s *Server) Stats() Stats {
 			Degraded:  s.tierCounts[engine.TierDegraded].Load(),
 		},
 		WorstRelError: math.Float64frombits(s.worstRelBits.Load()),
+		Backends:      []BackendStats{},
 	}
+	s.backendMu.Lock()
+	for name, bc := range s.backends {
+		st.Backends = append(st.Backends, BackendStats{
+			Name:        name,
+			Generations: bc.generations,
+			Tiers: TierCounts{
+				Exact:     bc.tiers[engine.TierExact],
+				Certified: bc.tiers[engine.TierCertified],
+				Numeric:   bc.tiers[engine.TierNumeric],
+				Degraded:  bc.tiers[engine.TierDegraded],
+			},
+			WorstRelError: bc.worstRel,
+		})
+	}
+	s.backendMu.Unlock()
+	sort.Slice(st.Backends, func(i, j int) bool { return st.Backends[i].Name < st.Backends[j].Name })
+	return st
 }
 
 // Handler returns the service mux: POST /v1/generate, GET /v1/stats,
-// GET /healthz.
+// GET /healthz (503 while draining).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return s.recovered(mux)
@@ -353,6 +519,10 @@ func errKind(err error) string {
 	if errors.As(err, &te) {
 		return "below-min-tier"
 	}
+	var se *shedError
+	if errors.As(err, &se) {
+		return "shed"
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
@@ -373,15 +543,35 @@ func errKind(err error) string {
 	}
 }
 
-// errStatus maps a flight failure to its HTTP status: deadline/cancel
-// of the flight itself is 504, everything the engine can diagnose is a
-// 422 — the request was well-formed but this circuit × spec × options
-// cannot be generated as asked.
+// errStatus maps a flight failure to its HTTP status: sheds are 503
+// (with Retry-After), deadline/cancel of the flight itself is 504,
+// everything the engine can diagnose is a 422 — the request was
+// well-formed but this circuit × spec × options cannot be generated as
+// asked.
 func errStatus(err error) int {
+	var se *shedError
+	if errors.As(err, &se) {
+		return http.StatusServiceUnavailable
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusUnprocessableEntity
+}
+
+// setRetryAfter stamps the Retry-After contract on a shed response:
+// the header is the EWMA-derived estimate rounded up to whole seconds
+// (minimum 1, per RFC 9110 delta-seconds).
+func setRetryAfter(h http.Header, err error) {
+	var se *shedError
+	if !errors.As(err, &se) {
+		return
+	}
+	secs := int64((se.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	h.Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -397,8 +587,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 
 	var req GenerateRequest
-	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body-too-large",
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -474,11 +670,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.respondEntry(w, mode, "hit", e)
 		return
 	}
+	if e := s.diskGet(cacheKey); e != nil {
+		s.respondEntry(w, mode, "disk", e)
+		return
+	}
 
 	fl, leader := s.group.join(cacheKey)
 	if leader {
 		s.wg.Add(1)
-		go s.runFlight(fl, ereq, key, minTier, gateTier)
+		go s.runFlight(fl, ereq, key, time.Now().Add(timeout), minTier, gateTier)
 	} else {
 		s.shared.Add(1)
 	}
@@ -494,6 +694,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-fl.done:
 		if fl.err != nil {
+			setRetryAfter(w.Header(), fl.err)
 			writeError(w, fl.status, errKind(fl.err), fl.err)
 			return
 		}
@@ -505,27 +706,49 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// diskGet consults the persistent cache tier after a memory miss: a
+// verified body is decoded, promoted into the memory cache and served
+// with X-Cache: disk. Any defect (corruption was already quarantined by
+// the tier itself, decode failure lands here) reads as a miss.
+func (s *Server) diskGet(cacheKey string) *entry {
+	if s.disk == nil {
+		return nil
+	}
+	raw := s.disk.get(cacheKey)
+	if raw == nil {
+		return nil
+	}
+	wire, _, _, err := engine.DecodeResponseJSON(raw)
+	if err != nil {
+		return nil
+	}
+	e := &entry{key: cacheKey, body: raw, wire: wire}
+	s.cache.put(e)
+	return e
+}
+
 // runFlight is the leader's generation goroutine. It runs under the
 // server's lifetime context — never a request's — bounded by
-// MaxTimeout, so waiter cancellation can never abort shared work.
+// MaxTimeout, so waiter cancellation can never abort shared work. The
+// leader's deadline does steer admission: a flight that cannot start
+// before it is shed for every waiter (they would all time out anyway).
 // schedKey is the bare content address for the schedule store (the
 // flight key may carry a tier suffix); minTier/gateTier carry the
 // request's quality floor.
-func (s *Server) runFlight(fl *flight, ereq engine.Request, schedKey string, minTier engine.Tier, gateTier bool) {
+func (s *Server) runFlight(fl *flight, ereq engine.Request, schedKey string, deadline time.Time, minTier engine.Tier, gateTier bool) {
 	defer s.wg.Done()
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.base.Done():
-		s.group.finish(fl, nil, s.base.Err(), http.StatusServiceUnavailable)
+	if _, err := s.adm.acquire(deadline, s.draining.Load, s.base.Done()); err != nil {
+		s.group.finish(fl, nil, err, errStatus(err))
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.adm.release()
 
 	ctx, cancel := context.WithTimeout(s.base, s.cfg.MaxTimeout)
 	defer cancel()
 
 	s.generations.Add(1)
 	ereq.Observer = func(it engine.Iteration) { fl.hub.publish(engine.IterationWire(it)) }
+	budgeted := s.applyBudgets(&ereq)
 	if s.sched != nil {
 		// A result-cache miss can still warm-start: replay the schedule a
 		// previous flight of this content address converged to. WarmStart
@@ -541,13 +764,19 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request, schedKey string, min
 			ereq.Options = &opts
 		}
 	}
+	genStart := time.Now()
 	resp, err := s.eng.Generate(ctx, ereq)
+	s.adm.observeGen(time.Since(genStart))
 	if err != nil {
 		s.group.finish(fl, nil, err, errStatus(err))
 		return
 	}
 	tier := resp.Tier()
-	s.recordQuality(tier, resp.WorstRelError())
+	backend := ""
+	if resp.Formulation != nil {
+		backend = resp.Formulation.Backend
+	}
+	s.recordQuality(backend, tier, resp.WorstRelError())
 	if s.sched != nil && !resp.Degraded() {
 		if resp.Num != nil && resp.Num.WarmStarted && resp.Den != nil && resp.Den.WarmStarted {
 			s.schedWarm.Add(1)
@@ -569,8 +798,67 @@ func (s *Server) runFlight(fl *flight, ereq engine.Request, schedKey string, min
 		return
 	}
 	e := &entry{key: fl.key, body: raw, wire: wire}
+	if budgeted && budgetDegraded(resp) {
+		// A server budget degraded this result. The waiters get it —
+		// partial under the tier contract beats nothing — but it never
+		// enters either cache tier: the next request regenerates and may
+		// finish under a lighter load.
+		s.budgetDegraded.Add(1)
+		s.group.finish(fl, e, nil, 0)
+		return
+	}
 	s.cache.put(e)
+	if s.disk != nil && !resp.Degraded() {
+		s.disk.put(fl.key, raw)
+	}
 	s.group.finish(fl, e, nil, 0)
+}
+
+// applyBudgets overlays the server's resource budgets on the request's
+// options and reports whether any budget is in force. Budgets are
+// execution-only knobs (excluded from the content address), so the
+// overlay never changes what is generated — only how much work may be
+// spent generating it before the result degrades.
+func (s *Server) applyBudgets(ereq *engine.Request) bool {
+	if s.cfg.IterationBudget <= 0 && s.cfg.SolveBudget <= 0 && s.cfg.MemoryBudget <= 0 {
+		return false
+	}
+	opts := s.cfg.Engine.Options
+	if ereq.Options != nil {
+		opts = *ereq.Options
+	}
+	if b := s.cfg.IterationBudget; b > 0 && (opts.MaxIterations == 0 || opts.MaxIterations > b) {
+		opts.MaxIterations = b
+	}
+	if b := s.cfg.SolveBudget; b > 0 && (opts.MaxSolves == 0 || opts.MaxSolves > b) {
+		opts.MaxSolves = b
+	}
+	if b := s.cfg.MemoryBudget; b > 0 && (opts.MemoryBudget == 0 || opts.MemoryBudget > b) {
+		opts.MemoryBudget = b
+	}
+	opts.DegradeOnBudget = true
+	ereq.Options = &opts
+	return true
+}
+
+// budgetDegraded reports whether a degraded response carries a budget
+// fault — the signature of a server budget (rather than a client's
+// allow_degraded request) having cut the generation short.
+func budgetDegraded(resp *engine.Response) bool {
+	if !resp.Degraded() {
+		return false
+	}
+	for _, res := range []*engine.Result{resp.Num, resp.Den} {
+		if res == nil {
+			continue
+		}
+		for _, ev := range res.Quality.Events {
+			if ev.Kind == engine.EventFault && errors.Is(ev.Err, engine.ErrIterationBudget) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // respondEntry writes a finished entry: the cached body verbatim for
@@ -664,6 +952,9 @@ func (s *Server) streamFlight(ctx context.Context, w http.ResponseWriter, mode, 
 		return
 	}
 	if fl.err != nil {
+		// A shed flight never published an event, so the headers are
+		// still open for the Retry-After contract.
+		setRetryAfter(w.Header(), fl.err)
 		st.fail(fl.status, errKind(fl.err), fl.err)
 		return
 	}
